@@ -1,0 +1,267 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablation and extension experiments of DESIGN.md.
+// Each benchmark maps to one experiment id:
+//
+//	BenchmarkFigure3Model / BenchmarkFigure3Sim*  — F3 (Figure 3)
+//	BenchmarkValidationGrid                       — T1
+//	BenchmarkSaturationModel / BenchmarkSaturationTable — T2
+//	BenchmarkAblationBlocking / BenchmarkAblationServers — A1/A2
+//	BenchmarkPolicyComparison                     — A3
+//	BenchmarkHypercube                            — X1
+//	BenchmarkTorusConsistency                     — X2
+//
+// Simulation-backed benchmarks use the Quick budget so the whole suite
+// runs in minutes; set REPRO_BENCH_FULL=1 for report-quality windows.
+// Micro-benchmarks at the bottom cover the hot paths (queueing formulas,
+// model resolution, simulator cycles).
+package repro_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func budget() exp.Budget {
+	if os.Getenv("REPRO_BENCH_FULL") != "" {
+		return exp.Full
+	}
+	return exp.Quick
+}
+
+// BenchmarkFigure3Model regenerates the model curves of Figure 3 (1024
+// processors; 16-, 32- and 64-flit messages; ten loads to 95% of
+// saturation).
+func BenchmarkFigure3Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.DefaultFigure3()
+		cfg.WithSim = false
+		res, err := exp.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Curves) != 3 {
+			b.Fatal("missing curves")
+		}
+	}
+}
+
+func benchFigure3Sim(b *testing.B, flits int) {
+	for i := 0; i < b.N; i++ {
+		cfg := exp.Figure3Config{
+			NumProc:  1024,
+			MsgFlits: []int{flits},
+			Points:   6,
+			MaxFrac:  0.9,
+			WithSim:  true,
+			Budget:   budget(),
+		}
+		res, err := exp.Figure3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SaturationLoad[flits], "satload/flits-per-cycle")
+	}
+}
+
+// BenchmarkFigure3Sim16/32/64 regenerate the experimental (simulated)
+// series of Figure 3 at each of the paper's message lengths.
+func BenchmarkFigure3Sim16(b *testing.B) { benchFigure3Sim(b, 16) }
+func BenchmarkFigure3Sim32(b *testing.B) { benchFigure3Sim(b, 32) }
+func BenchmarkFigure3Sim64(b *testing.B) { benchFigure3Sim(b, 64) }
+
+// BenchmarkValidationGrid regenerates T1: model vs simulation across
+// machine sizes and message lengths at three operating points.
+func BenchmarkValidationGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.ValidationGrid([]int{64, 256, 1024}, []int{16, 32, 64},
+			[]float64{0.2, 0.5, 0.8}, budget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 27 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkSaturationModel computes the Eq. 26 saturation load for every
+// configuration in T2 (model side only).
+func BenchmarkSaturationModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, n := range []int{64, 256, 1024} {
+			for _, s := range []float64{16, 32, 64} {
+				m := analytic.MustFatTreeModel(n, s, core.Options{})
+				if _, err := m.SaturationLoad(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSaturationTable regenerates T2 with its simulation brackets.
+func BenchmarkSaturationTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.SaturationTable([]int{64, 256}, []int{16, 32}, budget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkAblationBlocking regenerates A1/A2: the paper's model against
+// the variant without the blocking correction and the variant without the
+// multi-server treatment (plus the pre-erratum rate), with one simulated
+// reference curve.
+func BenchmarkAblationBlocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Ablations(1024, 32, 6, budget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Variants) != 4 {
+			b.Fatal("missing variants")
+		}
+	}
+}
+
+// BenchmarkAblationServers isolates the model-side A2 comparison at a
+// fixed operating point (no simulation), for quick iteration on the
+// multi-server treatment.
+func BenchmarkAblationServers(b *testing.B) {
+	base := analytic.MustFatTreeModel(1024, 32, core.Options{})
+	single := analytic.MustFatTreeModel(1024, 32, core.Options{SingleServerGroups: true})
+	sat, err := base.SaturationLoad()
+	if err != nil {
+		b.Fatal(err)
+	}
+	lambda := 0.6 * sat / 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lb, err := base.Latency(lambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ls, err := single.Latency(lambda)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ls.Total <= lb.Total {
+			b.Fatal("A2 ordering violated")
+		}
+	}
+}
+
+// BenchmarkPolicyComparison regenerates A3: simulator pair-queue vs
+// random-fixed up-link arbitration.
+func BenchmarkPolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.PolicyComparison(256, 16, 4, budget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkHypercube regenerates X1: the general model on a binary
+// 8-cube vs simulation.
+func BenchmarkHypercube(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Hypercube(8, 16, 5, budget())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != 5 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+// BenchmarkTorusConsistency regenerates X2: k=2 torus ≡ hypercube.
+func BenchmarkTorusConsistency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, maxDiff, err := exp.TorusConsistency(8, 16, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if maxDiff > 1e-9 {
+			b.Fatalf("inconsistent: %v", maxDiff)
+		}
+	}
+}
+
+// --- Micro-benchmarks on the hot paths ---
+
+func BenchmarkWaitMG1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		queueing.WaitWormholeMG1(0.002, 20, 16)
+	}
+}
+
+func BenchmarkWaitMG2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		queueing.WaitWormholeMGm(2, 0.004, 20, 16)
+	}
+}
+
+func BenchmarkFatTreeModelClosedForm(b *testing.B) {
+	m := analytic.MustFatTreeModel(1024, 16, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Latency(0.002); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFatTreeModelCoreGraph(b *testing.B) {
+	m := analytic.MustFatTreeModel(1024, 16, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm := m.BuildCoreModel(0.002)
+		if _, err := cm.Resolve(core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologyFatTree1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.NewFatTree(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorCycles reports simulator speed on the paper's
+// 1024-processor configuration at a moderate load.
+func BenchmarkSimulatorCycles(b *testing.B) {
+	net := topology.MustFatTree(1024)
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{
+			Net:           net,
+			MsgFlits:      16,
+			Seed:          9,
+			WarmupCycles:  1000,
+			MeasureCycles: 4000,
+		}.FlitLoad(0.02)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "cycles/op")
+	}
+}

@@ -1,0 +1,86 @@
+// Command bftmodel evaluates the analytical fat-tree model at one
+// operating point, printing the latency decomposition (Eq. 25) and the
+// per-channel-class service times, waits and utilizations of §3.3. With
+// -inspect it dumps the switch wiring instead (the structure of the
+// paper's Figure 2), and with -saturation it solves Eq. 26.
+//
+// Usage:
+//
+//	bftmodel [-n 1024] [-flits 16] [-load 0.02] [-inspect] [-saturation]
+//
+// -load is in flits/cycle per processor (the Figure 3 axis).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/series"
+	"repro/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bftmodel: ")
+	var (
+		n       = flag.Int("n", 1024, "number of processors (power of four)")
+		flits   = flag.Float64("flits", 16, "message length in flits")
+		load    = flag.Float64("load", 0.02, "offered load (flits/cycle per processor)")
+		inspect = flag.Bool("inspect", false, "dump the switch wiring and exit")
+		sat     = flag.Bool("saturation", false, "solve Eq. 26 and exit")
+	)
+	flag.Parse()
+
+	if *inspect {
+		ft, err := topology.NewFatTree(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(ft.Describe())
+		return
+	}
+
+	model, err := analytic.NewFatTreeModel(*n, *flits, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *sat {
+		s, err := model.SaturationLoad()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saturation: %.6f flits/cycle/PE (%.6f messages/cycle/PE)\n",
+			s, s / *flits)
+		return
+	}
+
+	lambda0 := *load / *flits
+	lat, err := model.Latency(lambda0)
+	if err != nil {
+		log.Fatalf("load %.4f flits/cycle/PE: %v", *load, err)
+	}
+	fmt.Printf("butterfly fat-tree N=%d, s=%g flits, load=%.4f flits/cycle/PE (λ0=%.6g)\n",
+		*n, *flits, *load, lambda0)
+	fmt.Printf("  average latency L      = %.3f cycles (Eq. 25)\n", lat.Total)
+	fmt.Printf("  injection wait  W(0,1) = %.3f cycles\n", lat.WaitInj)
+	fmt.Printf("  injection svc   x(0,1) = %.3f cycles\n", lat.ServiceInj)
+	fmt.Printf("  average distance D     = %.3f channels\n\n", lat.AvgDist)
+
+	stats, err := model.ChannelStats(lambda0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := &series.Table{Headers: []string{"class", "m", "rate λ", "service x̄", "wait W̄", "ρ"}}
+	for _, st := range stats {
+		tbl.AddRow(st.Name,
+			fmt.Sprintf("%d", st.Servers),
+			fmt.Sprintf("%.6f", st.Rate),
+			fmt.Sprintf("%.3f", st.Service),
+			fmt.Sprintf("%.3f", st.Wait),
+			fmt.Sprintf("%.4f", st.Rho))
+	}
+	fmt.Print(tbl.String())
+}

@@ -1,0 +1,61 @@
+// Command figure3 regenerates the paper's Figure 3: average latency vs
+// load rate (flits/cycle per processor) for the butterfly fat-tree, model
+// against flit-level simulation, for several message lengths.
+//
+// Usage:
+//
+//	figure3 [-n 1024] [-flits 16,32,64] [-points 10] [-maxfrac 0.95]
+//	        [-full] [-nosim] [-csv] [-seed 1]
+//
+// The default run matches the paper (N = 1024; 16/32/64-flit messages)
+// with a CI-sized simulation budget; -full uses report-quality windows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figure3: ")
+	var (
+		n       = flag.Int("n", 1024, "number of processors (power of four)")
+		flits   = flag.String("flits", "16,32,64", "message lengths in flits")
+		points  = flag.Int("points", 10, "loads per curve")
+		maxFrac = flag.Float64("maxfrac", 0.95, "top of sweep as a fraction of model saturation")
+		full    = flag.Bool("full", false, "use the report-quality simulation budget")
+		noSim   = flag.Bool("nosim", false, "model curves only (fast)")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of the ASCII plot")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	sizes, err := cliutil.ParseInts(*flits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := exp.Figure3Config{
+		NumProc:  *n,
+		MsgFlits: sizes,
+		Points:   *points,
+		MaxFrac:  *maxFrac,
+		WithSim:  !*noSim,
+		Budget:   cliutil.Budget(*full, *seed),
+	}
+	res, err := exp.Figure3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csvOut {
+		fmt.Fprint(os.Stdout, res.CSV())
+		return
+	}
+	fmt.Println(res.Plot())
+	fmt.Println(res.Summary())
+}

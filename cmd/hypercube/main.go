@@ -1,0 +1,62 @@
+// Command hypercube regenerates the extension experiments X1 and X2: the
+// paper's general model applied to a binary hypercube, validated against
+// flit-level simulation (X1), and the k-ary n-cube model's consistency
+// with the hypercube model at k = 2 (X2, with -torus).
+//
+// Usage:
+//
+//	hypercube [-dims 8] [-flits 16] [-points 6] [-full] [-torus] [-csv] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hypercube: ")
+	var (
+		dims   = flag.Int("dims", 8, "cube dimensions (2^dims processors)")
+		flits  = flag.Int("flits", 16, "message length in flits")
+		points = flag.Int("points", 6, "loads per curve")
+		full   = flag.Bool("full", false, "use the report-quality simulation budget")
+		torus  = flag.Bool("torus", false, "run the X2 torus consistency check instead")
+		csv    = flag.Bool("csv", false, "emit CSV")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *torus {
+		tbl, maxDiff, err := exp.TorusConsistency(*dims, *flits, *points)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Fprint(os.Stdout, tbl.CSV())
+			return
+		}
+		fmt.Printf("X2: 2-ary %d-cube torus model vs hypercube model (max diff %.2e)\n",
+			*dims, maxDiff)
+		fmt.Print(tbl.String())
+		return
+	}
+
+	res, err := exp.Hypercube(*dims, *flits, *points, cliutil.Budget(*full, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := res.Table()
+	if *csv {
+		fmt.Fprint(os.Stdout, tbl.CSV())
+		return
+	}
+	fmt.Printf("X1: binary %d-cube (%d PEs), %d-flit messages; model saturation %.4f flits/cyc/PE\n",
+		res.Dims, 1<<res.Dims, res.MsgFlits, res.SaturationLoad)
+	fmt.Print(tbl.String())
+}

@@ -1,0 +1,49 @@
+// Command reproduce runs every experiment in DESIGN.md's index (Figure 3,
+// the T1/T2 validation tables, ablations A1–A3, extensions X1/X2, and the
+// V1 per-hop wait validation) and writes one artifact per experiment plus
+// a SUMMARY.txt into an output directory.
+//
+// Usage:
+//
+//	reproduce [-out results] [-full] [-scale paper|small] [-seed 1]
+//
+// The default quick budget finishes in minutes; -full uses report-quality
+// simulation windows. -scale small caps machine sizes at 256 processors
+// for constrained CI machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+	var (
+		out   = flag.String("out", "results", "output directory")
+		full  = flag.Bool("full", false, "use the report-quality simulation budget")
+		scale = flag.String("scale", "paper", "machine sizes: paper (N<=1024) or small (N<=256)")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+	if *scale != "paper" && *scale != "small" {
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	summary, err := exp.RunAll(exp.RunAllConfig{
+		Dir:    *out,
+		Budget: cliutil.Budget(*full, *seed),
+		Scale:  *scale,
+		Log:    os.Stderr,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(summary)
+	fmt.Printf("\nartifacts written to %s/\n", *out)
+}

@@ -1,0 +1,57 @@
+// Command validate regenerates experiment T1: the §3.6 validation grid.
+// For every machine size and message length it compares the model's
+// latency against flit-level simulation at several fractions of the
+// saturation load, reporting relative errors.
+//
+// Usage:
+//
+//	validate [-sizes 64,256,1024] [-flits 16,32,64] [-fracs 0.2,0.5,0.8]
+//	         [-full] [-csv] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("validate: ")
+	var (
+		sizes = flag.String("sizes", "64,256,1024", "machine sizes (powers of four)")
+		flits = flag.String("flits", "16,32,64", "message lengths in flits")
+		fracs = flag.String("fracs", "0.2,0.5,0.8", "loads as fractions of model saturation")
+		full  = flag.Bool("full", false, "use the report-quality simulation budget")
+		csv   = flag.Bool("csv", false, "emit CSV")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	ns, err := cliutil.ParseInts(*sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss, err := cliutil.ParseInts(*flits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs, err := cliutil.ParseFloats(*fracs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := exp.ValidationGrid(ns, ss, fs, cliutil.Budget(*full, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := exp.GridTable(rows)
+	if *csv {
+		fmt.Fprint(os.Stdout, tbl.CSV())
+		return
+	}
+	fmt.Print(tbl.String())
+}

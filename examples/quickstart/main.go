@@ -1,0 +1,67 @@
+// Quickstart: predict butterfly fat-tree latency with the analytical
+// model, verify the prediction with the flit-level simulator, and find
+// the saturation throughput — the complete workflow of the paper in ~50
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		numProc  = 256  // 4^4 processors
+		msgFlits = 16   // fixed message length (flits)
+		load     = 0.03 // offered flits/cycle per processor
+	)
+
+	// 1. Analytical model (paper §3, Eq. 12–26).
+	model, err := repro.NewFatTreeModel(numProc, msgFlits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lat, err := model.Latency(load / msgFlits) // λ0 in messages/cycle
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: L = %.2f cycles (wait %.2f + service %.2f + D−1 %.2f)\n",
+		lat.Total, lat.WaitInj, lat.ServiceInj, lat.AvgDist-1)
+
+	// 2. Saturation throughput (Eq. 26).
+	sat, err := model.SaturationLoad()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: saturation at %.4f flits/cycle/PE\n", sat)
+
+	// 3. Flit-level simulation under the paper's assumptions.
+	ft, err := repro.NewFatTree(numProc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.Simulate(repro.SimConfig{
+		Net:           ft,
+		MsgFlits:      msgFlits,
+		Seed:          1,
+		WarmupCycles:  5000,
+		MeasureCycles: 30000,
+	}.FlitLoad(load))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sim:   L = %.2f ± %.2f cycles over %d messages\n",
+		res.LatencyMean, res.LatencyCI95, res.TrackedCompleted)
+	fmt.Printf("agreement: %.1f%% relative error\n",
+		100*abs(res.LatencyMean-lat.Total)/lat.Total)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

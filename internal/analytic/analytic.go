@@ -1,0 +1,121 @@
+// Package analytic applies the general wormhole model of package core to
+// concrete networks: the butterfly fat-tree (the paper's §3, Eq. 12–26,
+// in both a closed-form transcription and a generated channel graph that
+// must agree), the binary hypercube, and the unidirectional k-ary n-cube
+// (the "other networks" of §4). It also finds the saturation throughput by
+// the paper's operating-point condition x̄₀₁ = 1/λ₀ (Eq. 26).
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/solve"
+)
+
+// Latency is the model's prediction at one operating point.
+type Latency struct {
+	// Total is the average message latency L in cycles (Eq. 25).
+	Total float64
+	// WaitInj is W̄ at the injection channel (source queueing).
+	WaitInj float64
+	// ServiceInj is x̄ at the injection channel.
+	ServiceInj float64
+	// AvgDist is the average path length D̄ in channels.
+	AvgDist float64
+}
+
+// CurvePoint is one point of a latency-vs-load curve.
+type CurvePoint struct {
+	// LoadFlits is the offered load in flits/cycle/processor (the paper's
+	// Figure 3 x-axis).
+	LoadFlits float64
+	// Lambda0 is the equivalent message rate per processor.
+	Lambda0 float64
+	// Latency is the predicted average latency; +Inf past saturation.
+	Latency float64
+	// Saturated reports whether the model declared this point unstable.
+	Saturated bool
+}
+
+// NetworkModel is the common surface of the per-topology analytical
+// models.
+type NetworkModel interface {
+	// Name identifies the model instance, e.g. "bft-1024/s=16".
+	Name() string
+	// MsgFlits returns the configured message length.
+	MsgFlits() float64
+	// Latency predicts the average latency at per-processor message rate
+	// lambda0; it returns an error wrapping core.ErrUnstable past
+	// saturation.
+	Latency(lambda0 float64) (Latency, error)
+	// AvgDist returns D̄ in channels.
+	AvgDist() float64
+}
+
+// Curve evaluates a model on the given flit loads (flits/cycle/processor),
+// marking saturated points instead of failing.
+func Curve(m NetworkModel, loads []float64) ([]CurvePoint, error) {
+	out := make([]CurvePoint, 0, len(loads))
+	for _, load := range loads {
+		lambda0 := load / m.MsgFlits()
+		pt := CurvePoint{LoadFlits: load, Lambda0: lambda0}
+		lat, err := m.Latency(lambda0)
+		switch {
+		case err == nil:
+			pt.Latency = lat.Total
+		case isUnstable(err):
+			pt.Latency = math.Inf(1)
+			pt.Saturated = true
+		default:
+			return nil, fmt.Errorf("analytic: curve at load %v: %w", load, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func isUnstable(err error) bool {
+	for e := err; e != nil; {
+		if e == core.ErrUnstable {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// SaturationLoad finds the paper's maximum-throughput operating point
+// (Eq. 26): the smallest per-processor message rate λ₀ where the source
+// service time x̄₀₁ reaches 1/λ₀. serviceInj must return x̄₀₁(λ₀) or an
+// unstable error. The result is in messages/cycle/processor; multiply by
+// MsgFlits for the Figure 3 axis.
+func SaturationLoad(serviceInj func(lambda0 float64) (float64, error)) (float64, error) {
+	g := func(lambda0 float64) float64 {
+		x, err := serviceInj(lambda0)
+		if err != nil {
+			return math.Inf(1) // past stability: saturated for sure
+		}
+		return lambda0*x - 1
+	}
+	stable, unstable, ok := solve.GrowToUnstable(func(l float64) bool {
+		return g(l) < 0
+	}, 1e-7, 64)
+	if !ok {
+		return 0, fmt.Errorf("analytic: no saturation found (network never saturates below rate 2^64*1e-7?)")
+	}
+	if stable == 0 {
+		// Even the smallest probe saturates; report it as the bound.
+		return unstable, nil
+	}
+	root, err := solve.Bisect(g, stable, unstable, stable*1e-9, 200)
+	if err != nil {
+		return 0, fmt.Errorf("analytic: saturation bisection: %w", err)
+	}
+	return root, nil
+}

@@ -1,0 +1,345 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/topology"
+)
+
+// FatTreeModel is the paper's analytical model of the butterfly fat-tree
+// (§3). With the zero Options it evaluates the closed-form recurrences
+// Eq. 12–25 directly; with ablation options set it evaluates the
+// equivalent channel-class graph through package core. Both paths are
+// cross-checked in tests.
+type FatTreeModel struct {
+	numProc  int
+	n        int // log4(numProc)
+	msgFlits float64
+	opt      core.Options
+}
+
+// NewFatTreeModel creates a model for a butterfly fat-tree with numProc
+// processors (a power of four ≥ 4) and fixed messages of msgFlits flits.
+func NewFatTreeModel(numProc int, msgFlits float64, opt core.Options) (*FatTreeModel, error) {
+	n := 0
+	for v := 1; v < numProc; v *= 4 {
+		n++
+	}
+	if numProc < 4 || 1<<(2*n) != numProc {
+		return nil, fmt.Errorf("analytic: fat-tree size %d is not a power of four >= 4", numProc)
+	}
+	if msgFlits <= 0 {
+		return nil, fmt.Errorf("analytic: message length %v must be positive", msgFlits)
+	}
+	return &FatTreeModel{numProc: numProc, n: n, msgFlits: msgFlits, opt: opt}, nil
+}
+
+// MustFatTreeModel is NewFatTreeModel that panics on error.
+func MustFatTreeModel(numProc int, msgFlits float64, opt core.Options) *FatTreeModel {
+	m, err := NewFatTreeModel(numProc, msgFlits, opt)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Name implements NetworkModel.
+func (m *FatTreeModel) Name() string {
+	return fmt.Sprintf("bft-%d/s=%g", m.numProc, m.msgFlits)
+}
+
+// MsgFlits implements NetworkModel.
+func (m *FatTreeModel) MsgFlits() float64 { return m.msgFlits }
+
+// NumProcessors returns the configured machine size.
+func (m *FatTreeModel) NumProcessors() int { return m.numProc }
+
+// Levels returns n = log4(N).
+func (m *FatTreeModel) Levels() int { return m.n }
+
+// AvgDist implements NetworkModel; see topology.FatTree.AvgDistance.
+func (m *FatTreeModel) AvgDist() float64 {
+	num := 0.0
+	for l := 1; l <= m.n; l++ {
+		num += float64(2*l) * 3 * math.Pow(4, float64(l-1))
+	}
+	return num / float64(m.numProc-1)
+}
+
+// UpProb returns P↑_l = (4^n − 4^l)/(4^n − 1), the probability that a
+// message at a level-l switch must continue upward (Eq. 12).
+func (m *FatTreeModel) UpProb(l int) float64 {
+	n4 := float64(m.numProc)
+	return (n4 - math.Pow(4, float64(l))) / (n4 - 1)
+}
+
+// UpRate returns λ_{l,l+1}, the per-link message rate of an up channel
+// from level l (Eq. 14), with λ_{0,1} = λ₀. Down rates mirror up rates
+// (Eq. 15): λ_{l+1,l} = λ_{l,l+1}.
+func (m *FatTreeModel) UpRate(l int, lambda0 float64) float64 {
+	if l == 0 {
+		return lambda0
+	}
+	return lambda0 * m.UpProb(l) * float64(int(1)<<l)
+}
+
+// Latency implements NetworkModel.
+func (m *FatTreeModel) Latency(lambda0 float64) (Latency, error) {
+	if m.opt == (core.Options{}) {
+		return m.closedForm(lambda0)
+	}
+	return m.latencyViaCore(lambda0)
+}
+
+// ServiceInj returns the injection-channel service time x̄₀₁(λ₀), the
+// quantity whose crossing with 1/λ₀ defines saturation (Eq. 26).
+func (m *FatTreeModel) ServiceInj(lambda0 float64) (float64, error) {
+	lat, err := m.Latency(lambda0)
+	if err != nil {
+		return 0, err
+	}
+	return lat.ServiceInj, nil
+}
+
+// SaturationLoad returns the maximum sustainable load in
+// flits/cycle/processor (Eq. 26).
+func (m *FatTreeModel) SaturationLoad() (float64, error) {
+	lambda0, err := SaturationLoad(m.ServiceInj)
+	if err != nil {
+		return 0, err
+	}
+	return lambda0 * m.msgFlits, nil
+}
+
+// closedForm transcribes Eq. 12–25 with the published 2λ correction to
+// Eq. 21/23.
+func (m *FatTreeModel) closedForm(lambda0 float64) (Latency, error) {
+	if lambda0 < 0 || math.IsNaN(lambda0) {
+		return Latency{}, fmt.Errorf("analytic: bad arrival rate %v", lambda0)
+	}
+	n, s := m.n, m.msgFlits
+
+	lamUp := make([]float64, n) // lamUp[l] = λ_{l,l+1}
+	for l := 0; l < n; l++ {
+		lamUp[l] = m.UpRate(l, lambda0)
+	}
+	lamDown := func(l int) float64 { return lamUp[l-1] } // λ_{l,l-1} = λ_{l-1,l}
+
+	fail := func(name string, lam, x float64, servers int) error {
+		return &core.UnstableError{
+			Class: fmt.Sprintf("%s@%s", name, m.Name()),
+			Rho:   queueing.Utilization(servers, lam*float64(servers), x),
+		}
+	}
+
+	// ratio computes λa/λb for the blocking corrections; with no traffic
+	// at all (λb = 0) the associated wait is 0, so any finite value works
+	// and 0 keeps the block factor at its no-information value of 1.
+	ratio := func(a, b float64) float64 {
+		if b <= 0 {
+			return 0
+		}
+		return a / b
+	}
+
+	// Downward channels, leaves up (Eq. 16–19).
+	xDown := make([]float64, n+1) // xDown[l] = x̄_{l,l-1}, 1 <= l <= n
+	wDown := make([]float64, n+1)
+	xDown[1] = s // Eq. 16: deterministic delivery at the destination
+	wDown[1] = queueing.WaitWormholeMG1(lamDown(1), xDown[1], s)
+	if math.IsInf(wDown[1], 1) {
+		return Latency{}, fail("down<1,0>", lamDown(1), xDown[1], 1)
+	}
+	for l := 2; l <= n; l++ {
+		block := clamp01(1 - ratio(lamDown(l), lamDown(l-1))/4) // Eq. 18
+		xDown[l] = xDown[l-1] + block*wDown[l-1]
+		wDown[l] = queueing.WaitWormholeMG1(lamDown(l), xDown[l], s) // Eq. 19
+		if math.IsInf(wDown[l], 1) {
+			return Latency{}, fail(fmt.Sprintf("down<%d,%d>", l, l-1), lamDown(l), xDown[l], 1)
+		}
+	}
+
+	// Upward channels, root down (Eq. 20–24).
+	xUp := make([]float64, n)
+	wUp := make([]float64, n)
+	{
+		l := n - 1                                          // channel <n-1, n> into the root switches
+		block := clamp01(1 - ratio(lamUp[l], lamDown(n))/3) // Eq. 20: 3 sibling children
+		xUp[l] = xDown[n] + block*wDown[n]
+		var err error
+		wUp[l], err = m.upWait(l, lamUp[l], xUp[l])
+		if err != nil {
+			return Latency{}, err
+		}
+	}
+	for l := n - 2; l >= 0; l-- {
+		// Channel <l, l+1> arrives at a level-(l+1) switch (Eq. 22).
+		pUp := m.UpProb(l + 1)
+		pDown := 1 - pUp
+		blockUp := clamp01(1 - ratio(lamUp[l], lamUp[l+1])*pUp)
+		blockDown := clamp01(1 - ratio(lamUp[l], lamDown(l+1))*pDown/3)
+		xUp[l] = pUp*(xUp[l+1]+blockUp*wUp[l+1]) +
+			pDown*(xDown[l+1]+blockDown*wDown[l+1])
+		var err error
+		wUp[l], err = m.upWait(l, lamUp[l], xUp[l])
+		if err != nil {
+			return Latency{}, err
+		}
+	}
+
+	return Latency{
+		Total:      wUp[0] + xUp[0] + m.AvgDist() - 1, // Eq. 25
+		WaitInj:    wUp[0],
+		ServiceInj: xUp[0],
+		AvgDist:    m.AvgDist(),
+	}, nil
+}
+
+// upWait applies Eq. 21/23/24: the injection channel (l = 0) is a single
+// server; every other up channel is half of a two-server pair fed the
+// combined rate 2λ (published correction).
+func (m *FatTreeModel) upWait(l int, lam, x float64) (float64, error) {
+	var w float64
+	servers := 2
+	if l == 0 {
+		servers = 1
+		w = queueing.WaitWormholeMG1(lam, x, m.msgFlits) // Eq. 24
+	} else {
+		w = queueing.WaitWormholeMGm(2, 2*lam, x, m.msgFlits) // Eq. 21/23
+	}
+	if math.IsInf(w, 1) {
+		return 0, &core.UnstableError{
+			Class: fmt.Sprintf("up<%d,%d>@%s", l, l+1, m.Name()),
+			Rho:   queueing.Utilization(servers, float64(servers)*lam, x),
+		}
+	}
+	return w, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// BuildCoreModel generates the equivalent channel-class graph for package
+// core. Class layout: down<l,l-1> for l = 1..n, then up<l,l+1> for
+// l = 0..n-1 (up<0,1> is the injection channel).
+func (m *FatTreeModel) BuildCoreModel(lambda0 float64) *core.Model {
+	n := m.n
+	downID := func(l int) core.ClassID { return core.ClassID(l - 1) } // l = 1..n
+	upID := func(l int) core.ClassID { return core.ClassID(n + l) }   // l = 0..n-1
+	classes := make([]core.Class, 2*n)
+
+	for l := 1; l <= n; l++ {
+		c := core.Class{
+			Name:        fmt.Sprintf("down<%d,%d>", l, l-1),
+			Servers:     1,
+			PerLinkRate: m.UpRate(l-1, lambda0), // Eq. 15: λ_{l,l-1} = λ_{l-1,l}
+		}
+		if l == 1 {
+			c.Terminal = true // ejection channel, Eq. 16
+		} else {
+			// One of the 4 children of the level-(l-1) switch.
+			c.Out = []core.Transition{{To: downID(l - 1), Prob: 1, Groups: 4}}
+		}
+		classes[downID(l)] = c
+	}
+	for l := 0; l < n; l++ {
+		c := core.Class{
+			Name:        fmt.Sprintf("up<%d,%d>", l, l+1),
+			Servers:     2,
+			PerLinkRate: m.UpRate(l, lambda0),
+		}
+		if l == 0 {
+			c.Servers = 1 // injection channel has no redundant twin
+		}
+		if l == n-1 {
+			// Arrives at a root switch: down to one of 3 siblings.
+			c.Out = []core.Transition{{To: downID(n), Prob: 1, Groups: 3}}
+		} else {
+			pUp := m.UpProb(l + 1)
+			c.Out = []core.Transition{
+				{To: upID(l + 1), Prob: pUp, Groups: 1},
+				{To: downID(l + 1), Prob: 1 - pUp, Groups: 3},
+			}
+		}
+		classes[upID(l)] = c
+	}
+	return &core.Model{Classes: classes, MsgFlits: m.msgFlits}
+}
+
+// latencyViaCore resolves the generated channel graph and assembles
+// Eq. 25 from the injection class.
+func (m *FatTreeModel) latencyViaCore(lambda0 float64) (Latency, error) {
+	if lambda0 < 0 || math.IsNaN(lambda0) {
+		return Latency{}, fmt.Errorf("analytic: bad arrival rate %v", lambda0)
+	}
+	cm := m.BuildCoreModel(lambda0)
+	res, err := cm.Resolve(m.opt)
+	if err != nil {
+		return Latency{}, err
+	}
+	inj := cm.ClassByName("up<0,1>")
+	return Latency{
+		Total:      res.Wait[inj] + res.ServiceTime[inj] + m.AvgDist() - 1,
+		WaitInj:    res.Wait[inj],
+		ServiceInj: res.ServiceTime[inj],
+		AvgDist:    m.AvgDist(),
+	}, nil
+}
+
+// ChannelStat is one row of the per-channel-class report.
+type ChannelStat struct {
+	// Name is the class label, e.g. "up<1,2>".
+	Name string
+	// Servers is the group size m.
+	Servers int
+	// Rate is the per-link message rate λ.
+	Rate float64
+	// Service is the resolved mean service time x̄.
+	Service float64
+	// Wait is the group mean waiting time W̄.
+	Wait float64
+	// Rho is the per-server utilization.
+	Rho float64
+}
+
+// ChannelStats resolves the channel graph and reports per-class service
+// times, waits and utilizations — the intermediate quantities of §3.3.
+func (m *FatTreeModel) ChannelStats(lambda0 float64) ([]ChannelStat, error) {
+	cm := m.BuildCoreModel(lambda0)
+	res, err := cm.Resolve(m.opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ChannelStat, len(cm.Classes))
+	for i := range cm.Classes {
+		c := &cm.Classes[i]
+		servers := c.Servers
+		if servers < 1 {
+			servers = 1
+		}
+		out[i] = ChannelStat{
+			Name:    c.Name,
+			Servers: servers,
+			Rate:    c.PerLinkRate,
+			Service: res.ServiceTime[i],
+			Wait:    res.Wait[i],
+			Rho:     res.Utilization[i],
+		}
+	}
+	return out, nil
+}
+
+// Topology materialises the matching topology.FatTree (for simulation).
+func (m *FatTreeModel) Topology() *topology.FatTree {
+	return topology.MustFatTree(m.numProc)
+}

@@ -1,0 +1,212 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestTorusModelRejectsBadConfigs(t *testing.T) {
+	bad := [][2]int{{1, 3}, {0, 3}, {2, 0}, {-2, 2}, {2, -1}, {4, 40}}
+	for _, c := range bad {
+		if _, err := NewTorusModel(c[0], c[1], 16, core.Options{}); err == nil {
+			t.Errorf("accepted k=%d dims=%d", c[0], c[1])
+		}
+	}
+	if _, err := NewTorusModel(4, 3, 0, core.Options{}); err == nil {
+		t.Error("accepted zero message length")
+	}
+}
+
+func TestTorusTransitionProbabilitiesValid(t *testing.T) {
+	for _, c := range [][2]int{{2, 1}, {2, 4}, {2, 8}, {3, 3}, {4, 2}, {4, 4}, {8, 3}, {16, 2}} {
+		m := MustTorusModel(c[0], c[1], 16, core.Options{})
+		cm := m.BuildCoreModel(0.001)
+		if err := cm.Validate(); err != nil {
+			t.Errorf("k=%d dims=%d: %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestTorusSelfLoopProbability(t *testing.T) {
+	// The dim-d class feeds itself with probability 1 - 2/k.
+	m := MustTorusModel(8, 2, 16, core.Options{})
+	cm := m.BuildCoreModel(0.001)
+	d0 := cm.ClassByName("dim0")
+	var self float64
+	for _, tr := range cm.Classes[d0].Out {
+		if tr.To == d0 {
+			self = tr.Prob
+		}
+	}
+	if math.Abs(self-(1-2.0/8)) > 1e-12 {
+		t.Errorf("self-loop prob = %v, want %v", self, 1-2.0/8)
+	}
+	// k=2 must have no self-loop at all.
+	h := MustTorusModel(2, 4, 16, core.Options{})
+	hm := h.BuildCoreModel(0.001)
+	for _, tr := range hm.Classes[hm.ClassByName("dim1")].Out {
+		if tr.To == hm.ClassByName("dim1") {
+			t.Error("k=2 torus has a self-loop")
+		}
+	}
+}
+
+// At k=2 the torus transition structure must match the exact hypercube
+// derivation: from dim d, P(next dim e) = 2^-(e-d), P(eject) = 2^-(n-1-d);
+// from injection, P(first dim d) = 2^(n-d-1)/(N-1).
+func TestTorusK2MatchesHypercubeDerivation(t *testing.T) {
+	const dims = 5
+	m := MustTorusModel(2, dims, 16, core.Options{})
+	cm := m.BuildCoreModel(0.003)
+	n := float64(int(1) << dims)
+
+	for d := 0; d < dims; d++ {
+		c := cm.Classes[cm.ClassByName("dim"+string(rune('0'+d)))]
+		for _, tr := range c.Out {
+			name := cm.Classes[tr.To].Name
+			switch name {
+			case "eject":
+				want := math.Pow(0.5, float64(dims-1-d))
+				if math.Abs(tr.Prob-want) > 1e-12 {
+					t.Errorf("dim%d->eject = %v, want %v", d, tr.Prob, want)
+				}
+			default:
+				e := int(name[3] - '0')
+				want := math.Pow(0.5, float64(e-d))
+				if math.Abs(tr.Prob-want) > 1e-12 {
+					t.Errorf("dim%d->dim%d = %v, want %v", d, e, tr.Prob, want)
+				}
+			}
+		}
+		// Per-link rate: λ0 N / (2(N-1)).
+		wantRate := 0.003 * n / (2 * (n - 1))
+		if math.Abs(c.PerLinkRate-wantRate) > 1e-15 {
+			t.Errorf("dim%d rate = %v, want %v", d, c.PerLinkRate, wantRate)
+		}
+	}
+	inj := cm.Classes[cm.ClassByName("inject")]
+	for _, tr := range inj.Out {
+		name := cm.Classes[tr.To].Name
+		d := int(name[3] - '0')
+		want := math.Pow(2, float64(dims-d-1)) / (n - 1)
+		if math.Abs(tr.Prob-want) > 1e-9 {
+			t.Errorf("inject->dim%d = %v, want %v", d, tr.Prob, want)
+		}
+	}
+}
+
+func TestHypercubeModelZeroLoad(t *testing.T) {
+	for _, dims := range []int{1, 3, 6, 8} {
+		m := MustHypercubeModel(dims, 32, core.Options{})
+		lat, err := m.Latency(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 32 + m.AvgDist() - 1
+		if math.Abs(lat.Total-want) > 1e-9 {
+			t.Errorf("dims=%d: L(0) = %v, want %v", dims, lat.Total, want)
+		}
+	}
+}
+
+func TestHypercubeAvgDistMatchesTopology(t *testing.T) {
+	for _, dims := range []int{2, 4, 6, 8} {
+		m := MustHypercubeModel(dims, 16, core.Options{})
+		hc := topology.MustHypercube(dims)
+		if math.Abs(m.AvgDist()-hc.AvgDistance()) > 1e-9 {
+			t.Errorf("dims=%d: model D̄=%v, topology D̄=%v", dims, m.AvgDist(), hc.AvgDistance())
+		}
+	}
+}
+
+func TestHypercubeLatencyMonotoneAndSaturates(t *testing.T) {
+	m := MustHypercubeModel(8, 16, core.Options{})
+	sat, err := m.SaturationLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat <= 0 || sat > 2 {
+		t.Fatalf("saturation = %v flits/cycle, implausible", sat)
+	}
+	prev := 0.0
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		lat, err := m.Latency(frac * sat / 16)
+		if err != nil {
+			t.Fatalf("frac %v: %v", frac, err)
+		}
+		if lat.Total <= prev {
+			t.Errorf("latency not increasing at %v", frac)
+		}
+		prev = lat.Total
+	}
+	if _, err := m.Latency(1.5 * sat / 16); !errors.Is(err, core.ErrUnstable) {
+		t.Errorf("above saturation: %v, want ErrUnstable", err)
+	}
+}
+
+func TestTorusSaturationDecreasesWithRadix(t *testing.T) {
+	// Larger k means more hops per link and earlier saturation per node.
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 8} {
+		m := MustTorusModel(k, 2, 16, core.Options{})
+		sat, err := m.SaturationLoad()
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if sat >= prev {
+			t.Errorf("k=%d: saturation %v not below smaller radix %v", k, sat, prev)
+		}
+		prev = sat
+	}
+}
+
+func TestTorusNames(t *testing.T) {
+	if got := MustTorusModel(4, 3, 16, core.Options{}).Name(); got != "torus-4ary3cube/s=16" {
+		t.Errorf("Name = %q", got)
+	}
+	hm := MustHypercubeModel(8, 16, core.Options{})
+	if got := hm.Name(); got != "hcube-256/s=16" {
+		t.Errorf("Name = %q", got)
+	}
+	if hm.NumProcessors() != 256 {
+		t.Errorf("NumProcessors = %d", hm.NumProcessors())
+	}
+	if hm.MsgFlits() != 16 {
+		t.Errorf("MsgFlits = %v", hm.MsgFlits())
+	}
+}
+
+func TestTorusNegativeRateRejected(t *testing.T) {
+	m := MustTorusModel(4, 2, 16, core.Options{})
+	if _, err := m.Latency(-1); err == nil {
+		t.Error("accepted negative rate")
+	}
+}
+
+func TestTorusHopsPerDimExact(t *testing.T) {
+	// Brute-force E[hops per dim | dst != src] on a small torus.
+	const k, dims = 4, 2
+	m := MustTorusModel(k, dims, 16, core.Options{})
+	n := k * k
+	var sum float64
+	var count int
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			// Unidirectional ring distance in dimension 0.
+			d0 := ((dst % k) - (src % k) + k) % k
+			sum += float64(d0)
+			count++
+		}
+	}
+	want := sum / float64(count)
+	if math.Abs(m.hopsPerDim()-want) > 1e-12 {
+		t.Errorf("hopsPerDim = %v, enumeration gives %v", m.hopsPerDim(), want)
+	}
+}

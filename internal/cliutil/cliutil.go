@@ -1,0 +1,64 @@
+// Package cliutil holds the small helpers shared by the cmd/ binaries:
+// comma-separated list parsing and experiment budget selection.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// ParseInts parses a comma-separated integer list such as "64,256,1024".
+func ParseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty list %q", s)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list such as "0.2,0.5,0.8".
+func ParseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: bad float %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty list %q", s)
+	}
+	return out, nil
+}
+
+// Budget returns the Full budget when full is set, Quick otherwise, with
+// the given seed applied.
+func Budget(full bool, seed uint64) exp.Budget {
+	b := exp.Quick
+	if full {
+		b = exp.Full
+	}
+	b.Seed = seed
+	return b
+}

@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 64,256 ,1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{64, 256, 1024}) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseInts("a,b"); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, err := ParseInts(" , "); err == nil {
+		t.Error("accepted empty list")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0.2,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0.2, 0.5}) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseFloats("x"); err == nil {
+		t.Error("accepted garbage")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	q := Budget(false, 9)
+	f := Budget(true, 9)
+	if q.Seed != 9 || f.Seed != 9 {
+		t.Error("seed not applied")
+	}
+	if f.Measure <= q.Measure {
+		t.Error("full budget should be larger")
+	}
+}

@@ -1,0 +1,389 @@
+// Package core implements the paper's general analytical model for
+// wormhole-routed networks (§2): a network is abstracted as a graph of
+// channel classes, service times are resolved backwards from ejection
+// channels to injection channels (Eq. 3/11), waiting times come from
+// M/G/m queues (Eq. 4–8), and the M/G/m results are corrected for
+// wormhole routing by the blocking probability of Eq. 9/10.
+//
+// # Channel classes
+//
+// A class stands for a set of physical channels that are statistically
+// identical by symmetry (e.g. "all up-links from level 2 to level 3 of the
+// fat-tree"). Physical channels within a class are organised in groups of
+// Servers parallel links; a group is the unit worms contend for, and is
+// modelled as one m-server queue. The fat-tree's up-link pair is a group
+// with Servers = 2 — the paper's motivating example of a multiple-server
+// channel — while deterministic-routing networks use Servers = 1
+// throughout.
+//
+// # Resolution
+//
+// Each class i has a mean service time
+//
+//	x̄ᵢ = Σ_t Prob_t · (x̄_{t.To} + P(i|t) · W̄_{t.To})      (Eq. 3/11)
+//
+// over its outgoing transitions t, where W̄ⱼ is the M/G/m waiting time of
+// the target group fed the combined rate Servers_j·λⱼ (this is the
+// published correction to the paper's Eq. 21/23) and
+//
+//	P(i|t) = 1 − m_j · (λᵢ / Λⱼ) · R(i|t),  R(i|t) = Prob_t / Groups_t  (Eq. 10)
+//
+// is the probability that a worm arriving on one channel of class i is
+// actually blocked by worms from *other* input links rather than by its
+// own occupancy. Terminal (ejection) classes have x̄ = MsgFlits (Eq. 16).
+//
+// The system is solved by damped fixed-point iteration, which handles both
+// acyclic graphs (tree networks resolve in a handful of sweeps) and cyclic
+// ones (k-ary n-cube classes that feed themselves).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/queueing"
+	"repro/internal/solve"
+)
+
+// ClassID indexes a channel class within a Model.
+type ClassID int
+
+// Transition routes messages from one class to another.
+type Transition struct {
+	// To is the target class.
+	To ClassID
+	// Prob is the probability that a message leaving the source class
+	// takes this transition (summed over all reachable target groups).
+	Prob float64
+	// Groups is the number of distinct, equally likely target groups this
+	// transition spreads over (e.g. 4 children, 3 siblings). The
+	// per-group routing probability used in the blocking correction is
+	// Prob/Groups. Zero means 1.
+	Groups int
+}
+
+// Class describes one channel class.
+type Class struct {
+	// Name labels the class in reports and errors, e.g. "up<2,3>".
+	Name string
+	// Servers is the number of parallel physical links per arbitration
+	// group (m in the paper's M/G/m treatment). Zero means 1.
+	Servers int
+	// PerLinkRate is the message arrival rate per physical link,
+	// messages/cycle (the paper's λ for that channel).
+	PerLinkRate float64
+	// Terminal marks ejection channels, whose service time is the message
+	// length (Eq. 16). Terminal classes must have no transitions.
+	Terminal bool
+	// Out lists the outgoing transitions; their Probs must sum to 1 for
+	// non-terminal classes.
+	Out []Transition
+}
+
+// CVMode selects the service-time variability approximation used in the
+// waiting-time formulas.
+type CVMode int
+
+// CV modes.
+const (
+	// CVWormhole is the paper's Eq. 5: C²b = (x̄ − s)²/x̄².
+	CVWormhole CVMode = iota
+	// CVDeterministic forces C²b = 0 (M/D/m behaviour); ablation.
+	CVDeterministic
+	// CVExponential forces C²b = 1 (M/M/m behaviour); ablation.
+	CVExponential
+)
+
+// Options toggles the model's novel ingredients for ablation studies.
+// The zero value is the paper's model.
+type Options struct {
+	// NoBlockingCorrection drops Eq. 9/10 and charges the full M/G/m wait
+	// at every hop (P(i|j) = 1), as a store-and-forward-style analysis
+	// would.
+	NoBlockingCorrection bool
+	// SingleServerGroups models every m-server group as m independent
+	// M/G/1 queues fed the per-link rate, discarding the paper's
+	// multiple-server treatment.
+	SingleServerGroups bool
+	// NoPairRateCorrection reproduces the uncorrected conference text of
+	// Eq. 21/23, feeding the M/G/m formula the per-link rate instead of
+	// the group rate. Kept for the erratum ablation.
+	NoPairRateCorrection bool
+	// CV selects the C²b approximation.
+	CV CVMode
+	// FixedPoint overrides the solver options; zero value uses defaults.
+	FixedPoint solve.FixedPointOptions
+}
+
+// Model is a channel-class graph plus workload parameters.
+type Model struct {
+	// Classes of the network. ClassIDs index this slice.
+	Classes []Class
+	// MsgFlits is the fixed message length in flits (the paper's s/f).
+	MsgFlits float64
+}
+
+// Result holds the resolved per-class quantities.
+type Result struct {
+	// ServiceTime is x̄ per class (cycles).
+	ServiceTime []float64
+	// Wait is W̄ per class: the mean wait to acquire a server of one group
+	// of the class, before the blocking correction (the correction is
+	// applied per incoming channel during resolution).
+	Wait []float64
+	// Utilization is the per-server utilization ρ per class.
+	Utilization []float64
+}
+
+// ErrUnstable reports that some channel is saturated at the offered load,
+// so no steady state exists and the model's latency is undefined.
+var ErrUnstable = errors.New("core: offered load saturates a channel")
+
+// UnstableError wraps ErrUnstable with the first saturated class.
+type UnstableError struct {
+	// Class is the saturated class name.
+	Class string
+	// Rho is its per-server utilization.
+	Rho float64
+}
+
+// Error implements error.
+func (e *UnstableError) Error() string {
+	return fmt.Sprintf("core: class %s saturated (rho=%.4f)", e.Class, e.Rho)
+}
+
+// Unwrap makes errors.Is(err, ErrUnstable) work.
+func (e *UnstableError) Unwrap() error { return ErrUnstable }
+
+// Validate checks structural invariants: transition probabilities sum to 1
+// on non-terminal classes, terminal classes have no transitions, rates and
+// server counts are sane.
+func (m *Model) Validate() error {
+	if m.MsgFlits <= 0 {
+		return fmt.Errorf("core: MsgFlits = %v, must be positive", m.MsgFlits)
+	}
+	for i, c := range m.Classes {
+		if c.PerLinkRate < 0 || math.IsNaN(c.PerLinkRate) {
+			return fmt.Errorf("core: class %s: bad rate %v", c.Name, c.PerLinkRate)
+		}
+		if c.Servers < 0 {
+			return fmt.Errorf("core: class %s: negative server count", c.Name)
+		}
+		if c.Terminal {
+			if len(c.Out) != 0 {
+				return fmt.Errorf("core: terminal class %s has transitions", c.Name)
+			}
+			continue
+		}
+		var sum float64
+		for _, t := range c.Out {
+			if t.To < 0 || int(t.To) >= len(m.Classes) {
+				return fmt.Errorf("core: class %s: transition to unknown class %d", c.Name, t.To)
+			}
+			if t.Prob < 0 || t.Prob > 1+1e-12 {
+				return fmt.Errorf("core: class %s: transition probability %v", c.Name, t.Prob)
+			}
+			if t.Groups < 0 {
+				return fmt.Errorf("core: class %s: negative group fan-out", c.Name)
+			}
+			sum += t.Prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("core: class %s: transition probabilities sum to %v, want 1 (id %d)", c.Name, sum, i)
+		}
+	}
+	return nil
+}
+
+func (c *Class) servers() int {
+	if c.Servers < 1 {
+		return 1
+	}
+	return c.Servers
+}
+
+func (t *Transition) groups() float64 {
+	if t.Groups < 1 {
+		return 1
+	}
+	return float64(t.Groups)
+}
+
+func (m *Model) cv2(x float64, opt Options) float64 {
+	switch opt.CV {
+	case CVDeterministic:
+		return queueing.CV2Deterministic
+	case CVExponential:
+		return queueing.CV2Exponential
+	default:
+		return queueing.CV2Wormhole(x, m.MsgFlits)
+	}
+}
+
+// wait computes the group waiting time of class c given its current mean
+// service time x under the option set.
+func (m *Model) wait(c *Class, x float64, opt Options) float64 {
+	servers := c.servers()
+	if opt.SingleServerGroups {
+		return queueing.WaitMGm(1, c.PerLinkRate, x, m.cv2(x, opt))
+	}
+	rate := float64(servers) * c.PerLinkRate
+	if opt.NoPairRateCorrection {
+		rate = c.PerLinkRate
+	}
+	return queueing.WaitMGm(servers, rate, x, m.cv2(x, opt))
+}
+
+// blocking returns P(i|t) of Eq. 10, clamped to [0,1].
+func (m *Model) blocking(from *Class, t *Transition, opt Options) float64 {
+	if opt.NoBlockingCorrection {
+		return 1
+	}
+	to := &m.Classes[t.To]
+	mj := float64(to.servers())
+	lambdaJ := mj * to.PerLinkRate
+	if opt.SingleServerGroups {
+		// Each link of the pair is its own group: per-link rate and the
+		// per-group routing probability splits over servers*groups links.
+		mj = 1
+		lambdaJ = to.PerLinkRate
+	}
+	if lambdaJ <= 0 {
+		return 1
+	}
+	r := t.Prob / t.groups()
+	if opt.SingleServerGroups {
+		r /= float64(to.servers())
+	}
+	p := 1 - mj*(from.PerLinkRate/lambdaJ)*r
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Resolve computes service times and waiting times for every class at the
+// configured rates. It returns an *UnstableError (wrapping ErrUnstable)
+// when a channel is saturated.
+func (m *Model) Resolve(opt Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// Stability precheck on the raw transmission time: if a channel
+	// cannot even carry its load at x̄ = MsgFlits it can never stabilise.
+	for i := range m.Classes {
+		if err := m.checkStable(ClassID(i), m.MsgFlits, opt); err != nil {
+			return nil, err
+		}
+	}
+
+	x0 := make([]float64, len(m.Classes))
+	for i := range x0 {
+		x0[i] = m.MsgFlits
+	}
+	iterate := func(x, out []float64) {
+		for i := range m.Classes {
+			c := &m.Classes[i]
+			if c.Terminal {
+				out[i] = m.MsgFlits
+				continue
+			}
+			var sum float64
+			for ti := range c.Out {
+				t := &c.Out[ti]
+				to := &m.Classes[t.To]
+				w := m.wait(to, x[t.To], opt)
+				sum += t.Prob * (x[t.To] + m.blocking(c, t, opt)*w)
+			}
+			out[i] = sum
+		}
+	}
+	fpOpt := opt.FixedPoint
+	if fpOpt.MaxIter == 0 && fpOpt.Tol == 0 && fpOpt.Damping == 0 {
+		fpOpt = solve.DefaultFixedPointOptions()
+	}
+	x, err := solve.FixedPoint(iterate, x0, fpOpt)
+	if err != nil {
+		// Divergence means some queue has no steady state at this load.
+		return nil, m.firstUnstable(x, opt)
+	}
+	res := &Result{
+		ServiceTime: x,
+		Wait:        make([]float64, len(x)),
+		Utilization: make([]float64, len(x)),
+	}
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		if err := m.checkStable(ClassID(i), x[i], opt); err != nil {
+			return nil, err
+		}
+		res.Wait[i] = m.wait(c, x[i], opt)
+		res.Utilization[i] = queueing.Utilization(c.servers(),
+			float64(c.servers())*c.PerLinkRate, x[i])
+	}
+	return res, nil
+}
+
+// checkStable reports an *UnstableError if class i cannot carry its load
+// with mean service time x.
+func (m *Model) checkStable(i ClassID, x float64, opt Options) error {
+	c := &m.Classes[i]
+	servers := c.servers()
+	rate := float64(servers) * c.PerLinkRate
+	if opt.SingleServerGroups {
+		servers, rate = 1, c.PerLinkRate
+	}
+	rho := queueing.Utilization(servers, rate, x)
+	if rho >= 1 {
+		return &UnstableError{Class: c.Name, Rho: rho}
+	}
+	return nil
+}
+
+// firstUnstable builds the error for a diverged iteration, naming the most
+// loaded class.
+func (m *Model) firstUnstable(x []float64, opt Options) error {
+	worst := &UnstableError{Class: "unknown", Rho: math.Inf(1)}
+	var maxRho float64 = -1
+	for i := range m.Classes {
+		c := &m.Classes[i]
+		servers := c.servers()
+		rate := float64(servers) * c.PerLinkRate
+		if opt.SingleServerGroups {
+			servers, rate = 1, c.PerLinkRate
+		}
+		xi := x[i]
+		if math.IsNaN(xi) || math.IsInf(xi, 0) {
+			xi = m.MsgFlits
+		}
+		rho := queueing.Utilization(servers, rate, xi)
+		if rho > maxRho {
+			maxRho = rho
+			worst = &UnstableError{Class: c.Name, Rho: rho}
+		}
+	}
+	return worst
+}
+
+// BlockingProbability exposes P(i|t) of Eq. 10 for transition index ti of
+// class from, under the given options — the factor by which the model
+// scales the target group's M/G/m wait for worms arriving from that
+// class. Used by the per-hop wait validation experiment.
+func (m *Model) BlockingProbability(from ClassID, ti int, opt Options) float64 {
+	c := &m.Classes[from]
+	return m.blocking(c, &c.Out[ti], opt)
+}
+
+// ClassByName returns the id of the named class, or -1.
+func (m *Model) ClassByName(name string) ClassID {
+	for i := range m.Classes {
+		if m.Classes[i].Name == name {
+			return ClassID(i)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/traffic"
+)
+
+// randomLayeredModel builds a random acyclic channel-class model with the
+// given seed: a chain of layers, each class routing to classes in the next
+// layer with random probabilities and group fan-outs. Rates are kept well
+// inside the stability region so Resolve must succeed.
+func randomLayeredModel(seed uint64) *Model {
+	rng := traffic.NewRNG(seed)
+	layers := 2 + rng.Intn(4)
+	width := 1 + rng.Intn(3)
+	msgFlits := float64(4 + rng.Intn(28))
+
+	var classes []Class
+	idOf := func(layer, i int) ClassID { return ClassID(layer*width + i) }
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			servers := 1
+			if rng.Intn(3) == 0 {
+				servers = 1 + rng.Intn(3) // exercises m up to 3
+			}
+			c := Class{
+				Name:        "c" + string(rune('a'+l)) + string(rune('0'+i)),
+				Servers:     servers,
+				PerLinkRate: rng.Float64() * 0.3 / msgFlits / float64(servers),
+			}
+			if l == layers-1 {
+				c.Terminal = true
+			} else {
+				// Random split over next-layer classes.
+				remaining := 1.0
+				for j := 0; j < width; j++ {
+					p := remaining
+					if j < width-1 {
+						p = remaining * rng.Float64()
+					}
+					remaining -= p
+					c.Out = append(c.Out, Transition{
+						To:     idOf(l+1, j),
+						Prob:   p,
+						Groups: 1 + rng.Intn(4),
+					})
+				}
+			}
+			classes = append(classes, c)
+		}
+	}
+	return &Model{Classes: classes, MsgFlits: msgFlits}
+}
+
+// Service times can never be below the raw transmission time, and waits
+// are never negative: the model only ever adds blocking delay.
+func TestPropertyServiceTimeAtLeastTransmission(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomLayeredModel(seed)
+		res, err := m.Resolve(Options{})
+		if err != nil {
+			// Random rates are conservative; instability would be a bug.
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i, x := range res.ServiceTime {
+			if x < m.MsgFlits-1e-9 || math.IsNaN(x) {
+				return false
+			}
+			if res.Wait[i] < 0 || math.IsNaN(res.Wait[i]) {
+				return false
+			}
+			if res.Utilization[i] < 0 || res.Utilization[i] >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaling all rates down can only shrink service times (monotonicity in
+// offered load), for the paper model and for every ablation variant.
+func TestPropertyServiceMonotoneInLoad(t *testing.T) {
+	variants := []Options{
+		{},
+		{NoBlockingCorrection: true},
+		{SingleServerGroups: true},
+		{CV: CVExponential},
+	}
+	f := func(seed uint64, scaleRaw float64) bool {
+		scale := 0.1 + 0.8*math.Abs(scaleRaw-math.Floor(scaleRaw)) // in (0.1, 0.9)
+		m := randomLayeredModel(seed)
+		lighter := &Model{MsgFlits: m.MsgFlits, Classes: append([]Class(nil), m.Classes...)}
+		for i := range lighter.Classes {
+			lighter.Classes[i].PerLinkRate *= scale
+		}
+		for _, opt := range variants {
+			full, err1 := m.Resolve(opt)
+			light, err2 := lighter.Resolve(opt)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for i := range full.ServiceTime {
+				if light.ServiceTime[i] > full.ServiceTime[i]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The blocking correction can only reduce predicted service times: P <= 1
+// scales waits down relative to the uncorrected variant.
+func TestPropertyBlockingCorrectionReduces(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomLayeredModel(seed)
+		with, err1 := m.Resolve(Options{})
+		without, err2 := m.Resolve(Options{NoBlockingCorrection: true})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range with.ServiceTime {
+			if with.ServiceTime[i] > without.ServiceTime[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's closing remark: "the framework can be extended for networks
+// that require queuing models with more than two servers". A four-parent
+// variant (one group of four up-links) must resolve, and its wait must
+// undercut both the two-server and single-server treatments at equal
+// per-link load.
+func TestFourServerGroupsSupported(t *testing.T) {
+	build := func(servers int) *Model {
+		return &Model{
+			MsgFlits: 16,
+			Classes: []Class{
+				{Name: "group", Servers: servers, PerLinkRate: 0.01, Terminal: true},
+				{Name: "in", PerLinkRate: 0.01, Out: []Transition{{To: 0, Prob: 1, Groups: 1}}},
+			},
+		}
+	}
+	waits := map[int]float64{}
+	for _, m := range []int{1, 2, 4} {
+		res, err := build(m).Resolve(Options{})
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		waits[m] = res.Wait[0]
+	}
+	if !(waits[4] < waits[2] && waits[2] < waits[1]) {
+		t.Errorf("waits not ordered by server count: %v", waits)
+	}
+}

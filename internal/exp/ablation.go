@@ -1,0 +1,262 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/series"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// AblationResult holds experiment A1/A2: the full model against variants
+// with one of the paper's two novel ingredients removed (plus the
+// pre-erratum form), all compared to the same simulation points.
+type AblationResult struct {
+	// NumProc, MsgFlits identify the configuration.
+	NumProc, MsgFlits int
+	// Loads are the probed loads (flits/cycle/processor).
+	Loads []float64
+	// Sim holds the reference simulation latencies.
+	Sim []ComparisonPoint
+	// Variants maps a variant name to its model latencies aligned with
+	// Loads (+Inf where the variant model saturates).
+	Variants map[string][]float64
+	// VariantOrder fixes the reporting order.
+	VariantOrder []string
+}
+
+// Ablations runs experiments A1 (no blocking correction) and A2
+// (independent M/G/1 up-links), plus the pre-erratum rate variant, against
+// one simulated reference curve.
+func Ablations(numProc, msgFlits, points int, b Budget) (*AblationResult, error) {
+	base, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	loads, err := LoadsUpTo(base, points, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	net, err := topology.NewFatTree(numProc)
+	if err != nil {
+		return nil, err
+	}
+	simPts, err := CompareCurve(base, net, msgFlits, loads, b, sim.PairQueue)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationResult{
+		NumProc:  numProc,
+		MsgFlits: msgFlits,
+		Loads:    loads,
+		Sim:      simPts,
+		Variants: map[string][]float64{},
+		VariantOrder: []string{
+			"paper model",
+			"A1: no blocking correction",
+			"A2: up-links as 2x M/G/1",
+			"pre-erratum M/G/2 rate",
+		},
+	}
+	variants := map[string]core.Options{
+		"paper model":                {},
+		"A1: no blocking correction": {NoBlockingCorrection: true},
+		"A2: up-links as 2x M/G/1":   {SingleServerGroups: true},
+		"pre-erratum M/G/2 rate":     {NoPairRateCorrection: true},
+	}
+	for name, opt := range variants {
+		m, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), opt)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := CompareCurve(m, nil, msgFlits, loads, b, sim.PairQueue)
+		if err != nil {
+			return nil, fmt.Errorf("exp: ablation %q: %w", name, err)
+		}
+		col := make([]float64, len(pts))
+		for i, p := range pts {
+			col[i] = p.Model
+		}
+		res.Variants[name] = col
+	}
+	return res, nil
+}
+
+// Table renders the ablation with one column per variant and the
+// simulation reference.
+func (r *AblationResult) Table() *series.Table {
+	headers := append([]string{"flits/cyc/PE", "simulation"}, r.VariantOrder...)
+	tbl := &series.Table{Headers: headers}
+	for i, load := range r.Loads {
+		cells := []string{
+			fmt.Sprintf("%.4f", load),
+			fmt.Sprintf("%.2f", r.Sim[i].Sim),
+		}
+		for _, name := range r.VariantOrder {
+			cells = append(cells, fmt.Sprintf("%.2f", r.Variants[name][i]))
+		}
+		tbl.AddRow(cells...)
+	}
+	return tbl
+}
+
+// PolicyRow is one row of experiment A3 (simulator up-link policies).
+type PolicyRow struct {
+	// LoadFlits is the offered load.
+	LoadFlits float64
+	// PairQueue and RandomFixed are the measured latencies.
+	PairQueue, RandomFixed float64
+	// PairCI and FixedCI are the confidence half-widths.
+	PairCI, FixedCI float64
+}
+
+// PolicyComparison runs experiment A3: the shared-queue pair (M/G/2-like)
+// against randomly pinned links (2×M/G/1-like) in the simulator itself.
+func PolicyComparison(numProc, msgFlits, points int, b Budget) ([]PolicyRow, error) {
+	model, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	loads, err := LoadsUpTo(model, points, 0.85)
+	if err != nil {
+		return nil, err
+	}
+	net, err := topology.NewFatTree(numProc)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := CompareCurve(model, net, msgFlits, loads, b, sim.PairQueue)
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := CompareCurve(model, net, msgFlits, loads, b, sim.RandomFixed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PolicyRow, len(loads))
+	for i := range loads {
+		rows[i] = PolicyRow{
+			LoadFlits:   loads[i],
+			PairQueue:   pair[i].Sim,
+			RandomFixed: fixed[i].Sim,
+			PairCI:      pair[i].SimCI,
+			FixedCI:     fixed[i].SimCI,
+		}
+	}
+	return rows, nil
+}
+
+// PolicyTable renders A3 rows.
+func PolicyTable(rows []PolicyRow) *series.Table {
+	tbl := &series.Table{Headers: []string{
+		"flits/cyc/PE", "pair-queue L", "±CI", "random-fixed L", "±CI"}}
+	for _, r := range rows {
+		tbl.AddRow(
+			fmt.Sprintf("%.4f", r.LoadFlits),
+			fmt.Sprintf("%.2f", r.PairQueue),
+			fmt.Sprintf("%.2f", r.PairCI),
+			fmt.Sprintf("%.2f", r.RandomFixed),
+			fmt.Sprintf("%.2f", r.FixedCI),
+		)
+	}
+	return tbl
+}
+
+// HypercubeResult holds experiment X1: the general model applied to a
+// binary hypercube, validated against simulation (§4's extension claim).
+type HypercubeResult struct {
+	// Dims is the cube dimension; MsgFlits the message length.
+	Dims, MsgFlits int
+	// Points holds the load sweep.
+	Points []ComparisonPoint
+	// SaturationLoad is the model's operating point.
+	SaturationLoad float64
+}
+
+// Hypercube runs experiment X1.
+func Hypercube(dims, msgFlits, points int, b Budget) (*HypercubeResult, error) {
+	model, err := analytic.NewHypercubeModel(dims, float64(msgFlits), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sat, err := model.SaturationLoad()
+	if err != nil {
+		return nil, err
+	}
+	loads, err := LoadsUpTo(model, points, 0.85)
+	if err != nil {
+		return nil, err
+	}
+	net, err := topology.NewHypercube(dims)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := CompareCurve(model, net, msgFlits, loads, b, sim.PairQueue)
+	if err != nil {
+		return nil, err
+	}
+	return &HypercubeResult{Dims: dims, MsgFlits: msgFlits, Points: pts, SaturationLoad: sat}, nil
+}
+
+// Table renders X1 rows.
+func (r *HypercubeResult) Table() *series.Table {
+	tbl := &series.Table{Headers: []string{
+		"flits/cyc/PE", "model L", "sim L", "±CI", "rel err"}}
+	for _, p := range r.Points {
+		tbl.AddRow(
+			fmt.Sprintf("%.4f", p.LoadFlits),
+			fmt.Sprintf("%.2f", p.Model),
+			fmt.Sprintf("%.2f", p.Sim),
+			fmt.Sprintf("%.2f", p.SimCI),
+			fmt.Sprintf("%.1f%%", p.RelErr()*100),
+		)
+	}
+	return tbl
+}
+
+// TorusConsistency runs experiment X2: the k-ary n-cube model at k = 2
+// must agree with the hypercube model at every probed load, and the
+// saturation loads must match.
+func TorusConsistency(dims, msgFlits, points int) (*series.Table, float64, error) {
+	hc, err := analytic.NewHypercubeModel(dims, float64(msgFlits), core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	t2, err := analytic.NewTorusModel(2, dims, float64(msgFlits), core.Options{})
+	if err != nil {
+		return nil, 0, err
+	}
+	loads, err := LoadsUpTo(hc, points, 0.9)
+	if err != nil {
+		return nil, 0, err
+	}
+	tbl := &series.Table{Headers: []string{"flits/cyc/PE", "hypercube L", "2-ary torus L", "diff"}}
+	var maxDiff float64
+	for _, load := range loads {
+		a, err := hc.Latency(load / float64(msgFlits))
+		if err != nil {
+			return nil, 0, err
+		}
+		b, err := t2.Latency(load / float64(msgFlits))
+		if err != nil {
+			return nil, 0, err
+		}
+		d := a.Total - b.Total
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.4f", load),
+			fmt.Sprintf("%.4f", a.Total),
+			fmt.Sprintf("%.4f", b.Total),
+			fmt.Sprintf("%.2e", d),
+		)
+	}
+	return tbl, maxDiff, nil
+}

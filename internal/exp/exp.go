@@ -1,0 +1,141 @@
+// Package exp defines the paper-reproduction experiments as code: every
+// table and figure of the evaluation (§3.6) plus the ablation and
+// extension studies listed in DESIGN.md. The cmd/ binaries and the root
+// benchmark suite are thin wrappers around this package, so a figure is
+// regenerated identically no matter where it is invoked from.
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/series"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Budget scales the simulation effort of an experiment.
+type Budget struct {
+	// Warmup and Measure are the simulator's window sizes in cycles.
+	Warmup, Measure int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Quick is sized for CI and iterative work: a Figure 3 reproduction in
+// tens of seconds with visible but modest noise.
+var Quick = Budget{Warmup: 4000, Measure: 20000, Seed: 1}
+
+// Full is sized for report-quality numbers.
+var Full = Budget{Warmup: 20000, Measure: 120000, Seed: 1}
+
+// ComparisonPoint pairs the model's prediction with a simulation
+// measurement at one offered load.
+type ComparisonPoint struct {
+	// LoadFlits is the offered load in flits/cycle/processor.
+	LoadFlits float64
+	// Model is the predicted latency; +Inf when the model saturates.
+	Model float64
+	// Sim is the measured latency; NaN if the simulation was skipped.
+	Sim float64
+	// SimCI is the 95% batch-means half-width.
+	SimCI float64
+	// SimSaturated reports that the simulator could not sustain the load.
+	SimSaturated bool
+}
+
+// RelErr returns |sim−model|/model, or NaN when either side is not finite.
+func (p ComparisonPoint) RelErr() float64 {
+	if math.IsInf(p.Model, 0) || math.IsNaN(p.Model) || math.IsNaN(p.Sim) {
+		return math.NaN()
+	}
+	return math.Abs(p.Sim-p.Model) / p.Model
+}
+
+// LoadsUpTo returns `points` evenly spaced loads in (0, frac·saturation]
+// for the given model (flits/cycle/processor).
+func LoadsUpTo(m interface{ SaturationLoad() (float64, error) }, points int, frac float64) ([]float64, error) {
+	sat, err := m.SaturationLoad()
+	if err != nil {
+		return nil, err
+	}
+	if points < 1 {
+		points = 1
+	}
+	loads := make([]float64, points)
+	for i := range loads {
+		loads[i] = sat * frac * float64(i+1) / float64(points)
+	}
+	return loads, nil
+}
+
+// CompareCurve evaluates the model and (optionally) the simulator over the
+// given loads. A nil net skips simulation (model-only curves).
+func CompareCurve(model analytic.NetworkModel, net topology.Network, flits int,
+	loads []float64, b Budget, policy sim.UpLinkPolicy) ([]ComparisonPoint, error) {
+
+	pts := make([]ComparisonPoint, 0, len(loads))
+	for i, load := range loads {
+		pt := ComparisonPoint{LoadFlits: load, Sim: math.NaN()}
+		lat, err := model.Latency(load / float64(flits))
+		switch {
+		case err == nil:
+			pt.Model = lat.Total
+		case isUnstable(err):
+			pt.Model = math.Inf(1)
+		default:
+			return nil, fmt.Errorf("exp: model at load %v: %w", load, err)
+		}
+		if net != nil {
+			cfg := sim.Config{
+				Net:           net,
+				MsgFlits:      flits,
+				Pattern:       traffic.Uniform{},
+				Seed:          b.Seed + uint64(i)*7919,
+				WarmupCycles:  b.Warmup,
+				MeasureCycles: b.Measure,
+				Policy:        policy,
+			}.FlitLoad(load)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("exp: sim at load %v: %w", load, err)
+			}
+			pt.Sim = res.LatencyMean
+			pt.SimCI = res.LatencyCI95
+			pt.SimSaturated = res.Saturated
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+func isUnstable(err error) bool {
+	for e := err; e != nil; {
+		if e == core.ErrUnstable {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// CurveSeries converts comparison points into plot series (model solid,
+// sim marked), skipping NaN sim entries.
+func CurveSeries(label string, modelMarker, simMarker byte, pts []ComparisonPoint) (*series.Series, *series.Series) {
+	m := &series.Series{Name: "Model " + label, Marker: modelMarker}
+	s := &series.Series{Name: "Experiment " + label, Marker: simMarker}
+	for _, p := range pts {
+		m.Add(p.LoadFlits, p.Model)
+		if !math.IsNaN(p.Sim) {
+			s.Add(p.LoadFlits, p.Sim)
+		}
+	}
+	return m, s
+}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/series"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Figure3Config parameterises experiment F3 (the paper's Figure 3:
+// latency vs load rate for the 1024-processor butterfly fat-tree with
+// 16-, 32- and 64-flit messages, model against simulation).
+type Figure3Config struct {
+	// NumProc is the machine size; the paper uses 1024.
+	NumProc int
+	// MsgFlits lists the message lengths; the paper uses 16, 32, 64.
+	MsgFlits []int
+	// Points is the number of loads per curve.
+	Points int
+	// MaxFrac is the top of the sweep as a fraction of the model's
+	// saturation load (≲1; the paper sweeps into the knee).
+	MaxFrac float64
+	// WithSim enables the flit-level simulation alongside the model.
+	WithSim bool
+	// Budget scales the simulation.
+	Budget Budget
+}
+
+// DefaultFigure3 is the paper's configuration.
+func DefaultFigure3() Figure3Config {
+	return Figure3Config{
+		NumProc:  1024,
+		MsgFlits: []int{16, 32, 64},
+		Points:   10,
+		MaxFrac:  0.95,
+		WithSim:  true,
+		Budget:   Quick,
+	}
+}
+
+// Figure3Result holds one reproduction of Figure 3.
+type Figure3Result struct {
+	// Config echoes the inputs.
+	Config Figure3Config
+	// Curves maps message length to comparison points.
+	Curves map[int][]ComparisonPoint
+	// SaturationLoad maps message length to the model's Eq. 26 operating
+	// point (flits/cycle/processor).
+	SaturationLoad map[int]float64
+	// UnloadedLatency maps message length to s + D̄ − 1.
+	UnloadedLatency map[int]float64
+}
+
+// Figure3 runs experiment F3.
+func Figure3(cfg Figure3Config) (*Figure3Result, error) {
+	if cfg.NumProc == 0 {
+		cfg = DefaultFigure3()
+	}
+	res := &Figure3Result{
+		Config:          cfg,
+		Curves:          map[int][]ComparisonPoint{},
+		SaturationLoad:  map[int]float64{},
+		UnloadedLatency: map[int]float64{},
+	}
+	var net topology.Network
+	if cfg.WithSim {
+		ft, err := topology.NewFatTree(cfg.NumProc)
+		if err != nil {
+			return nil, err
+		}
+		net = ft
+	}
+	for _, flits := range cfg.MsgFlits {
+		model, err := analytic.NewFatTreeModel(cfg.NumProc, float64(flits), core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sat, err := model.SaturationLoad()
+		if err != nil {
+			return nil, fmt.Errorf("exp: figure3 saturation for s=%d: %w", flits, err)
+		}
+		res.SaturationLoad[flits] = sat
+		res.UnloadedLatency[flits] = float64(flits) + model.AvgDist() - 1
+		loads, err := LoadsUpTo(model, cfg.Points, cfg.MaxFrac)
+		if err != nil {
+			return nil, err
+		}
+		pts, err := CompareCurveParallel(model, net, flits, loads, cfg.Budget, sim.PairQueue, 0)
+		if err != nil {
+			return nil, fmt.Errorf("exp: figure3 s=%d: %w", flits, err)
+		}
+		res.Curves[flits] = pts
+	}
+	return res, nil
+}
+
+// Plot renders the figure as ASCII in the paper's layout (latency vs
+// flits/cycle/processor, one model and one experiment series per message
+// length).
+func (r *Figure3Result) Plot() string {
+	markers := []struct{ model, sim byte }{{'1', '!'}, {'2', '@'}, {'3', '#'}}
+	var all []*series.Series
+	var ymax float64
+	for i, flits := range r.Config.MsgFlits {
+		mk := markers[i%len(markers)]
+		m, s := CurveSeries(fmt.Sprintf("%d-flit", flits),
+			mk.model, mk.sim, r.Curves[flits])
+		all = append(all, s, m)
+		for _, p := range r.Curves[flits] {
+			if !math.IsInf(p.Model, 0) && p.Model > ymax {
+				ymax = p.Model
+			}
+			if !math.IsNaN(p.Sim) && p.Sim > ymax {
+				ymax = p.Sim
+			}
+		}
+	}
+	return series.Plot(series.PlotOptions{
+		Title:  fmt.Sprintf("Figure 3: latency vs load, %d-processor butterfly fat-tree", r.Config.NumProc),
+		XLabel: "Loadrate (flits/cycle per processor)",
+		YLabel: "Latency (cycles)",
+		YMax:   ymax * 1.05,
+	}, all...)
+}
+
+// CSV renders the figure's data.
+func (r *Figure3Result) CSV() string {
+	var all []*series.Series
+	for _, flits := range r.Config.MsgFlits {
+		m, s := CurveSeries(fmt.Sprintf("%d-flit", flits), 'm', 's', r.Curves[flits])
+		all = append(all, m, s)
+	}
+	return series.CSV("load_flits_per_cycle", all...)
+}
+
+// Summary prints per-size saturation loads and model-vs-sim error
+// statistics, the quantities EXPERIMENTS.md records.
+func (r *Figure3Result) Summary() string {
+	var b strings.Builder
+	tbl := &series.Table{Headers: []string{
+		"msg flits", "unloaded L (s+D-1)", "model saturation (flits/cyc/PE)",
+		"mean |err| vs sim", "max |err| vs sim"}}
+	for _, flits := range r.Config.MsgFlits {
+		var sum, maxE float64
+		var n int
+		for _, p := range r.Curves[flits] {
+			e := p.RelErr()
+			if math.IsNaN(e) {
+				continue
+			}
+			sum += e
+			if e > maxE {
+				maxE = e
+			}
+			n++
+		}
+		meanCell, maxCell := "n/a", "n/a"
+		if n > 0 {
+			meanCell = fmt.Sprintf("%.1f%%", sum/float64(n)*100)
+			maxCell = fmt.Sprintf("%.1f%%", maxE*100)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%d", flits),
+			fmt.Sprintf("%.1f", r.UnloadedLatency[flits]),
+			fmt.Sprintf("%.4f", r.SaturationLoad[flits]),
+			meanCell, maxCell,
+		)
+	}
+	b.WriteString(tbl.String())
+	return b.String()
+}

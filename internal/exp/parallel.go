@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/analytic"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// CompareCurveParallel is CompareCurve with the simulation points fanned
+// out over a worker pool. Results are identical to the sequential version
+// point for point: each point derives its seed from the budget seed and
+// its own index, never from scheduling order.
+func CompareCurveParallel(model analytic.NetworkModel, net topology.Network, flits int,
+	loads []float64, b Budget, policy sim.UpLinkPolicy, workers int) ([]ComparisonPoint, error) {
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if net == nil || workers == 1 || len(loads) <= 1 {
+		return CompareCurve(model, net, flits, loads, b, policy)
+	}
+
+	// Model side is cheap; do it inline (and catch model errors early).
+	pts, err := CompareCurve(model, nil, flits, loads, b, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct{ i int }
+	jobs := make(chan job)
+	errs := make([]error, len(loads))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				cfg := sim.Config{
+					Net:           net,
+					MsgFlits:      flits,
+					Pattern:       traffic.Uniform{},
+					Seed:          b.Seed + uint64(j.i)*7919,
+					WarmupCycles:  b.Warmup,
+					MeasureCycles: b.Measure,
+					Policy:        policy,
+				}.FlitLoad(loads[j.i])
+				res, err := sim.Run(cfg)
+				if err != nil {
+					errs[j.i] = err
+					continue
+				}
+				pts[j.i].Sim = res.LatencyMean
+				pts[j.i].SimCI = res.LatencyCI95
+				pts[j.i].SimSaturated = res.Saturated
+			}
+		}()
+	}
+	for i := range loads {
+		jobs <- job{i: i}
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: parallel sim at load %v: %w", loads[i], err)
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,43 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The parallel sweep must be bit-identical to the sequential one: seeds
+// derive from point indices, not from scheduling.
+func TestCompareCurveParallelMatchesSequential(t *testing.T) {
+	m := analytic.MustFatTreeModel(64, 8, core.Options{})
+	net := topology.MustFatTree(64)
+	loads := []float64{0.02, 0.05, 0.08, 0.11}
+	seq, err := CompareCurve(m, net, 8, loads, tiny, sim.PairQueue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := CompareCurveParallel(m, net, 8, loads, tiny, sim.PairQueue, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("point %d: sequential %+v vs parallel %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestCompareCurveParallelFallbacks(t *testing.T) {
+	m := analytic.MustFatTreeModel(16, 8, core.Options{})
+	// nil net and single-point inputs take the sequential path.
+	pts, err := CompareCurveParallel(m, nil, 8, []float64{0.02}, tiny, sim.PairQueue, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+}

@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunAllSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full orchestration skipped in -short mode")
+	}
+	dir := t.TempDir()
+	summary, err := RunAll(RunAllConfig{
+		Dir:    dir,
+		Budget: Budget{Warmup: 500, Measure: 3000, Seed: 2},
+		Scale:  "small",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{
+		"figure3.txt", "figure3.csv", "validate.txt", "saturation.txt",
+		"ablation.txt", "policy.txt", "hypercube.txt", "torus.txt",
+		"hopwaits.txt", "SUMMARY.txt",
+	}
+	for _, f := range wantFiles {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("empty artifact %s", f)
+		}
+	}
+	for _, id := range []string{"F3", "T1", "T2", "A1/A2", "A3", "X1", "X2", "V1"} {
+		if !strings.Contains(summary, id) {
+			t.Errorf("summary missing %s:\n%s", id, summary)
+		}
+	}
+}
+
+func TestRunAllBadDir(t *testing.T) {
+	_, err := RunAll(RunAllConfig{Dir: "/dev/null/cannot-exist", Budget: tiny})
+	if err == nil {
+		t.Error("accepted an impossible output directory")
+	}
+}

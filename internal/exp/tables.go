@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/series"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// GridRow is one row of the T1 validation grid (§3.6's "accurate for all
+// cases": machine sizes up to 1024, message lengths 16/32/64).
+type GridRow struct {
+	// NumProc and MsgFlits identify the configuration.
+	NumProc, MsgFlits int
+	// Frac is the load as a fraction of the model's saturation.
+	Frac float64
+	// LoadFlits is the absolute load (flits/cycle/processor).
+	LoadFlits float64
+	// Model and Sim are the latencies; SimCI the confidence half-width.
+	Model, Sim, SimCI float64
+	// RelErr is |sim−model|/model.
+	RelErr float64
+}
+
+// ValidationGrid runs experiment T1.
+func ValidationGrid(sizes, msgFlits []int, fracs []float64, b Budget) ([]GridRow, error) {
+	var rows []GridRow
+	for _, n := range sizes {
+		net, err := topology.NewFatTree(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, flits := range msgFlits {
+			model, err := analytic.NewFatTreeModel(n, float64(flits), core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			sat, err := model.SaturationLoad()
+			if err != nil {
+				return nil, err
+			}
+			for _, frac := range fracs {
+				load := frac * sat
+				pts, err := CompareCurve(model, net, flits, []float64{load}, b, sim.PairQueue)
+				if err != nil {
+					return nil, fmt.Errorf("exp: grid N=%d s=%d frac=%v: %w", n, flits, frac, err)
+				}
+				p := pts[0]
+				rows = append(rows, GridRow{
+					NumProc: n, MsgFlits: flits, Frac: frac, LoadFlits: load,
+					Model: p.Model, Sim: p.Sim, SimCI: p.SimCI, RelErr: p.RelErr(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// GridTable renders T1 rows.
+func GridTable(rows []GridRow) *series.Table {
+	tbl := &series.Table{Headers: []string{
+		"N", "flits", "load frac", "flits/cyc/PE", "model L", "sim L", "±CI", "rel err"}}
+	for _, r := range rows {
+		tbl.AddRow(
+			fmt.Sprintf("%d", r.NumProc),
+			fmt.Sprintf("%d", r.MsgFlits),
+			fmt.Sprintf("%.0f%%", r.Frac*100),
+			fmt.Sprintf("%.4f", r.LoadFlits),
+			fmt.Sprintf("%.2f", r.Model),
+			fmt.Sprintf("%.2f", r.Sim),
+			fmt.Sprintf("%.2f", r.SimCI),
+			fmt.Sprintf("%.1f%%", r.RelErr*100),
+		)
+	}
+	return tbl
+}
+
+// SatRow is one row of the T2 saturation-throughput table.
+type SatRow struct {
+	// NumProc and MsgFlits identify the configuration.
+	NumProc, MsgFlits int
+	// Model is the Eq. 26 saturation load (flits/cycle/processor).
+	Model float64
+	// SimStable is the highest probed load the simulator sustained;
+	// SimSaturated the lowest probed load it could not.
+	SimStable, SimSaturated float64
+}
+
+// SaturationTable runs experiment T2: for each configuration it computes
+// the model's saturation load and brackets the simulator's by probing
+// fractions of it.
+func SaturationTable(sizes, msgFlits []int, b Budget) ([]SatRow, error) {
+	probes := []float64{0.80, 0.95, 1.10, 1.30}
+	var rows []SatRow
+	for _, n := range sizes {
+		net, err := topology.NewFatTree(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, flits := range msgFlits {
+			model, err := analytic.NewFatTreeModel(n, float64(flits), core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			sat, err := model.SaturationLoad()
+			if err != nil {
+				return nil, err
+			}
+			row := SatRow{NumProc: n, MsgFlits: flits, Model: sat,
+				SimStable: math.NaN(), SimSaturated: math.NaN()}
+			for _, frac := range probes {
+				load := frac * sat
+				cfg := sim.Config{
+					Net:           net,
+					MsgFlits:      flits,
+					Pattern:       traffic.Uniform{},
+					Seed:          b.Seed,
+					WarmupCycles:  b.Warmup,
+					MeasureCycles: b.Measure,
+					DrainLimit:    b.Measure,
+				}.FlitLoad(load)
+				res, err := sim.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if !res.Saturated {
+					row.SimStable = load
+				} else if math.IsNaN(row.SimSaturated) {
+					row.SimSaturated = load
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// SaturationTableRender renders T2 rows.
+func SaturationTableRender(rows []SatRow) *series.Table {
+	tbl := &series.Table{Headers: []string{
+		"N", "flits", "model sat (flits/cyc/PE)", "sim sustains", "sim saturates by"}}
+	for _, r := range rows {
+		tbl.AddRow(
+			fmt.Sprintf("%d", r.NumProc),
+			fmt.Sprintf("%d", r.MsgFlits),
+			fmt.Sprintf("%.4f", r.Model),
+			fmt.Sprintf("%.4f", r.SimStable),
+			fmt.Sprintf("%.4f", r.SimSaturated),
+		)
+	}
+	return tbl
+}

@@ -1,0 +1,19 @@
+// Package queueing provides the queueing-theoretic building blocks used by
+// the wormhole-routing performance model of Greenberg & Guan (ICPP 1997):
+//
+//   - the M/G/1 mean waiting time (Pollaczek–Khinchine, paper Eq. 4/6),
+//   - the M/G/m mean waiting time in Hokstad's approximation (paper Eq. 7/8
+//     for m = 2; this package implements general m ≥ 1),
+//   - the Draper–Ghosh squared-coefficient-of-variation approximation for
+//     wormhole service times (paper Eq. 5), and
+//   - utilization/stability helpers shared by the analytical models.
+//
+// Conventions. Arrival rates are in messages per cycle, service times in
+// cycles. For multi-server formulas the arrival rate is the combined rate
+// offered to the whole m-server group (this is the published correction to
+// the paper's Eq. 21/23, which call W_{M/G/2} with 2λ where λ is the
+// per-link rate). Waiting times are the time spent waiting for a server,
+// excluding service itself.
+//
+// All functions are pure and safe for concurrent use.
+package queueing

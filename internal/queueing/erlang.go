@@ -1,0 +1,37 @@
+package queueing
+
+import "math"
+
+// ErlangB returns the Erlang-B blocking probability for an m-server loss
+// system offered load a = λ·x̄ (in Erlangs). It uses the numerically stable
+// recurrence B(0) = 1, B(k) = a·B(k−1) / (k + a·B(k−1)).
+//
+// Returns NaN if m < 1 or a < 0.
+func ErlangB(m int, a float64) float64 {
+	if m < 1 || a < 0 || math.IsNaN(a) {
+		return math.NaN()
+	}
+	b := 1.0
+	for k := 1; k <= m; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b
+}
+
+// ErlangC returns the Erlang-C probability that an arriving customer must
+// wait in an M/M/m queue with offered load a = λ·x̄. It is derived from
+// Erlang-B via C = B / (1 − ρ(1 − B)) with ρ = a/m.
+//
+// Returns NaN if m < 1 or a < 0, and 1 if the queue is at or beyond
+// saturation (a >= m), where every arrival waits.
+func ErlangC(m int, a float64) float64 {
+	if m < 1 || a < 0 || math.IsNaN(a) {
+		return math.NaN()
+	}
+	if a >= float64(m) {
+		return 1
+	}
+	rho := a / float64(m)
+	b := ErlangB(m, a)
+	return b / (1 - rho*(1-b))
+}

@@ -1,0 +1,168 @@
+// Package sim is a flit-level, cycle-driven wormhole-routing simulator
+// implementing the paper's experimental assumptions (§2, §3.6): Poisson
+// message arrivals at every PE, uniformly random destinations, fixed-length
+// worms, FCFS contention resolution at switch outputs, adaptive selection
+// between the two up-links of a fat-tree switch, unit-bandwidth channels
+// (one flit per cycle), and immediate consumption at destinations.
+//
+// # Worm mechanics
+//
+// Channels have single-flit registers and unit bandwidth, so all flits of a
+// worm move in lockstep behind the head: each cycle the worm either
+// advances one channel (head acquires the next register, every flit shifts,
+// a new flit enters at the source or the tail releases a channel) or stalls
+// in place. A channel released in cycle t becomes available in cycle t+1 —
+// a flit traverses at most one channel per cycle. The head flit's traversal
+// of the ejection channel is its consumption; the remaining flits follow at
+// one per cycle (the paper's no-sink-blocking assumption).
+//
+// Latency is measured in continuous time from the Poisson arrival epoch to
+// the delivery of the worm's last flit. Messages become eligible for
+// injection at the first cycle boundary after their arrival, so measured
+// latencies carry a +0.5-cycle discretisation offset relative to the
+// model's L = W̄ + x̄ + D̄ − 1; this is below the resolution of every
+// comparison in the paper.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// UpLinkPolicy selects how worms contend for a multi-channel arbitration
+// group (the fat-tree's up-link pair).
+type UpLinkPolicy int
+
+// Policies.
+const (
+	// PairQueue is the default and matches the paper's model: one FCFS
+	// queue per pair; the worm at the head takes whichever link frees
+	// first (random choice when both are free). This is the discipline an
+	// M/G/2 queue describes.
+	PairQueue UpLinkPolicy = iota
+	// RandomFixed picks one of the two links uniformly at request time
+	// and waits for that specific link even if the twin frees earlier —
+	// the discipline two independent M/G/1 queues describe. Used by the
+	// ablation experiments.
+	RandomFixed
+)
+
+// String names the policy.
+func (p UpLinkPolicy) String() string {
+	switch p {
+	case PairQueue:
+		return "pairqueue"
+	case RandomFixed:
+		return "randomfixed"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Net is the network to simulate.
+	Net topology.Network
+	// MsgFlits is the fixed worm length in flits (≥ 1).
+	MsgFlits int
+	// Lambda0 is the per-PE Poisson message rate (messages/cycle). Use
+	// FlitLoad to derive it from a flits/cycle/PE figure.
+	Lambda0 float64
+	// Pattern picks destinations; nil means traffic.Uniform.
+	Pattern traffic.Pattern
+	// Seed drives all randomness; equal configs reproduce bit-identical
+	// runs.
+	Seed uint64
+	// WarmupCycles are simulated before measurement starts.
+	WarmupCycles int
+	// MeasureCycles is the measurement window; messages arriving inside
+	// it are tracked for latency.
+	MeasureCycles int
+	// DrainLimit bounds the extra cycles after the measurement window
+	// while tracked messages finish; 0 means 2×(warmup+measure)+10000.
+	DrainLimit int
+	// Policy is the up-link arbitration policy.
+	Policy UpLinkPolicy
+	// BatchSize for batch-means confidence intervals; 0 means 64.
+	BatchSize int
+	// ProgressTimeout aborts with ErrDeadlock if no worm advances for
+	// this many consecutive cycles while work is pending; 0 means 50000.
+	ProgressTimeout int
+	// HopWaitObserver, when non-nil, is called once per channel grant
+	// inside the measurement window with the granted channel and the
+	// number of cycles the worm waited in that channel's arbitration
+	// queue. It is the instrumentation hook behind the per-channel-class
+	// wait validation (experiment V1); the callback runs on the
+	// simulation goroutine and must be cheap.
+	HopWaitObserver func(ch topology.ChannelID, wait int64)
+	// LatencyHistogram, when true, collects a latency histogram over
+	// tracked messages and fills the Result's percentile fields. The
+	// histogram spans [0, HistMax) cycles; HistMax = 0 picks
+	// 50×(MsgFlits + diameter) as an upper bound.
+	LatencyHistogram bool
+	// HistMax is the histogram's upper bound in cycles (see above).
+	HistMax float64
+}
+
+// FlitLoad sets Lambda0 from a load in flits/cycle/processor (the paper's
+// Figure 3 x-axis) and returns the config for chaining.
+func (c Config) FlitLoad(load float64) Config {
+	c.Lambda0 = load / float64(c.MsgFlits)
+	return c
+}
+
+// ErrDeadlock is returned when the progress watchdog fires. The paper's
+// networks are deadlock-free under shortest-path routing, so this always
+// indicates a configuration or implementation fault rather than an
+// expected outcome.
+var ErrDeadlock = errors.New("sim: no progress; routing deadlock or watchdog misconfiguration")
+
+func (c *Config) validate() error {
+	if c.Net == nil {
+		return errors.New("sim: Config.Net is nil")
+	}
+	if c.MsgFlits < 1 {
+		return fmt.Errorf("sim: MsgFlits = %d, must be >= 1", c.MsgFlits)
+	}
+	if c.Lambda0 < 0 {
+		return fmt.Errorf("sim: Lambda0 = %v, must be >= 0", c.Lambda0)
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
+		return fmt.Errorf("sim: bad window (warmup=%d, measure=%d)", c.WarmupCycles, c.MeasureCycles)
+	}
+	if c.Policy != PairQueue && c.Policy != RandomFixed {
+		return fmt.Errorf("sim: unknown policy %d", c.Policy)
+	}
+	return nil
+}
+
+func (c *Config) drainLimit() int {
+	if c.DrainLimit > 0 {
+		return c.DrainLimit
+	}
+	return 2*(c.WarmupCycles+c.MeasureCycles) + 10000
+}
+
+func (c *Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 64
+}
+
+func (c *Config) progressTimeout() int {
+	if c.ProgressTimeout > 0 {
+		return c.ProgressTimeout
+	}
+	return 50000
+}
+
+func (c *Config) pattern() traffic.Pattern {
+	if c.Pattern != nil {
+		return c.Pattern
+	}
+	return traffic.Uniform{}
+}

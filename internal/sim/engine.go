@@ -1,0 +1,573 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+type wormState uint8
+
+const (
+	stateRouting wormState = iota
+	stateDraining
+	stateDone
+)
+
+// worm is one in-flight message. The rigid-worm representation stores only
+// the acquired channel path and three counters; flit positions are implied
+// (one flit per held channel while routing; see package comment).
+type worm struct {
+	src, dst   int32
+	arrival    float64
+	grantCycle int64
+	path       []topology.ChannelID
+	tailIdx    int32 // channels before this index have been released
+	injected   int32 // flits that have entered the network
+	consumed   int32 // flits delivered to the destination PE
+	state      wormState
+	tracked    bool
+	drainFrom  int64 // first cycle of post-head-arrival consumption
+	enqueuedAt int64 // cycle the worm entered its current arbitration queue
+}
+
+// fifo is an amortised O(1) FIFO.
+type fifo[T any] struct {
+	items []T
+	head  int
+}
+
+func (q *fifo[T]) push(v T) { q.items = append(q.items, v) }
+func (q *fifo[T]) empty() bool {
+	return q.head >= len(q.items)
+}
+func (q *fifo[T]) pop() T {
+	v := q.items[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v
+}
+func (q *fifo[T]) len() int { return len(q.items) - q.head }
+
+type engine struct {
+	cfg    Config
+	net    topology.Network
+	groups [][]topology.ChannelID
+	nProc  int
+	sFlits int32
+
+	worms    []worm
+	freeList []int32
+	active   int
+
+	busy       []bool
+	acquiredAt []int64
+	busyInMeas []int64
+
+	groupQ    []fifo[int32]
+	chanQ     []fifo[int32]
+	pending   []topology.GroupID
+	inPending []bool
+
+	routeNow, routeNext []int32
+	draining            []int32
+	releases            []topology.ChannelID
+
+	sources    []*traffic.PoissonSource
+	srcRNG     []*traffic.RNG
+	pendingArr []fifo[float64]
+	waitingInj []bool
+	rng        *traffic.RNG
+
+	measStart, measEnd int64
+	lat                *stats.BatchMeans
+	latAll             stats.Stream
+	latHist            *stats.Histogram
+	wInj, xInj         stats.Stream
+	flitsDelivered     int64
+	queueFirstHalf     float64
+	queueSecondHalf    float64
+	trackedArrived     int
+	trackedCompleted   int
+	trackedOutstanding int
+	totalCompleted     int
+	totalQueued        int
+	queueIntegral      float64
+	lastProgress       int64
+
+	debugChecks bool // same-package tests enable per-cycle invariants
+}
+
+// Run simulates the configured system and returns the measured result. The
+// run is deterministic for a given Config.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return newEngine(cfg).run()
+}
+
+func newEngine(cfg Config) *engine {
+	net := cfg.Net
+	nProc := net.NumProcessors()
+	nCh := net.NumChannels()
+	nGr := len(net.Groups())
+	e := &engine{
+		cfg:        cfg,
+		net:        net,
+		groups:     net.Groups(),
+		nProc:      nProc,
+		sFlits:     int32(cfg.MsgFlits),
+		busy:       make([]bool, nCh),
+		acquiredAt: make([]int64, nCh),
+		busyInMeas: make([]int64, nCh),
+		groupQ:     make([]fifo[int32], nGr),
+		chanQ:      make([]fifo[int32], nCh),
+		inPending:  make([]bool, nGr),
+		sources:    make([]*traffic.PoissonSource, nProc),
+		srcRNG:     make([]*traffic.RNG, nProc),
+		pendingArr: make([]fifo[float64], nProc),
+		waitingInj: make([]bool, nProc),
+		measStart:  int64(cfg.WarmupCycles),
+		measEnd:    int64(cfg.WarmupCycles + cfg.MeasureCycles),
+		lat:        stats.NewBatchMeans(cfg.batchSize()),
+	}
+	if cfg.LatencyHistogram {
+		hi := cfg.HistMax
+		if hi <= 0 {
+			// Generous default: far above any stable-mode latency.
+			diam := 0
+			for p := 0; p < nProc; p++ {
+				if d := net.PathLen(0, p); d > diam {
+					diam = d
+				}
+			}
+			hi = 50 * float64(cfg.MsgFlits+diam)
+		}
+		e.latHist = stats.NewHistogram(0, hi, 1024)
+	}
+	master := traffic.NewRNG(cfg.Seed)
+	e.rng = master.Split(0xa11ce)
+	for p := 0; p < nProc; p++ {
+		e.srcRNG[p] = master.Split(uint64(p) + 1)
+		e.sources[p] = traffic.NewPoissonSource(cfg.Lambda0, master.Split(uint64(p)+1_000_003))
+	}
+	return e
+}
+
+func (e *engine) run() (*Result, error) {
+	hardEnd := e.measEnd + int64(e.cfg.drainLimit())
+	timeout := int64(e.cfg.progressTimeout())
+	t := int64(0)
+	for ; ; t++ {
+		if t >= e.measEnd && (e.trackedOutstanding == 0 || t >= hardEnd) {
+			break
+		}
+		if e.active > 0 && t-e.lastProgress > timeout {
+			return nil, fmt.Errorf("%w (cycle %d, %d worms active)", ErrDeadlock, t, e.active)
+		}
+		e.arrivals(t)
+		if t >= e.measStart && t < e.measEnd {
+			e.queueIntegral += float64(e.totalQueued)
+			if t-e.measStart < (e.measEnd-e.measStart)/2 {
+				e.queueFirstHalf += float64(e.totalQueued)
+			} else {
+				e.queueSecondHalf += float64(e.totalQueued)
+			}
+		}
+		e.drain(t)
+		e.requests(t)
+		e.grants(t)
+		e.applyReleases()
+		e.routeNow, e.routeNext = e.routeNext, e.routeNow[:0]
+		if e.debugChecks {
+			e.checkInvariants(t)
+		}
+	}
+	return e.finish(t), nil
+}
+
+// arrivals pulls Poisson arrivals that became eligible before cycle t and
+// keeps one worm per PE contending for the injection channel.
+func (e *engine) arrivals(t int64) {
+	limit := float64(t)
+	for p := 0; p < e.nProc; p++ {
+		for {
+			a, ok := e.sources[p].PopBefore(limit)
+			if !ok {
+				break
+			}
+			e.pendingArr[p].push(a)
+			e.totalQueued++
+			if a >= float64(e.measStart) && a < float64(e.measEnd) {
+				e.trackedArrived++
+				e.trackedOutstanding++
+			}
+		}
+		if !e.waitingInj[p] && !e.pendingArr[p].empty() {
+			e.createWorm(p, t)
+		}
+	}
+}
+
+func (e *engine) createWorm(p int, t int64) {
+	a := e.pendingArr[p].pop()
+	id := e.alloc()
+	w := &e.worms[id]
+	w.src = int32(p)
+	w.dst = int32(e.cfg.pattern().Dest(p, e.nProc, e.srcRNG[p]))
+	w.arrival = a
+	w.state = stateRouting
+	w.tracked = a >= float64(e.measStart) && a < float64(e.measEnd)
+	inj := e.net.InjectionChannel(p)
+	e.enqueue(e.net.GroupOf(inj), id, t)
+	e.waitingInj[p] = true
+	e.active++
+}
+
+func (e *engine) alloc() int32 {
+	if n := len(e.freeList); n > 0 {
+		id := e.freeList[n-1]
+		e.freeList = e.freeList[:n-1]
+		path := e.worms[id].path[:0]
+		e.worms[id] = worm{path: path}
+		return id
+	}
+	e.worms = append(e.worms, worm{})
+	return int32(len(e.worms) - 1)
+}
+
+// drain advances consumption: one flit per cycle per worm whose head has
+// reached its destination.
+func (e *engine) drain(t int64) {
+	kept := e.draining[:0]
+	for _, id := range e.draining {
+		w := &e.worms[id]
+		if w.drainFrom > t {
+			kept = append(kept, id)
+			continue
+		}
+		w.consumed++
+		e.countFlit(t)
+		e.shift(w, t)
+		e.lastProgress = t
+		if w.consumed >= e.sFlits {
+			e.finalize(w, id, t)
+		} else {
+			kept = append(kept, id)
+		}
+	}
+	e.draining = kept
+}
+
+// requests enqueues worms whose heads reached a switch last cycle.
+// Same-cycle arrivals are shuffled so FCFS ties break uniformly at random
+// rather than by processor index.
+func (e *engine) requests(t int64) {
+	rn := e.routeNow
+	for i := len(rn) - 1; i > 0; i-- {
+		j := e.rng.Intn(i + 1)
+		rn[i], rn[j] = rn[j], rn[i]
+	}
+	for _, id := range rn {
+		w := &e.worms[id]
+		g := e.net.NextGroup(w.path[len(w.path)-1], int(w.dst))
+		e.enqueue(g, id, t)
+	}
+}
+
+func (e *engine) enqueue(g topology.GroupID, id int32, t int64) {
+	e.worms[id].enqueuedAt = t
+	if e.cfg.Policy == RandomFixed {
+		members := e.groups[g]
+		ch := members[0]
+		if len(members) > 1 {
+			ch = members[e.rng.Intn(len(members))]
+		}
+		e.chanQ[ch].push(id)
+	} else {
+		e.groupQ[g].push(id)
+	}
+	if !e.inPending[g] {
+		e.inPending[g] = true
+		e.pending = append(e.pending, g)
+	}
+}
+
+// grants walks every arbitration group with waiting worms and hands free
+// channels to queue heads (FCFS).
+func (e *engine) grants(t int64) {
+	kept := e.pending[:0]
+	for _, g := range e.pending {
+		if e.grantGroup(g, t) {
+			kept = append(kept, g)
+		} else {
+			e.inPending[g] = false
+		}
+	}
+	e.pending = kept
+}
+
+// grantGroup returns true if the group still has waiters afterwards.
+func (e *engine) grantGroup(g topology.GroupID, t int64) bool {
+	members := e.groups[g]
+	if e.cfg.Policy == RandomFixed {
+		waiters := false
+		for _, ch := range members {
+			q := &e.chanQ[ch]
+			for !q.empty() && !e.busy[ch] {
+				e.grant(q.pop(), ch, t)
+			}
+			if !q.empty() {
+				waiters = true
+			}
+		}
+		return waiters
+	}
+	q := &e.groupQ[g]
+	for !q.empty() {
+		ch := e.pickFree(members)
+		if ch < 0 {
+			break
+		}
+		e.grant(q.pop(), topology.ChannelID(ch), t)
+	}
+	return !q.empty()
+}
+
+// pickFree returns a uniformly random free member channel, or -1. Worms
+// "select an up-link randomly" when both are available (§3.1).
+func (e *engine) pickFree(members []topology.ChannelID) int32 {
+	n := 0
+	for _, ch := range members {
+		if !e.busy[ch] {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	k := 0
+	if n > 1 {
+		k = e.rng.Intn(n)
+	}
+	for _, ch := range members {
+		if !e.busy[ch] {
+			if k == 0 {
+				return ch
+			}
+			k--
+		}
+	}
+	return -1 // unreachable
+}
+
+// grant advances a worm's head across channel ch during cycle t.
+func (e *engine) grant(id int32, ch topology.ChannelID, t int64) {
+	w := &e.worms[id]
+	e.busy[ch] = true
+	e.acquiredAt[ch] = t
+	if obs := e.cfg.HopWaitObserver; obs != nil && t >= e.measStart && t < e.measEnd {
+		obs(ch, t-w.enqueuedAt)
+	}
+	if len(w.path) == 0 {
+		w.grantCycle = t
+		e.waitingInj[w.src] = false
+		e.totalQueued--
+		if w.tracked {
+			e.wInj.Add(float64(t) - w.arrival)
+		}
+	}
+	w.path = append(w.path, ch)
+	e.shift(w, t)
+	e.lastProgress = t
+	if p := e.net.EjectsTo(ch); p >= 0 {
+		if p != int(w.dst) {
+			panic(fmt.Sprintf("sim: worm for %d delivered to %d", w.dst, p))
+		}
+		w.consumed = 1 // the head's traversal of the ejection channel
+		e.countFlit(t)
+		if w.consumed >= e.sFlits {
+			e.finalize(w, id, t)
+		} else {
+			w.state = stateDraining
+			w.drainFrom = t + 1
+			e.draining = append(e.draining, id)
+		}
+	} else {
+		e.routeNext = append(e.routeNext, id)
+	}
+}
+
+// shift moves the whole worm one channel forward: a new flit enters at the
+// source, or — once all flits are in flight — the tail releases a channel.
+func (e *engine) shift(w *worm, t int64) {
+	if w.injected < e.sFlits {
+		w.injected++
+		return
+	}
+	ch := w.path[w.tailIdx]
+	if w.tailIdx == 0 && w.tracked {
+		// The tail flit just left the injection channel: its holding time
+		// is the paper's x̄₀₁ sample.
+		e.xInj.Add(float64(t - w.grantCycle))
+	}
+	w.tailIdx++
+	e.scheduleRelease(ch, t)
+}
+
+func (e *engine) finalize(w *worm, id int32, t int64) {
+	// The tail has already passed the injection channel (shift runs
+	// before this in both callers), so tailIdx >= 1 here and the xInj
+	// sample has been recorded.
+	for i := int(w.tailIdx); i < len(w.path); i++ {
+		e.scheduleRelease(w.path[i], t)
+	}
+	w.tailIdx = int32(len(w.path))
+	w.state = stateDone
+	e.totalCompleted++
+	if w.tracked {
+		latency := float64(t+1) - w.arrival
+		e.lat.Add(latency)
+		e.latAll.Add(latency)
+		if e.latHist != nil {
+			e.latHist.Add(latency)
+		}
+		e.trackedCompleted++
+		e.trackedOutstanding--
+	}
+	e.active--
+	e.freeList = append(e.freeList, id)
+}
+
+// scheduleRelease frees ch at the end of cycle t and accounts its busy
+// time within the measurement window.
+func (e *engine) scheduleRelease(ch topology.ChannelID, t int64) {
+	e.releases = append(e.releases, ch)
+	lo := e.acquiredAt[ch]
+	if lo < e.measStart {
+		lo = e.measStart
+	}
+	hi := t + 1
+	if hi > e.measEnd {
+		hi = e.measEnd
+	}
+	if hi > lo {
+		e.busyInMeas[ch] += hi - lo
+	}
+}
+
+func (e *engine) applyReleases() {
+	for _, ch := range e.releases {
+		e.busy[ch] = false
+	}
+	e.releases = e.releases[:0]
+}
+
+func (e *engine) countFlit(t int64) {
+	if t >= e.measStart && t < e.measEnd {
+		e.flitsDelivered++
+	}
+}
+
+func (e *engine) finish(t int64) *Result {
+	// Account channels still busy at the end of the run.
+	for ch := range e.busy {
+		if e.busy[ch] {
+			e.scheduleRelease(topology.ChannelID(ch), t-1)
+		}
+	}
+	e.applyReleases()
+
+	meas := float64(e.cfg.MeasureCycles)
+	res := &Result{
+		Name:             e.net.Name(),
+		LatencyMean:      e.latAll.Mean(),
+		LatencyCI95:      e.lat.HalfWidth(0.95),
+		LatencyMin:       e.latAll.Min(),
+		LatencyMax:       e.latAll.Max(),
+		WaitInjMean:      e.wInj.Mean(),
+		ServiceInjMean:   e.xInj.Mean(),
+		ThroughputFlits:  float64(e.flitsDelivered) / (meas * float64(e.nProc)),
+		OfferedFlits:     e.cfg.Lambda0 * float64(e.cfg.MsgFlits),
+		TrackedInjected:  e.trackedArrived,
+		TrackedCompleted: e.trackedCompleted,
+		TotalCompleted:   e.totalCompleted,
+		Cycles:           int(t),
+		MeanSourceQueue:  e.queueIntegral / (meas * float64(e.nProc)),
+		ChannelBusy:      make([]float64, len(e.busyInMeas)),
+	}
+	// A run is saturated when tracked messages were left unfinished, when
+	// delivery fell visibly short of the offer, or when source queues
+	// kept growing through the measurement window.
+	half := meas / 2 * float64(e.nProc)
+	queueA := e.queueFirstHalf / half
+	queueB := e.queueSecondHalf / half
+	res.Saturated = e.trackedOutstanding > 0 ||
+		(res.OfferedFlits > 0 && res.ThroughputFlits < 0.9*res.OfferedFlits) ||
+		queueB > 1.5*queueA+2
+	res.LatencyP50, res.LatencyP95, res.LatencyP99 = math.NaN(), math.NaN(), math.NaN()
+	if e.latHist != nil && e.latHist.Total() > 0 {
+		res.LatencyP50 = e.latHist.Quantile(0.50)
+		res.LatencyP95 = e.latHist.Quantile(0.95)
+		res.LatencyP99 = e.latHist.Quantile(0.99)
+	}
+	for ch, b := range e.busyInMeas {
+		res.ChannelBusy[ch] = float64(b) / meas
+	}
+	return res
+}
+
+// checkInvariants asserts the rigid-worm conservation laws; it is enabled
+// by white-box tests and panics on violation.
+func (e *engine) checkInvariants(t int64) {
+	held := make(map[topology.ChannelID]int32)
+	for id := range e.worms {
+		w := &e.worms[id]
+		if w.state == stateDone {
+			continue
+		}
+		if len(w.path) == 0 {
+			continue // waiting for injection
+		}
+		nHeld := len(w.path) - int(w.tailIdx)
+		for i := int(w.tailIdx); i < len(w.path); i++ {
+			ch := w.path[i]
+			if prev, dup := held[ch]; dup {
+				panic(fmt.Sprintf("cycle %d: channel %d held by worms %d and %d", t, ch, prev, id))
+			}
+			held[ch] = int32(id)
+		}
+		flits := int(w.injected - w.consumed)
+		switch w.state {
+		case stateRouting:
+			if nHeld != flits {
+				panic(fmt.Sprintf("cycle %d: routing worm %d holds %d channels with %d flits in flight",
+					t, id, nHeld, flits))
+			}
+		case stateDraining:
+			if nHeld != flits+1 {
+				panic(fmt.Sprintf("cycle %d: draining worm %d holds %d channels with %d flits in flight",
+					t, id, nHeld, flits))
+			}
+		}
+		if w.injected > e.sFlits || w.consumed > e.sFlits || w.consumed > w.injected {
+			panic(fmt.Sprintf("cycle %d: worm %d counters injected=%d consumed=%d",
+				t, id, w.injected, w.consumed))
+		}
+	}
+	// Releases are applied before this check runs, so the busy set and
+	// the held set must match exactly.
+	for ch, b := range e.busy {
+		if _, isHeld := held[topology.ChannelID(ch)]; b != isHeld {
+			panic(fmt.Sprintf("cycle %d: channel %d busy=%v held=%v", t, ch, b, isHeld))
+		}
+	}
+}

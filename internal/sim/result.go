@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Result summarises one simulation run.
+type Result struct {
+	// LatencyMean is the average latency of tracked messages (cycles,
+	// arrival to last-flit delivery).
+	LatencyMean float64
+	// LatencyCI95 is the batch-means 95% confidence half-width (NaN with
+	// too few batches).
+	LatencyCI95 float64
+	// LatencyMin and LatencyMax bound the tracked samples.
+	LatencyMin, LatencyMax float64
+	// WaitInjMean is the measured mean wait from arrival to injection
+	// grant — the simulation counterpart of the model's W̄₀₁.
+	WaitInjMean float64
+	// ServiceInjMean is the measured mean injection-channel holding time
+	// — the counterpart of the model's x̄₀₁.
+	ServiceInjMean float64
+	// ThroughputFlits is the delivered load in flits/cycle/processor
+	// during the measurement window.
+	ThroughputFlits float64
+	// OfferedFlits is the configured offered load in
+	// flits/cycle/processor.
+	OfferedFlits float64
+	// TrackedInjected and TrackedCompleted count messages arriving in the
+	// measurement window and the subset that finished before the drain
+	// limit.
+	TrackedInjected, TrackedCompleted int
+	// TotalCompleted counts all deliveries over the whole run.
+	TotalCompleted int
+	// Saturated reports that the run could not keep up with the offered
+	// load (tracked messages left unfinished, or delivery visibly below
+	// offer).
+	Saturated bool
+	// Cycles is the total number of simulated cycles.
+	Cycles int
+	// MeanSourceQueue is the time-average number of queued messages per
+	// PE (including the one being injected) over the measurement window.
+	MeanSourceQueue float64
+	// LatencyP50, LatencyP95 and LatencyP99 are latency percentiles of
+	// tracked messages, estimated from a histogram when
+	// Config.LatencyHistogram is set (NaN otherwise). Tail percentiles
+	// matter near saturation, where the mean hides the blocked worms.
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// ChannelBusy is the per-channel busy fraction over the measurement
+	// window, indexed by ChannelID.
+	ChannelBusy []float64
+	// Name echoes the network name.
+	Name string
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: load=%.5f flits/cyc/PE -> latency=%.2f±%.2f thru=%.5f (tracked %d/%d, saturated=%v)",
+		r.Name, r.OfferedFlits, r.LatencyMean, r.LatencyCI95,
+		r.ThroughputFlits, r.TrackedCompleted, r.TrackedInjected, r.Saturated)
+}
+
+// BusyByKind aggregates ChannelBusy into mean busy fractions per channel
+// kind, for comparison against the model's per-class utilizations.
+func (r *Result) BusyByKind(net topology.Network) map[topology.ChannelKind]float64 {
+	sums := map[topology.ChannelKind]*stats.Stream{}
+	for ch, b := range r.ChannelBusy {
+		k := net.Kind(topology.ChannelID(ch))
+		s, ok := sums[k]
+		if !ok {
+			s = &stats.Stream{}
+			sums[k] = s
+		}
+		s.Add(b)
+	}
+	out := make(map[topology.ChannelKind]float64, len(sums))
+	for k, s := range sums {
+		out[k] = s.Mean()
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package solve provides the small numerical routines the analytical model
+// needs: bracketed bisection (for the saturation condition, paper Eq. 26)
+// and damped fixed-point iteration (for cyclic channel graphs such as
+// k-ary n-cube instances of the general model).
+package solve
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoBracket is returned when a root is not bracketed by the interval.
+var ErrNoBracket = errors.New("solve: interval does not bracket a root")
+
+// ErrNoConvergence is returned when an iteration fails to converge within
+// its budget.
+var ErrNoConvergence = errors.New("solve: iteration did not converge")
+
+// Bisect finds x in [lo, hi] with f(x) = 0 to within xtol, assuming f is
+// monotone enough that f(lo) and f(hi) have opposite signs. +Inf counts as
+// positive and -Inf as negative; NaN is treated as +Inf, matching the
+// saturation use case where the model is undefined beyond the stable
+// region and the objective grows without bound as it is approached.
+func Bisect(f func(float64) float64, lo, hi, xtol float64, maxIter int) (float64, error) {
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	eval := func(x float64) float64 {
+		v := f(x)
+		if math.IsNaN(v) {
+			return math.Inf(1)
+		}
+		return v
+	}
+	flo, fhi := eval(lo), eval(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, ErrNoBracket
+	}
+	for i := 0; i < maxIter && hi-lo > xtol; i++ {
+		mid := lo + (hi-lo)/2
+		fm := eval(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fhi > 0) {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// FixedPointOptions configures FixedPoint.
+type FixedPointOptions struct {
+	// Damping in (0, 1]: x' = (1-d)*x + d*f(x). 1 means undamped.
+	Damping float64
+	// Tol is the max-norm convergence tolerance on successive iterates.
+	Tol float64
+	// MaxIter bounds the number of iterations.
+	MaxIter int
+}
+
+// DefaultFixedPointOptions are suitable for the channel-graph models.
+func DefaultFixedPointOptions() FixedPointOptions {
+	return FixedPointOptions{Damping: 0.5, Tol: 1e-10, MaxIter: 10_000}
+}
+
+// FixedPoint iterates x <- (1-d) x + d f(x) starting from x0 until the
+// max-norm change is below Tol. It returns the final iterate. The slice x0
+// is not modified. If any component becomes non-finite the iteration
+// reports ErrNoConvergence immediately (the caller interprets this as an
+// unstable operating point).
+func FixedPoint(f func(x, out []float64), x0 []float64, opt FixedPointOptions) ([]float64, error) {
+	if opt.Damping <= 0 || opt.Damping > 1 {
+		opt.Damping = 0.5
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10_000
+	}
+	x := append([]float64(nil), x0...)
+	fx := make([]float64, len(x))
+	for it := 0; it < opt.MaxIter; it++ {
+		f(x, fx)
+		var delta float64
+		for i := range x {
+			if math.IsNaN(fx[i]) || math.IsInf(fx[i], 0) {
+				return x, ErrNoConvergence
+			}
+			nxt := (1-opt.Damping)*x[i] + opt.Damping*fx[i]
+			if d := math.Abs(nxt - x[i]); d > delta {
+				delta = d
+			}
+			x[i] = nxt
+		}
+		if delta < opt.Tol {
+			return x, nil
+		}
+	}
+	return x, ErrNoConvergence
+}
+
+// GrowToUnstable doubles x from start until pred(x) reports false (e.g.
+// "model is stable at load x"), then returns the last stable and first
+// unstable values. It gives up after maxDoublings and returns ok = false if
+// pred never fails (no saturation in range).
+func GrowToUnstable(pred func(float64) bool, start float64, maxDoublings int) (stable, unstable float64, ok bool) {
+	if maxDoublings <= 0 {
+		maxDoublings = 64
+	}
+	x := start
+	if !pred(x) {
+		return 0, x, true
+	}
+	for i := 0; i < maxDoublings; i++ {
+		nxt := x * 2
+		if !pred(nxt) {
+			return x, nxt, true
+		}
+		x = nxt
+	}
+	return x, 0, false
+}

@@ -1,0 +1,318 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FatTree is the butterfly fat-tree of the paper's §3.1 (Figure 2). With
+// N = 4^n processors it has n switch levels; level l (1 <= l <= n) holds
+// N/2^(l+1) six-port switches (two parents, four children). Nodes are
+// labelled (l, a): level l = distance from the leaves, a = address within
+// the level. The wiring follows the paper exactly:
+//
+//   - processor P(0,a) connects to child (a mod 4) of switch S(1, ⌊a/4⌋);
+//   - parent0 of S(l,a) connects to child i of
+//     S(l+1, ⌊a/2^(l+1)⌋·2^l + a mod 2^l);
+//   - parent1 of S(l,a) connects to child i of
+//     S(l+1, ⌊a/2^(l+1)⌋·2^l + (a + 2^(l−1)) mod 2^l);
+//   - where i = ⌊(a mod 2^(l+1)) / 2^(l−1)⌋.
+//
+// Switch S(l,a) is an ancestor of exactly the 4^l processors in block
+// ⌊a/2^(l−1)⌋; a worm headed outside that block may take either parent
+// (the redundancy the paper models as an M/G/2 channel), while downward
+// routes are unique.
+type FatTree struct {
+	n       int // N = 4^n
+	numProc int
+
+	// Per-switch data, indexed by switchIndex.
+	level   []int32
+	addr    []int32
+	upGroup []GroupID      // arbitration group of the two up-links; None at level n
+	childCh [][4]ChannelID // down channel per sub-block index 0..3
+
+	// Per-channel data.
+	kind     []ChannelKind
+	fromSw   []int32 // source switch index, or -1 for injection channels
+	toSw     []int32 // destination switch index, or -1 for ejection channels
+	ejectsTo []int32 // destination processor for ejection channels, else -1
+	groupOf  []GroupID
+	groups   [][]ChannelID
+
+	injCh []ChannelID // per-processor injection channel
+}
+
+// NewFatTree builds a butterfly fat-tree with numProc processors, which
+// must be a power of four with at least 4 processors.
+func NewFatTree(numProc int) (*FatTree, error) {
+	n, ok := log4(numProc)
+	if !ok || n < 1 {
+		return nil, fmt.Errorf("topology: fat-tree size %d is not a power of four >= 4", numProc)
+	}
+	t := &FatTree{n: n, numProc: numProc}
+
+	// Index switches level by level.
+	offset := make([]int, n+2)
+	total := 0
+	for l := 1; l <= n; l++ {
+		offset[l] = total
+		total += t.switchesAtLevel(l)
+	}
+	offset[n+1] = total
+	t.level = make([]int32, total)
+	t.addr = make([]int32, total)
+	t.upGroup = make([]GroupID, total)
+	t.childCh = make([][4]ChannelID, total)
+	for s := range t.childCh {
+		t.upGroup[s] = None
+		t.childCh[s] = [4]ChannelID{None, None, None, None}
+	}
+	for l := 1; l <= n; l++ {
+		for a := 0; a < t.switchesAtLevel(l); a++ {
+			s := offset[l] + a
+			t.level[s] = int32(l)
+			t.addr[s] = int32(a)
+		}
+	}
+	swIdx := func(l, a int) int { return offset[l] + a }
+
+	addChannel := func(kind ChannelKind, from, to int32, ejProc int32) ChannelID {
+		id := ChannelID(len(t.kind))
+		t.kind = append(t.kind, kind)
+		t.fromSw = append(t.fromSw, from)
+		t.toSw = append(t.toSw, to)
+		t.ejectsTo = append(t.ejectsTo, ejProc)
+		t.groupOf = append(t.groupOf, None)
+		return id
+	}
+	singleton := func(ch ChannelID) {
+		g := GroupID(len(t.groups))
+		t.groups = append(t.groups, []ChannelID{ch})
+		t.groupOf[ch] = g
+	}
+
+	// Injection and ejection channels (processor <-> level-1 switches).
+	t.injCh = make([]ChannelID, numProc)
+	for p := 0; p < numProc; p++ {
+		s := swIdx(1, p/4)
+		inj := addChannel(KindInjection, -1, int32(s), -1)
+		t.injCh[p] = inj
+		singleton(inj)
+		ej := addChannel(KindEjection, int32(s), -1, int32(p))
+		singleton(ej)
+		sub := p & 3
+		if t.childCh[s][sub] != None {
+			return nil, fmt.Errorf("topology: duplicate child port %d on S(1,%d)", sub, p/4)
+		}
+		t.childCh[s][sub] = ej
+	}
+
+	// Switch-to-switch channels for levels 1..n-1.
+	for l := 1; l < n; l++ {
+		stride := 1 << (l - 1) // 2^(l-1)
+		for a := 0; a < t.switchesAtLevel(l); a++ {
+			s := swIdx(l, a)
+			base := a / (2 << l) * (1 << l) // ⌊a/2^(l+1)⌋·2^l
+			pa0 := base + a%(1<<l)
+			pa1 := base + (a+stride)%(1<<l)
+			childPort := a % (2 << l) / stride // ⌊(a mod 2^(l+1))/2^(l−1)⌋
+
+			up0 := addChannel(KindUp, int32(s), int32(swIdx(l+1, pa0)), -1)
+			up1 := addChannel(KindUp, int32(s), int32(swIdx(l+1, pa1)), -1)
+			g := GroupID(len(t.groups))
+			t.groups = append(t.groups, []ChannelID{up0, up1})
+			t.groupOf[up0] = g
+			t.groupOf[up1] = g
+			t.upGroup[s] = g
+
+			for _, pa := range []int{pa0, pa1} {
+				ps := swIdx(l+1, pa)
+				down := addChannel(KindDown, int32(ps), int32(s), -1)
+				singleton(down)
+				if t.childCh[ps][childPort] != None {
+					return nil, fmt.Errorf("topology: duplicate child port %d on S(%d,%d)",
+						childPort, l+1, pa)
+				}
+				t.childCh[ps][childPort] = down
+			}
+		}
+	}
+
+	// Sanity: every child port of every switch must be wired, and the
+	// child port index must coincide with the sub-block index used for
+	// routing (a property of the butterfly wiring the router relies on).
+	for s := range t.childCh {
+		for sub, ch := range t.childCh[s] {
+			if ch == None {
+				return nil, fmt.Errorf("topology: unwired child port %d on S(%d,%d)",
+					sub, t.level[s], t.addr[s])
+			}
+			if down := t.toSw[ch]; down >= 0 {
+				wantSub := int(t.addr[down]) >> (int(t.level[down]) - 1) & 3
+				if wantSub != sub {
+					return nil, fmt.Errorf("topology: child port %d of S(%d,%d) leads to sub-block %d",
+						sub, t.level[s], t.addr[s], wantSub)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// MustFatTree is NewFatTree that panics on error, for tests and examples
+// with known-good sizes.
+func MustFatTree(numProc int) *FatTree {
+	t, err := NewFatTree(numProc)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func log4(v int) (int, bool) {
+	n := 0
+	for x := 1; x < v; x *= 4 {
+		n++
+		if x > (1<<31)/4 {
+			return 0, false
+		}
+	}
+	if intPow4(n) != v {
+		return 0, false
+	}
+	return n, true
+}
+
+func intPow4(n int) int { return 1 << (2 * n) }
+
+func (t *FatTree) switchesAtLevel(l int) int { return t.numProc / (2 << l) } // N/2^(l+1)
+
+// Levels returns n = log4(N), the number of switch levels.
+func (t *FatTree) Levels() int { return t.n }
+
+// SwitchesAtLevel returns the number of switches at level l (1 <= l <= n).
+func (t *FatTree) SwitchesAtLevel(l int) int { return t.switchesAtLevel(l) }
+
+// Name implements Network.
+func (t *FatTree) Name() string { return fmt.Sprintf("bft-%d", t.numProc) }
+
+// NumProcessors implements Network.
+func (t *FatTree) NumProcessors() int { return t.numProc }
+
+// NumChannels implements Network.
+func (t *FatTree) NumChannels() int { return len(t.kind) }
+
+// Groups implements Network.
+func (t *FatTree) Groups() [][]ChannelID { return t.groups }
+
+// GroupOf implements Network.
+func (t *FatTree) GroupOf(ch ChannelID) GroupID { return t.groupOf[ch] }
+
+// Kind implements Network.
+func (t *FatTree) Kind(ch ChannelID) ChannelKind { return t.kind[ch] }
+
+// InjectionChannel implements Network.
+func (t *FatTree) InjectionChannel(p int) ChannelID { return t.injCh[p] }
+
+// EjectsTo implements Network.
+func (t *FatTree) EjectsTo(ch ChannelID) int { return int(t.ejectsTo[ch]) }
+
+// NextGroup implements Network. A worm whose head traversed cur sits at the
+// switch cur leads to; it goes down if dst lies in that switch's subtree
+// block (a unique child) and otherwise contends for the switch's up-link
+// pair.
+func (t *FatTree) NextGroup(cur ChannelID, dst int) GroupID {
+	s := t.toSw[cur]
+	if s < 0 {
+		panic("topology: NextGroup called on an ejection channel")
+	}
+	l := int(t.level[s])
+	a := int(t.addr[s])
+	blk := a >> (l - 1)
+	if dst>>(2*l) == blk {
+		sub := dst >> (2 * (l - 1)) & 3
+		return t.groupOf[t.childCh[s][sub]]
+	}
+	g := t.upGroup[s]
+	if g == None {
+		panic(fmt.Sprintf("topology: no up-links at root switch S(%d,%d) for dst %d", l, a, dst))
+	}
+	return g
+}
+
+// PathLen implements Network: a message whose lowest common subtree with
+// its destination is at level l traverses 2l channels (injection, l−1 up,
+// l−1 down, ejection).
+func (t *FatTree) PathLen(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	for l := 1; l <= t.n; l++ {
+		if src>>(2*l) == dst>>(2*l) {
+			return 2 * l
+		}
+	}
+	panic("topology: unreachable destination")
+}
+
+// AvgDistance implements Network: D̄ = Σ_{l=1..n} 2l·3·4^(l−1)/(4^n − 1),
+// since 3·4^(l−1) of a processor's 4^n − 1 possible destinations have
+// their lowest common subtree at level l.
+func (t *FatTree) AvgDistance() float64 {
+	num := 0.0
+	for l := 1; l <= t.n; l++ {
+		num += float64(2*l) * 3 * math.Pow(4, float64(l-1))
+	}
+	return num / float64(t.numProc-1)
+}
+
+// UpLinksBetween returns the number of channels from level l to level l+1
+// (equal to the number from l+1 down to l): 4^n / 2^l, as in §3.2.
+func (t *FatTree) UpLinksBetween(l int) int {
+	if l < 1 || l >= t.n {
+		return 0
+	}
+	return t.numProc >> l
+}
+
+// SwitchOf returns the (level, addr) pair of the switch a channel leads
+// to, with ok=false for ejection channels.
+func (t *FatTree) SwitchOf(ch ChannelID) (level, addr int, ok bool) {
+	s := t.toSw[ch]
+	if s < 0 {
+		return 0, 0, false
+	}
+	return int(t.level[s]), int(t.addr[s]), true
+}
+
+// Describe dumps the switch wiring in a human-readable form, reproducing
+// the structure of the paper's Figure 2 textually.
+func (t *FatTree) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "butterfly fat-tree: N=%d processors, n=%d switch levels, %d channels, %d arbitration groups\n",
+		t.numProc, t.n, t.NumChannels(), len(t.groups))
+	for l := 1; l <= t.n; l++ {
+		fmt.Fprintf(&b, "level %d: %d switches\n", l, t.switchesAtLevel(l))
+	}
+	for s := range t.level {
+		l, a := int(t.level[s]), int(t.addr[s])
+		fmt.Fprintf(&b, "S(%d,%d):", l, a)
+		for sub, ch := range t.childCh[s] {
+			if down := t.toSw[ch]; down >= 0 {
+				fmt.Fprintf(&b, " child%d->S(%d,%d)", sub, t.level[down], t.addr[down])
+			} else {
+				fmt.Fprintf(&b, " child%d->P(%d)", sub, t.ejectsTo[ch])
+			}
+		}
+		if g := t.upGroup[s]; g != None {
+			for i, up := range t.groups[g] {
+				ps := t.toSw[up]
+				fmt.Fprintf(&b, " parent%d->S(%d,%d)", i, t.level[ps], t.addr[ps])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

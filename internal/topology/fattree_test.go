@@ -1,0 +1,344 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/traffic"
+)
+
+// walk follows NextGroup from src to dst, choosing among adaptive
+// candidates with pick, and returns the channel path.
+func walk(t *testing.T, net Network, src, dst int, pick func(options []ChannelID) ChannelID) []ChannelID {
+	t.Helper()
+	groups := net.Groups()
+	ch := net.InjectionChannel(src)
+	path := []ChannelID{ch}
+	for net.EjectsTo(ch) != dst {
+		if len(path) > 4*net.NumChannels() {
+			t.Fatalf("walk %d->%d did not terminate", src, dst)
+		}
+		g := net.NextGroup(ch, dst)
+		ch = pick(groups[g])
+		path = append(path, ch)
+	}
+	return path
+}
+
+func first(options []ChannelID) ChannelID { return options[0] }
+func last(options []ChannelID) ChannelID  { return options[len(options)-1] }
+
+func TestFatTreeSizes(t *testing.T) {
+	cases := []struct {
+		n                int
+		levels           int
+		channels         int
+		topLevelSwitches int
+	}{
+		// channels = 2N (inj+ej) + sum_{l=1..n-1} 2*(N/2^l) up+down pairs.
+		{4, 1, 8, 1},
+		{16, 2, 48, 2},
+		{64, 3, 224, 4},
+		{256, 4, 960, 8},
+		{1024, 5, 3968, 16},
+	}
+	for _, c := range cases {
+		ft := MustFatTree(c.n)
+		if ft.Levels() != c.levels {
+			t.Errorf("N=%d: levels = %d, want %d", c.n, ft.Levels(), c.levels)
+		}
+		want := 2 * c.n
+		for l := 1; l < c.levels; l++ {
+			want += 2 * (c.n >> l)
+		}
+		if want != c.channels {
+			t.Fatalf("test table inconsistent for N=%d: %d vs %d", c.n, want, c.channels)
+		}
+		if ft.NumChannels() != c.channels {
+			t.Errorf("N=%d: channels = %d, want %d", c.n, ft.NumChannels(), c.channels)
+		}
+		if ft.SwitchesAtLevel(c.levels) != c.topLevelSwitches {
+			t.Errorf("N=%d: top switches = %d, want %d",
+				c.n, ft.SwitchesAtLevel(c.levels), c.topLevelSwitches)
+		}
+		if ft.NumProcessors() != c.n {
+			t.Errorf("N=%d: NumProcessors = %d", c.n, ft.NumProcessors())
+		}
+	}
+}
+
+func TestFatTreeRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5, 8, 15, 17, 32, 100, -4} {
+		if _, err := NewFatTree(n); err == nil {
+			t.Errorf("NewFatTree(%d) accepted a non-power-of-four size", n)
+		}
+	}
+}
+
+// The hand-derived wiring for N=16 from the paper's formulas (§3.1).
+func TestFatTree16WiringMatchesPaperFormulas(t *testing.T) {
+	ft := MustFatTree(16)
+	desc := ft.Describe()
+	want := []string{
+		"S(1,0): child0->P(0) child1->P(1) child2->P(2) child3->P(3) parent0->S(2,0) parent1->S(2,1)",
+		"S(1,1): child0->P(4) child1->P(5) child2->P(6) child3->P(7) parent0->S(2,1) parent1->S(2,0)",
+		"S(1,2): child0->P(8) child1->P(9) child2->P(10) child3->P(11) parent0->S(2,0) parent1->S(2,1)",
+		"S(1,3): child0->P(12) child1->P(13) child2->P(14) child3->P(15) parent0->S(2,1) parent1->S(2,0)",
+	}
+	for _, line := range want {
+		if !strings.Contains(desc, line) {
+			t.Errorf("wiring missing %q in:\n%s", line, desc)
+		}
+	}
+}
+
+func TestFatTreeRoutesReachDestination(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		ft := MustFatTree(n)
+		rng := traffic.NewRNG(9)
+		for trial := 0; trial < 300; trial++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			// All adaptive choices must reach dst on a shortest path.
+			for name, pick := range map[string]func([]ChannelID) ChannelID{
+				"first": first,
+				"last":  last,
+				"rand": func(opt []ChannelID) ChannelID {
+					return opt[rng.Intn(len(opt))]
+				},
+			} {
+				path := walk(t, ft, src, dst, pick)
+				if len(path) != ft.PathLen(src, dst) {
+					t.Fatalf("N=%d %s: |path(%d->%d)| = %d, want %d",
+						n, name, src, dst, len(path), ft.PathLen(src, dst))
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreePathLenAgainstDefinition(t *testing.T) {
+	ft := MustFatTree(64)
+	// LCA level by scanning blocks directly.
+	for src := 0; src < 64; src++ {
+		for dst := 0; dst < 64; dst++ {
+			got := ft.PathLen(src, dst)
+			if src == dst {
+				if got != 0 {
+					t.Fatalf("PathLen(%d,%d) = %d, want 0", src, dst, got)
+				}
+				continue
+			}
+			l := 1
+			for src>>(2*l) != dst>>(2*l) {
+				l++
+			}
+			if got != 2*l {
+				t.Fatalf("PathLen(%d,%d) = %d, want %d", src, dst, got, 2*l)
+			}
+		}
+	}
+}
+
+func TestFatTreeAvgDistanceMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256} {
+		ft := MustFatTree(n)
+		var sum float64
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src != dst {
+					sum += float64(ft.PathLen(src, dst))
+				}
+			}
+		}
+		want := sum / float64(n*(n-1))
+		if got := ft.AvgDistance(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("N=%d: AvgDistance = %v, enumeration gives %v", n, got, want)
+		}
+	}
+}
+
+func TestFatTreeGroups(t *testing.T) {
+	ft := MustFatTree(64)
+	groups := ft.Groups()
+	pairCount := 0
+	for g, members := range groups {
+		switch len(members) {
+		case 1:
+			if k := ft.Kind(members[0]); k == KindUp {
+				t.Errorf("up channel %d in singleton group", members[0])
+			}
+		case 2:
+			pairCount++
+			for _, ch := range members {
+				if k := ft.Kind(ch); k != KindUp {
+					t.Errorf("group %d: non-up channel %d (%v) in a pair", g, ch, k)
+				}
+				if ft.GroupOf(ch) != GroupID(g) {
+					t.Errorf("GroupOf(%d) = %d, want %d", ch, ft.GroupOf(ch), g)
+				}
+			}
+		default:
+			t.Errorf("group %d has %d members", g, len(members))
+		}
+	}
+	// One up-pair per switch below the top level: levels 1..n-1.
+	want := 0
+	for l := 1; l < ft.Levels(); l++ {
+		want += ft.SwitchesAtLevel(l)
+	}
+	if pairCount != want {
+		t.Errorf("up-link pairs = %d, want %d", pairCount, want)
+	}
+}
+
+func TestFatTreeUpLinksBetween(t *testing.T) {
+	ft := MustFatTree(1024)
+	// §3.2: 4^n / 2^l links between level l and l+1.
+	for l := 1; l < ft.Levels(); l++ {
+		if got, want := ft.UpLinksBetween(l), 1024>>l; got != want {
+			t.Errorf("UpLinksBetween(%d) = %d, want %d", l, got, want)
+		}
+	}
+	if ft.UpLinksBetween(0) != 0 || ft.UpLinksBetween(ft.Levels()) != 0 {
+		t.Error("UpLinksBetween out of range should be 0")
+	}
+	// Count the actual up channels between levels and compare.
+	counts := map[int]int{}
+	for ch := ChannelID(0); ch < ChannelID(ft.NumChannels()); ch++ {
+		if ft.Kind(ch) == KindUp {
+			l, _, ok := ft.SwitchOf(ch)
+			if !ok {
+				t.Fatalf("up channel %d leads to a PE", ch)
+			}
+			counts[l-1]++
+		}
+	}
+	for l := 1; l < ft.Levels(); l++ {
+		if counts[l] != ft.UpLinksBetween(l) {
+			t.Errorf("actual up channels l=%d: %d, want %d", l, counts[l], ft.UpLinksBetween(l))
+		}
+	}
+}
+
+func TestFatTreeInjectionEjection(t *testing.T) {
+	ft := MustFatTree(16)
+	seen := map[ChannelID]bool{}
+	for p := 0; p < 16; p++ {
+		inj := ft.InjectionChannel(p)
+		if seen[inj] {
+			t.Errorf("injection channel %d reused", inj)
+		}
+		seen[inj] = true
+		if ft.Kind(inj) != KindInjection {
+			t.Errorf("kind(inj %d) = %v", p, ft.Kind(inj))
+		}
+		if ft.EjectsTo(inj) != -1 {
+			t.Errorf("injection channel reports EjectsTo = %d", ft.EjectsTo(inj))
+		}
+	}
+	ejCount := 0
+	for ch := ChannelID(0); ch < ChannelID(ft.NumChannels()); ch++ {
+		if p := ft.EjectsTo(ch); p >= 0 {
+			ejCount++
+			if ft.Kind(ch) != KindEjection {
+				t.Errorf("channel %d ejects but kind = %v", ch, ft.Kind(ch))
+			}
+		}
+	}
+	if ejCount != 16 {
+		t.Errorf("ejection channels = %d, want 16", ejCount)
+	}
+}
+
+func TestFatTreeNextGroupPanics(t *testing.T) {
+	ft := MustFatTree(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("NextGroup on an ejection channel should panic")
+		}
+	}()
+	var ej ChannelID = None
+	for ch := ChannelID(0); ch < ChannelID(ft.NumChannels()); ch++ {
+		if ft.EjectsTo(ch) == 3 {
+			ej = ch
+			break
+		}
+	}
+	ft.NextGroup(ej, 5)
+}
+
+func TestFatTreeUpPathNeverDescendsEarly(t *testing.T) {
+	// Property: on any walk, once the worm starts descending it never goes
+	// up again (shortest-path routing in a tree).
+	ft := MustFatTree(256)
+	rng := traffic.NewRNG(17)
+	f := func(sRaw, dRaw uint16) bool {
+		src := int(sRaw) % 256
+		dst := int(dRaw) % 256
+		if src == dst {
+			return true
+		}
+		path := walk(t, ft, src, dst, func(opt []ChannelID) ChannelID {
+			return opt[rng.Intn(len(opt))]
+		})
+		descending := false
+		for _, ch := range path[1:] { // skip injection
+			switch ft.Kind(ch) {
+			case KindDown, KindEjection:
+				descending = true
+			case KindUp:
+				if descending {
+					return false
+				}
+			}
+		}
+		return descending
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFatTreeKindString(t *testing.T) {
+	for k, want := range map[ChannelKind]string{
+		KindInjection: "inj", KindEjection: "ej", KindUp: "up",
+		KindDown: "down", KindLink: "link", ChannelKind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind %d String = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestFatTreeDescribeMentionsAllSwitches(t *testing.T) {
+	ft := MustFatTree(64)
+	desc := ft.Describe()
+	for l := 1; l <= ft.Levels(); l++ {
+		for a := 0; a < ft.SwitchesAtLevel(l); a++ {
+			tag := "S(" + itoa(l) + "," + itoa(a) + "):"
+			if !strings.Contains(desc, tag) {
+				t.Errorf("Describe missing %s", tag)
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,134 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Hypercube is a binary n-cube with one processor per router node and
+// dimension-order (e-cube) routing: a worm corrects address bits from the
+// lowest dimension to the highest, which is deadlock-free without virtual
+// channels. It serves as the "other networks" target for the paper's
+// general model (§2, §4) and matches the network studied by Draper & Ghosh.
+//
+// Channels: one injection and one ejection channel per node, plus one
+// directed link per node per dimension. Every arbitration group is a
+// single channel (the hypercube has no redundant outgoing links, so the
+// multi-server machinery degenerates to M/G/1 as the paper notes for
+// deterministic routing).
+type Hypercube struct {
+	dims    int
+	numProc int
+
+	kind     []ChannelKind
+	ejectsTo []int32
+	groupOf  []GroupID
+	groups   [][]ChannelID
+	toNode   []int32 // node a channel leads to, or -1 for ejection channels
+
+	injCh  []ChannelID
+	linkCh [][]ChannelID // [node][dim] -> channel node -> node^“dim”
+	ejOf   []ChannelID   // per-node ejection channel
+}
+
+// NewHypercube builds a binary hypercube with 2^dims processors,
+// 1 <= dims <= 20.
+func NewHypercube(dims int) (*Hypercube, error) {
+	if dims < 1 || dims > 20 {
+		return nil, fmt.Errorf("topology: hypercube dims %d out of range [1,20]", dims)
+	}
+	n := 1 << dims
+	t := &Hypercube{dims: dims, numProc: n}
+	t.injCh = make([]ChannelID, n)
+	t.ejOf = make([]ChannelID, n)
+	t.linkCh = make([][]ChannelID, n)
+
+	add := func(kind ChannelKind, to int32, ej int32) ChannelID {
+		id := ChannelID(len(t.kind))
+		t.kind = append(t.kind, kind)
+		t.toNode = append(t.toNode, to)
+		t.ejectsTo = append(t.ejectsTo, ej)
+		g := GroupID(len(t.groups))
+		t.groups = append(t.groups, []ChannelID{id})
+		t.groupOf = append(t.groupOf, g)
+		return id
+	}
+
+	for v := 0; v < n; v++ {
+		t.injCh[v] = add(KindInjection, int32(v), -1)
+		t.ejOf[v] = add(KindEjection, -1, int32(v))
+		t.linkCh[v] = make([]ChannelID, dims)
+		for d := 0; d < dims; d++ {
+			t.linkCh[v][d] = add(KindLink, int32(v^(1<<d)), -1)
+		}
+	}
+	return t, nil
+}
+
+// MustHypercube is NewHypercube that panics on error.
+func MustHypercube(dims int) *Hypercube {
+	t, err := NewHypercube(dims)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Dims returns the number of dimensions.
+func (t *Hypercube) Dims() int { return t.dims }
+
+// Name implements Network.
+func (t *Hypercube) Name() string { return fmt.Sprintf("hcube-%d", t.numProc) }
+
+// NumProcessors implements Network.
+func (t *Hypercube) NumProcessors() int { return t.numProc }
+
+// NumChannels implements Network.
+func (t *Hypercube) NumChannels() int { return len(t.kind) }
+
+// Groups implements Network.
+func (t *Hypercube) Groups() [][]ChannelID { return t.groups }
+
+// GroupOf implements Network.
+func (t *Hypercube) GroupOf(ch ChannelID) GroupID { return t.groupOf[ch] }
+
+// Kind implements Network.
+func (t *Hypercube) Kind(ch ChannelID) ChannelKind { return t.kind[ch] }
+
+// InjectionChannel implements Network.
+func (t *Hypercube) InjectionChannel(p int) ChannelID { return t.injCh[p] }
+
+// EjectsTo implements Network.
+func (t *Hypercube) EjectsTo(ch ChannelID) int { return int(t.ejectsTo[ch]) }
+
+// NextGroup implements Network with e-cube routing: correct the lowest
+// differing address bit, or eject when none remain.
+func (t *Hypercube) NextGroup(cur ChannelID, dst int) GroupID {
+	v := t.toNode[cur]
+	if v < 0 {
+		panic("topology: NextGroup called on an ejection channel")
+	}
+	diff := int(v) ^ dst
+	if diff == 0 {
+		return t.groupOf[t.ejOf[v]]
+	}
+	d := bits.TrailingZeros(uint(diff))
+	return t.groupOf[t.linkCh[v][d]]
+}
+
+// PathLen implements Network: Hamming distance plus the injection and
+// ejection channels.
+func (t *Hypercube) PathLen(src, dst int) int {
+	if src == dst {
+		return 0
+	}
+	return bits.OnesCount(uint(src^dst)) + 2
+}
+
+// AvgDistance implements Network: E[Hamming | src != dst] + 2
+// = n·2^(n−1)/(2^n − 1) + 2.
+func (t *Hypercube) AvgDistance() float64 {
+	n := float64(t.dims)
+	return n*math.Exp2(n-1)/(float64(t.numProc)-1) + 2
+}

@@ -1,0 +1,92 @@
+// Package topology builds the interconnection networks studied in the
+// paper: the butterfly fat-tree of §3.1 (the paper's target network, with
+// the exact port wiring of Figure 2) and a binary hypercube (the "other
+// networks" the general model extends to, §4).
+//
+// A network is described as a set of unit-bandwidth directed channels
+// (1 flit/cycle, as the paper assumes) plus arbitration groups: a group is
+// a set of outgoing channels that worms contend for as a single logical
+// multi-server resource. In the butterfly fat-tree the two up-links of a
+// switch form one group of two servers — exactly the resource the paper
+// models with an M/G/2 queue — while every other channel is a group of one.
+package topology
+
+import "fmt"
+
+// ChannelID identifies a directed channel. IDs are dense in
+// [0, NumChannels).
+type ChannelID = int32
+
+// GroupID identifies an arbitration group. IDs are dense in
+// [0, NumGroups).
+type GroupID = int32
+
+// None marks the absence of a channel or group.
+const None int32 = -1
+
+// ChannelKind classifies a channel for reporting and for the analytical
+// model's per-class rates.
+type ChannelKind uint8
+
+// Channel kinds.
+const (
+	KindInjection ChannelKind = iota // PE -> first router
+	KindEjection                     // last router -> PE
+	KindUp                           // toward the root (fat-tree)
+	KindDown                         // toward the leaves (fat-tree)
+	KindLink                         // router -> router (direct networks)
+)
+
+// String returns a short name for the kind.
+func (k ChannelKind) String() string {
+	switch k {
+	case KindInjection:
+		return "inj"
+	case KindEjection:
+		return "ej"
+	case KindUp:
+		return "up"
+	case KindDown:
+		return "down"
+	case KindLink:
+		return "link"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Network is the topology contract consumed by the simulator. All channels
+// have unit bandwidth and unit latency; a path's unloaded head latency is
+// its channel count.
+type Network interface {
+	// Name identifies the network in reports, e.g. "bft-1024".
+	Name() string
+	// NumProcessors returns the number of traffic-injecting PEs.
+	NumProcessors() int
+	// NumChannels returns the number of directed channels.
+	NumChannels() int
+	// Groups returns the arbitration groups; Groups()[g] lists the member
+	// channels of group g. The result is shared; callers must not modify.
+	Groups() [][]ChannelID
+	// GroupOf returns the arbitration group a channel belongs to.
+	GroupOf(ch ChannelID) GroupID
+	// Kind returns a channel's classification.
+	Kind(ch ChannelID) ChannelKind
+	// InjectionChannel returns the channel from processor p into the
+	// network.
+	InjectionChannel(p int) ChannelID
+	// EjectsTo returns the processor a channel delivers to, or -1 if the
+	// channel is not an ejection channel.
+	EjectsTo(ch ChannelID) int
+	// NextGroup returns the arbitration group for the next hop of a worm
+	// whose head has just traversed channel cur and is destined for
+	// processor dst. It must not be called once the head has reached dst
+	// (i.e. when EjectsTo(cur) == dst).
+	NextGroup(cur ChannelID, dst int) GroupID
+	// PathLen returns the number of channels (including injection and
+	// ejection) on a shortest src -> dst path.
+	PathLen(src, dst int) int
+	// AvgDistance returns the mean of PathLen over uniformly random
+	// src != dst pairs (the paper's D̄).
+	AvgDistance() float64
+}

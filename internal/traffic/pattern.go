@@ -1,0 +1,102 @@
+package traffic
+
+import "fmt"
+
+// Pattern selects a destination processor for a message originating at a
+// given source processor. Implementations must be deterministic given the
+// RNG stream.
+type Pattern interface {
+	// Dest returns the destination for a message from src among n
+	// processors. Implementations must never return src for patterns where
+	// the paper excludes self-traffic (uniform).
+	Dest(src, n int, rng *RNG) int
+	// Name identifies the pattern in reports.
+	Name() string
+}
+
+// Uniform is the paper's workload: destinations uniformly random over all
+// other processors (self-traffic excluded, as in the paper's rate analysis
+// where a message has 4^n − 1 possible destinations).
+type Uniform struct{}
+
+// Dest implements Pattern.
+func (Uniform) Dest(src, n int, rng *RNG) int {
+	if n < 2 {
+		panic("traffic: Uniform needs at least 2 processors")
+	}
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Name implements Pattern.
+func (Uniform) Name() string { return "uniform" }
+
+// Hotspot sends a fraction of traffic to a single hot processor and the
+// remainder uniformly. It exercises asymmetric load the paper's symmetric
+// analysis cannot capture, which is useful for showing where the analytic
+// model's assumptions matter.
+type Hotspot struct {
+	// Hot is the hot destination processor.
+	Hot int
+	// Fraction in [0,1] of messages directed at Hot.
+	Fraction float64
+}
+
+// Dest implements Pattern.
+func (h Hotspot) Dest(src, n int, rng *RNG) int {
+	if h.Fraction > 0 && rng.Float64() < h.Fraction && h.Hot != src {
+		return h.Hot
+	}
+	return Uniform{}.Dest(src, n, rng)
+}
+
+// Name implements Pattern.
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(%d,%.2f)", h.Hot, h.Fraction) }
+
+// BitComplement sends each message from src to ^src (mod n). n must be a
+// power of two. A classic adversarial permutation for indirect networks.
+type BitComplement struct{}
+
+// Dest implements Pattern.
+func (BitComplement) Dest(src, n int, _ *RNG) int {
+	if n&(n-1) != 0 || n < 2 {
+		panic("traffic: BitComplement needs a power-of-two processor count")
+	}
+	return (n - 1) ^ src
+}
+
+// Name implements Pattern.
+func (BitComplement) Name() string { return "bitcomplement" }
+
+// Transpose interprets the processor index as a 2D coordinate in a square
+// grid and swaps the coordinates. n must be a perfect square.
+type Transpose struct{}
+
+// Dest implements Pattern.
+func (Transpose) Dest(src, n int, _ *RNG) int {
+	side := isqrt(n)
+	if side*side != n {
+		panic("traffic: Transpose needs a square processor count")
+	}
+	r, c := src/side, src%side
+	return c*side + r
+}
+
+// Name implements Pattern.
+func (Transpose) Name() string { return "transpose" }
+
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}

@@ -1,0 +1,134 @@
+// Package traffic generates the open-loop workloads assumed by the paper's
+// model: Poisson message arrivals at every processing element with uniformly
+// random destinations (assumption (1) in §2). Additional destination
+// patterns (hotspot, bit-complement, transpose) are provided for studies
+// beyond the paper's evaluation.
+//
+// All randomness is derived from explicit seeds via a splitmix64 generator,
+// so simulations are bit-reproducible and per-source streams are
+// statistically independent without sharing state.
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// splitmix64 advances the classic splitmix64 state and returns the next
+// 64-bit output. It is the seeding/stream-splitting primitive for the whole
+// simulator: tiny, fast, and passes BigCrush when used as a seeder.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a small xoshiro256**-based generator with explicit state, used
+// instead of math/rand so that streams can be split deterministically and
+// cheaply per source.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed. Distinct seeds give
+// independent streams.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&st)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives a new independent generator from r, keyed by id. The parent
+// stream is not consumed.
+func (r *RNG) Split(id uint64) *RNG {
+	st := r.s[0] ^ (id+1)*0xd1342543de82ef95
+	return NewRNG(splitmix64(&st))
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next raw 64-bit value (xoshiro256**).
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("traffic: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n)) // modulo bias negligible for n << 2^64
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). Panics if rate <= 0.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("traffic: Exp with rate <= 0")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], avoiding log(0).
+	return -math.Log(1-u) / rate
+}
+
+// PoissonSource produces a stream of arrival times for one processing
+// element, as a continuous-time Poisson process with the configured rate in
+// messages per cycle.
+type PoissonSource struct {
+	rng  *RNG
+	rate float64
+	next float64
+}
+
+// NewPoissonSource creates a source with the given arrival rate
+// (messages/cycle) and seed. A rate of 0 yields a source that never fires.
+func NewPoissonSource(rate float64, rng *RNG) *PoissonSource {
+	if rate < 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("traffic: negative or NaN arrival rate %v", rate))
+	}
+	s := &PoissonSource{rng: rng, rate: rate, next: math.Inf(1)}
+	if rate > 0 {
+		s.next = rng.Exp(rate)
+	}
+	return s
+}
+
+// Rate returns the configured arrival rate.
+func (s *PoissonSource) Rate() float64 { return s.rate }
+
+// Peek returns the time of the next arrival without consuming it.
+func (s *PoissonSource) Peek() float64 { return s.next }
+
+// PopBefore consumes and returns the next arrival time if it is strictly
+// before limit; otherwise it returns (0, false). Repeated calls drain all
+// arrivals in [0, limit).
+func (s *PoissonSource) PopBefore(limit float64) (float64, bool) {
+	if s.next >= limit {
+		return 0, false
+	}
+	t := s.next
+	s.next += s.rng.Exp(s.rate)
+	return t, true
+}

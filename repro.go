@@ -1,0 +1,133 @@
+// Package repro is a Go reproduction of
+//
+//	Ronald I. Greenberg and Lee Guan, "An Improved Analytical Model for
+//	Wormhole Routed Networks with Application to Butterfly Fat-Trees",
+//	Proc. 1997 International Conference on Parallel Processing (ICPP),
+//	pp. 44–48, August 1997.
+//
+// It provides, stdlib-only:
+//
+//   - the paper's general analytical model for wormhole-routed networks
+//     (multi-server M/G/m channel queues with a wormhole blocking
+//     correction, resolved backwards from ejection to injection channels);
+//   - its application to the butterfly fat-tree (closed-form Eq. 12–26)
+//     and to binary hypercubes and k-ary n-cubes;
+//   - a flit-level, cycle-driven wormhole simulator matching the paper's
+//     experimental assumptions; and
+//   - an experiment harness that regenerates every figure and table of
+//     the evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// This facade re-exports the main entry points; the implementation lives
+// under internal/ (core, analytic, sim, topology, queueing, …).
+//
+// # Quick start
+//
+//	model, _ := repro.NewFatTreeModel(1024, 16)
+//	lat, _ := model.Latency(0.002)        // 0.002 messages/cycle/PE
+//	sat, _ := model.SaturationLoad()      // flits/cycle/PE at saturation
+//
+//	ft, _ := repro.NewFatTree(1024)
+//	res, _ := repro.Simulate(repro.SimConfig{
+//	    Net: ft, MsgFlits: 16,
+//	    WarmupCycles: 10000, MeasureCycles: 50000,
+//	}.FlitLoad(0.03))
+//	fmt.Println(lat.Total, sat, res.LatencyMean)
+package repro
+
+import (
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Re-exported types. The aliases keep godoc for the full API in one
+// place while the implementation stays in internal packages.
+type (
+	// FatTree is the butterfly fat-tree topology of §3.1.
+	FatTree = topology.FatTree
+	// Hypercube is a binary n-cube with e-cube routing.
+	Hypercube = topology.Hypercube
+	// Network is the topology contract consumed by the simulator.
+	Network = topology.Network
+
+	// FatTreeModel is the paper's analytical model of the fat-tree.
+	FatTreeModel = analytic.FatTreeModel
+	// HypercubeModel applies the general model to a binary hypercube.
+	HypercubeModel = analytic.HypercubeModel
+	// TorusModel applies the general model to a k-ary n-cube.
+	TorusModel = analytic.TorusModel
+	// Latency is a model prediction (total, injection wait/service, D̄).
+	Latency = analytic.Latency
+
+	// ModelOptions toggles the model's ingredients for ablations; the
+	// zero value is the paper's model.
+	ModelOptions = core.Options
+
+	// SimConfig parameterises a simulation run.
+	SimConfig = sim.Config
+	// SimResult is a simulation measurement.
+	SimResult = sim.Result
+	// UpLinkPolicy selects the simulator's up-link arbitration
+	// discipline.
+	UpLinkPolicy = sim.UpLinkPolicy
+
+	// Budget scales experiment simulation effort.
+	Budget = exp.Budget
+	// Figure3Config parameterises the Figure 3 reproduction.
+	Figure3Config = exp.Figure3Config
+	// Figure3Result holds a Figure 3 reproduction.
+	Figure3Result = exp.Figure3Result
+)
+
+// Simulator policies.
+const (
+	// PairQueue is the paper's discipline: one FCFS queue per up-link
+	// pair (M/G/2-like).
+	PairQueue = sim.PairQueue
+	// RandomFixed pins each worm to a random member link (2×M/G/1-like).
+	RandomFixed = sim.RandomFixed
+)
+
+// NewFatTree builds a butterfly fat-tree with numProc processors (a power
+// of four ≥ 4).
+func NewFatTree(numProc int) (*FatTree, error) { return topology.NewFatTree(numProc) }
+
+// NewHypercube builds a binary hypercube with 2^dims processors.
+func NewHypercube(dims int) (*Hypercube, error) { return topology.NewHypercube(dims) }
+
+// NewFatTreeModel creates the paper's fat-tree model (Eq. 12–26) for
+// numProc processors and fixed messages of msgFlits flits.
+func NewFatTreeModel(numProc int, msgFlits float64) (*FatTreeModel, error) {
+	return analytic.NewFatTreeModel(numProc, msgFlits, core.Options{})
+}
+
+// NewFatTreeModelVariant creates a fat-tree model with ablation options.
+func NewFatTreeModelVariant(numProc int, msgFlits float64, opt ModelOptions) (*FatTreeModel, error) {
+	return analytic.NewFatTreeModel(numProc, msgFlits, opt)
+}
+
+// NewHypercubeModel creates the general model's hypercube instance.
+func NewHypercubeModel(dims int, msgFlits float64) (*HypercubeModel, error) {
+	return analytic.NewHypercubeModel(dims, msgFlits, core.Options{})
+}
+
+// NewTorusModel creates the general model's unidirectional k-ary n-cube
+// instance.
+func NewTorusModel(k, dims int, msgFlits float64) (*TorusModel, error) {
+	return analytic.NewTorusModel(k, dims, msgFlits, core.Options{})
+}
+
+// Simulate runs the flit-level wormhole simulator.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// Figure3 regenerates the paper's Figure 3 (see exp.Figure3Config;
+// zero-value config uses the paper's parameters with a CI-sized budget).
+func Figure3(cfg Figure3Config) (*Figure3Result, error) { return exp.Figure3(cfg) }
+
+// QuickBudget and FullBudget are the standard experiment efforts.
+var (
+	QuickBudget = exp.Quick
+	FullBudget  = exp.Full
+)

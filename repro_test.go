@@ -1,0 +1,109 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// The facade must be sufficient for the quick-start workflow in README.md.
+func TestFacadeQuickstart(t *testing.T) {
+	model, err := repro.NewFatTreeModel(64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := model.Latency(0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Total <= 16 {
+		t.Errorf("latency %v implausible", lat.Total)
+	}
+	sat, err := model.SaturationLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat <= 0 || sat > 1 {
+		t.Errorf("saturation %v implausible", sat)
+	}
+
+	ft, err := repro.NewFatTree(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Simulate(repro.SimConfig{
+		Net:           ft,
+		MsgFlits:      16,
+		Seed:          1,
+		WarmupCycles:  1000,
+		MeasureCycles: 8000,
+	}.FlitLoad(0.5 * sat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Error("half of saturation should be stable")
+	}
+	if math.Abs(res.LatencyMean-lat.Total)/lat.Total > 0.5 {
+		t.Errorf("sim %v wildly off model %v", res.LatencyMean, lat.Total)
+	}
+}
+
+func TestFacadeVariantsAndOtherNetworks(t *testing.T) {
+	v, err := repro.NewFatTreeModelVariant(64, 16, repro.ModelOptions{NoBlockingCorrection: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := repro.NewFatTreeModel(64, 16)
+	lv, err := v.Latency(0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, _ := base.Latency(0.002)
+	if lv.Total <= lb.Total {
+		t.Errorf("ablated model %v should exceed base %v", lv.Total, lb.Total)
+	}
+
+	hm, err := repro.NewHypercubeModel(6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hm.Latency(0.001); err != nil {
+		t.Fatal(err)
+	}
+	tm, err := repro.NewTorusModel(4, 3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.Latency(0.0005); err != nil {
+		t.Fatal(err)
+	}
+	hc, err := repro.NewHypercube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.NumProcessors() != 16 {
+		t.Error("hypercube size")
+	}
+}
+
+func TestFacadeFigure3Tiny(t *testing.T) {
+	res, err := repro.Figure3(repro.Figure3Config{
+		NumProc:  16,
+		MsgFlits: []int{8},
+		Points:   2,
+		MaxFrac:  0.6,
+		WithSim:  false,
+		Budget:   repro.QuickBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curves[8]) != 2 {
+		t.Errorf("points = %d", len(res.Curves[8]))
+	}
+	if repro.FullBudget.Measure <= repro.QuickBudget.Measure {
+		t.Error("budgets misordered")
+	}
+}
