@@ -1,0 +1,27 @@
+# CI and local development run the identical commands: .github/workflows/ci.yml
+# invokes these targets and nothing else.
+
+GO ?= go
+
+.PHONY: all build test bench lint fmt
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# One iteration per benchmark: keeps bench_test.go compiling and running
+# without turning CI into a measurement job.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .

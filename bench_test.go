@@ -25,6 +25,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/queueing"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -263,5 +264,38 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(res.Cycles), "cycles/op")
+	}
+}
+
+// BenchmarkSweepTable2 runs the paper's validation grid through the
+// declarative sweep engine (expansion, worker pool, cache) end to end.
+func BenchmarkSweepTable2(b *testing.B) {
+	spec, err := sweep.Builtin("table2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Budget = sweep.Budget(budget())
+	for i := 0; i < b.N; i++ {
+		if _, err := (&sweep.Runner{}).Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepExpand measures pure grid expansion: a 3×3×2×10 spec
+// with cache-key hashing, no execution.
+func BenchmarkSweepExpand(b *testing.B) {
+	spec := sweep.Spec{
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{64, 256, 1024}}},
+		MsgFlits:   []int{16, 32, 64},
+		Policies:   []string{"pairqueue", "randomfixed"},
+		Loads:      sweep.LoadSpec{Points: 10, MaxFrac: 0.95},
+		WithSim:    true,
+		Budget:     sweep.Quick,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Expand(spec); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

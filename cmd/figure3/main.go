@@ -5,13 +5,20 @@
 // Usage:
 //
 //	figure3 [-n 1024] [-flits 16,32,64] [-points 10] [-maxfrac 0.95]
-//	        [-full] [-nosim] [-csv] [-seed 1]
+//	        [-full] [-nosim] [-csv] [-seed 1] [-dumpspec]
 //
 // The default run matches the paper (N = 1024; 16/32/64-flit messages)
 // with a CI-sized simulation budget; -full uses report-quality windows.
+//
+// The binary is a thin wrapper over the declarative sweep engine: the
+// flags compile to a sweep spec (printable with -dumpspec, runnable with
+// cmd/sweep) and only the plot/summary rendering lives here. The default
+// flags produce the same grid as `sweep -spec builtin:figure3`, cell for
+// cell.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +40,7 @@ func main() {
 		noSim   = flag.Bool("nosim", false, "model curves only (fast)")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of the ASCII plot")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+		dump    = flag.Bool("dumpspec", false, "print the sweep spec for these flags as JSON and exit")
 	)
 	flag.Parse()
 
@@ -47,6 +55,14 @@ func main() {
 		MaxFrac:  *maxFrac,
 		WithSim:  !*noSim,
 		Budget:   cliutil.Budget(*full, *seed),
+	}
+	if *dump {
+		out, err := json.MarshalIndent(exp.Figure3Spec(cfg), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 	res, err := exp.Figure3(cfg)
 	if err != nil {

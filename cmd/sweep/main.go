@@ -1,0 +1,154 @@
+// Command sweep runs declarative scenario sweeps: a JSON spec (or a
+// built-in named spec) describing a grid of topology × message length ×
+// policy × load scenarios is expanded, executed on a bounded worker pool,
+// and rendered as a table or JSON. Repeating -spec runs several sweeps in
+// one process against a shared result cache, so overlapping grids report
+// cache hits instead of recomputing cells.
+//
+// Usage:
+//
+//	sweep -spec builtin:figure3                  # a paper grid by name
+//	sweep -spec my-grid.json -json               # a custom grid, JSON out
+//	sweep -spec builtin:figure3 -spec builtin:figure3   # 2nd run: all cached
+//	sweep -list                                  # show built-in specs
+//	sweep -dump builtin:table2                   # print a spec as JSON
+//
+// Progress streams to stderr; results go to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+// specList collects repeated -spec flags.
+type specList []string
+
+func (s *specList) String() string { return strings.Join(*s, ",") }
+
+func (s *specList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var specs specList
+	flag.Var(&specs, "spec", "spec file path or builtin:<name>; repeat to run several sweeps against one cache")
+	var (
+		list    = flag.Bool("list", false, "list built-in specs and exit")
+		dump    = flag.String("dump", "", "print the named spec (file path or builtin:<name>) as JSON and exit")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of tables")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		full    = flag.Bool("full", false, "override spec budgets with the report-quality budget")
+		seed    = flag.Uint64("seed", 0, "override spec seeds (0 keeps each spec's own)")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range sweep.Builtins() {
+			s, _ := sweep.Builtin(name)
+			fmt.Printf("%-16s %s\n", name, s.Description)
+		}
+		return
+	}
+	if *dump != "" {
+		spec, err := loadSpec(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	if len(specs) == 0 {
+		log.Fatal("no -spec given (try -spec builtin:figure3, or -list)")
+	}
+
+	runner := &sweep.Runner{Workers: *workers, Cache: sweep.NewCache()}
+	if !*quiet {
+		runner.Progress = func(ev sweep.Event) {
+			tag := ""
+			if ev.Cached {
+				tag = " [cached]"
+			}
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s load=%.6g%s\n",
+				ev.Done, ev.Total, ev.Scenario.CurveKey(), ev.Scenario.Load.Value, tag)
+		}
+	}
+
+	var results []*sweep.Result
+	for _, ref := range specs {
+		spec, err := loadSpec(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *full {
+			spec.Budget.Warmup = sweep.Full.Warmup
+			spec.Budget.Measure = sweep.Full.Measure
+		}
+		if *seed != 0 {
+			spec.Budget.Seed = *seed
+		}
+		res, err := runner.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sweep: %s done: %d computed, %d cache hits\n",
+				displayName(spec), res.CacheMisses, res.CacheHits)
+		}
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	for i, res := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(res.Summary())
+		fmt.Print(res.Table().String())
+	}
+}
+
+// loadSpec resolves a -spec argument: "builtin:<name>" or a JSON file
+// path.
+func loadSpec(ref string) (sweep.Spec, error) {
+	if name, ok := strings.CutPrefix(ref, "builtin:"); ok {
+		return sweep.Builtin(name)
+	}
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	spec, err := sweep.ParseSpec(data)
+	if err != nil {
+		return sweep.Spec{}, fmt.Errorf("%s: %w", ref, err)
+	}
+	return spec, nil
+}
+
+func displayName(s sweep.Spec) string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return "sweep"
+}

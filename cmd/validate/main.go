@@ -6,10 +6,15 @@
 // Usage:
 //
 //	validate [-sizes 64,256,1024] [-flits 16,32,64] [-fracs 0.2,0.5,0.8]
-//	         [-full] [-csv] [-seed 1]
+//	         [-full] [-csv] [-seed 1] [-dumpspec]
+//
+// The binary is a thin wrapper over the declarative sweep engine: the
+// flags compile to a sweep spec (printable with -dumpspec, runnable with
+// cmd/sweep) and only the table rendering lives here.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +34,7 @@ func main() {
 		full  = flag.Bool("full", false, "use the report-quality simulation budget")
 		csv   = flag.Bool("csv", false, "emit CSV")
 		seed  = flag.Uint64("seed", 1, "simulation seed")
+		dump  = flag.Bool("dumpspec", false, "print the sweep spec for these flags as JSON and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +49,14 @@ func main() {
 	fs, err := cliutil.ParseFloats(*fracs)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *dump {
+		out, err := json.MarshalIndent(exp.GridSpec(ns, ss, fs, cliutil.Budget(*full, *seed)), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 	rows, err := exp.ValidationGrid(ns, ss, fs, cliutil.Budget(*full, *seed))
 	if err != nil {

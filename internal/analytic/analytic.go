@@ -65,7 +65,7 @@ func Curve(m NetworkModel, loads []float64) ([]CurvePoint, error) {
 		switch {
 		case err == nil:
 			pt.Latency = lat.Total
-		case isUnstable(err):
+		case core.IsUnstable(err):
 			pt.Latency = math.Inf(1)
 			pt.Saturated = true
 		default:
@@ -74,20 +74,6 @@ func Curve(m NetworkModel, loads []float64) ([]CurvePoint, error) {
 		out = append(out, pt)
 	}
 	return out, nil
-}
-
-func isUnstable(err error) bool {
-	for e := err; e != nil; {
-		if e == core.ErrUnstable {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
 }
 
 // SaturationLoad finds the paper's maximum-throughput operating point

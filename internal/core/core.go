@@ -156,6 +156,10 @@ func (e *UnstableError) Error() string {
 // Unwrap makes errors.Is(err, ErrUnstable) work.
 func (e *UnstableError) Unwrap() error { return ErrUnstable }
 
+// IsUnstable reports whether err means the offered load saturates the
+// network (errors.Is on ErrUnstable anywhere in the chain).
+func IsUnstable(err error) bool { return errors.Is(err, ErrUnstable) }
+
 // Validate checks structural invariants: transition probabilities sum to 1
 // on non-terminal classes, terminal classes have no transitions, rates and
 // server counts are sane.

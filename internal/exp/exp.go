@@ -84,7 +84,7 @@ func CompareCurve(model analytic.NetworkModel, net topology.Network, flits int,
 		switch {
 		case err == nil:
 			pt.Model = lat.Total
-		case isUnstable(err):
+		case core.IsUnstable(err):
 			pt.Model = math.Inf(1)
 		default:
 			return nil, fmt.Errorf("exp: model at load %v: %w", load, err)
@@ -110,20 +110,6 @@ func CompareCurve(model analytic.NetworkModel, net topology.Network, flits int,
 		pts = append(pts, pt)
 	}
 	return pts, nil
-}
-
-func isUnstable(err error) bool {
-	for e := err; e != nil; {
-		if e == core.ErrUnstable {
-			return true
-		}
-		u, ok := e.(interface{ Unwrap() error })
-		if !ok {
-			return false
-		}
-		e = u.Unwrap()
-	}
-	return false
 }
 
 // CurveSeries converts comparison points into plot series (model solid,

@@ -5,11 +5,8 @@ import (
 	"math"
 	"strings"
 
-	"repro/internal/analytic"
-	"repro/internal/core"
 	"repro/internal/series"
-	"repro/internal/sim"
-	"repro/internal/topology"
+	"repro/internal/sweep"
 )
 
 // Figure3Config parameterises experiment F3 (the paper's Figure 3:
@@ -56,10 +53,33 @@ type Figure3Result struct {
 	UnloadedLatency map[int]float64
 }
 
-// Figure3 runs experiment F3.
+// Figure3Spec compiles the experiment configuration into the equivalent
+// declarative sweep spec; Figure3 is a thin wrapper over it.
+func Figure3Spec(cfg Figure3Config) sweep.Spec {
+	return sweep.Spec{
+		Name:        "figure3",
+		Description: fmt.Sprintf("Figure 3: latency vs load, %d-PE butterfly fat-tree", cfg.NumProc),
+		Topologies:  []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{cfg.NumProc}}},
+		MsgFlits:    cfg.MsgFlits,
+		Loads:       sweep.LoadSpec{Points: cfg.Points, MaxFrac: cfg.MaxFrac},
+		WithSim:     cfg.WithSim,
+		Budget:      sweepBudget(cfg.Budget),
+	}
+}
+
+// Figure3 runs experiment F3 through the package's shared sweep runner.
 func Figure3(cfg Figure3Config) (*Figure3Result, error) {
+	return Figure3Run(cfg, defaultRunner)
+}
+
+// Figure3Run runs experiment F3 on the given sweep runner.
+func Figure3Run(cfg Figure3Config, r *sweep.Runner) (*Figure3Result, error) {
 	if cfg.NumProc == 0 {
 		cfg = DefaultFigure3()
+	}
+	sw, err := r.Run(Figure3Spec(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("exp: figure3: %w", err)
 	}
 	res := &Figure3Result{
 		Config:          cfg,
@@ -67,34 +87,13 @@ func Figure3(cfg Figure3Config) (*Figure3Result, error) {
 		SaturationLoad:  map[int]float64{},
 		UnloadedLatency: map[int]float64{},
 	}
-	var net topology.Network
-	if cfg.WithSim {
-		ft, err := topology.NewFatTree(cfg.NumProc)
-		if err != nil {
-			return nil, err
-		}
-		net = ft
+	for _, c := range sw.Curves {
+		res.SaturationLoad[c.MsgFlits] = c.SaturationLoad
+		res.UnloadedLatency[c.MsgFlits] = float64(c.MsgFlits) + c.AvgDist - 1
 	}
-	for _, flits := range cfg.MsgFlits {
-		model, err := analytic.NewFatTreeModel(cfg.NumProc, float64(flits), core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		sat, err := model.SaturationLoad()
-		if err != nil {
-			return nil, fmt.Errorf("exp: figure3 saturation for s=%d: %w", flits, err)
-		}
-		res.SaturationLoad[flits] = sat
-		res.UnloadedLatency[flits] = float64(flits) + model.AvgDist() - 1
-		loads, err := LoadsUpTo(model, cfg.Points, cfg.MaxFrac)
-		if err != nil {
-			return nil, err
-		}
-		pts, err := CompareCurveParallel(model, net, flits, loads, cfg.Budget, sim.PairQueue, 0)
-		if err != nil {
-			return nil, fmt.Errorf("exp: figure3 s=%d: %w", flits, err)
-		}
-		res.Curves[flits] = pts
+	for _, row := range sw.Rows {
+		flits := row.Scenario.MsgFlits
+		res.Curves[flits] = append(res.Curves[flits], comparisonPoint(row))
 	}
 	return res, nil
 }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/sweep"
 )
 
 // RunAllConfig parameterises a full reproduction run.
@@ -47,12 +49,24 @@ func RunAll(cfg RunAllConfig) (string, error) {
 		return os.WriteFile(filepath.Join(cfg.Dir, name), []byte(content), 0o644)
 	}
 
+	// The sweep-backed experiments (F3, T1) share one runner so their
+	// grids land in a common cache and progress streams to cfg.Log.
+	runner := &sweep.Runner{
+		Cache: sweep.NewCache(),
+		Progress: func(ev sweep.Event) {
+			if ev.Done == ev.Total || ev.Done%10 == 0 {
+				fmt.Fprintf(cfg.Log, "  sweep %d/%d cells (%s)\n",
+					ev.Done, ev.Total, ev.Scenario.CurveKey())
+			}
+		},
+	}
+
 	// F3.
 	fmt.Fprintln(cfg.Log, "running F3 (Figure 3)...")
-	f3, err := Figure3(Figure3Config{
+	f3, err := Figure3Run(Figure3Config{
 		NumProc: figN, MsgFlits: flits, Points: 10, MaxFrac: 0.95,
 		WithSim: true, Budget: cfg.Budget,
-	})
+	}, runner)
 	if err != nil {
 		return "", fmt.Errorf("F3: %w", err)
 	}
@@ -67,7 +81,7 @@ func RunAll(cfg RunAllConfig) (string, error) {
 
 	// T1.
 	fmt.Fprintln(cfg.Log, "running T1 (validation grid)...")
-	grid, err := ValidationGrid(sizes, flits, []float64{0.2, 0.5, 0.8}, cfg.Budget)
+	grid, err := ValidationGridRun(sizes, flits, []float64{0.2, 0.5, 0.8}, cfg.Budget, runner)
 	if err != nil {
 		return "", fmt.Errorf("T1: %w", err)
 	}

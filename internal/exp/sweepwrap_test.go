@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestFigure3MatchesSweepSpec pins the acceptance contract of the sweep
+// engine: running the Figure 3 grid through the declarative spec (what
+// cmd/sweep does) gives the same numbers as the experiment wrapper (what
+// cmd/figure3 does), cell for cell, far inside 1e-9.
+func TestFigure3MatchesSweepSpec(t *testing.T) {
+	cfg := Figure3Config{
+		NumProc:  64,
+		MsgFlits: []int{8, 16},
+		Points:   3,
+		MaxFrac:  0.8,
+		WithSim:  true,
+		Budget:   tiny,
+	}
+	viaExp, err := Figure3Run(cfg, &sweep.Runner{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSpec, err := (&sweep.Runner{Workers: 1}).Run(Figure3Spec(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, flits := range cfg.MsgFlits {
+		for _, pt := range viaExp.Curves[flits] {
+			row := viaSpec.Rows[i]
+			i++
+			if row.Scenario.MsgFlits != flits {
+				t.Fatalf("row %d is s=%d, want %d", i-1, row.Scenario.MsgFlits, flits)
+			}
+			if math.Abs(row.LoadFlits-pt.LoadFlits) > 1e-9 ||
+				math.Abs(row.Model-pt.Model) > 1e-9 ||
+				math.Abs(row.Sim-pt.Sim) > 1e-9 {
+				t.Errorf("s=%d load %v: spec (%v, %v) vs exp (%v, %v)",
+					flits, pt.LoadFlits, row.Model, row.Sim, pt.Model, pt.Sim)
+			}
+		}
+	}
+	if i != len(viaSpec.Rows) {
+		t.Errorf("row counts differ: %d vs %d", len(viaSpec.Rows), i)
+	}
+	for _, c := range viaSpec.Curves {
+		if math.Abs(c.SaturationLoad-viaExp.SaturationLoad[c.MsgFlits]) > 1e-12 {
+			t.Errorf("s=%d saturation differs: %v vs %v",
+				c.MsgFlits, c.SaturationLoad, viaExp.SaturationLoad[c.MsgFlits])
+		}
+	}
+}
+
+// TestValidationGridMatchesSweepSpec does the same for the T1 grid.
+func TestValidationGridMatchesSweepSpec(t *testing.T) {
+	sizes, flits, fracs := []int{16, 64}, []int{8}, []float64{0.3, 0.6}
+	rows, err := ValidationGridRun(sizes, flits, fracs, tiny, &sweep.Runner{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&sweep.Runner{Workers: 1}).Run(GridSpec(sizes, flits, fracs, tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(res.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(rows), len(res.Rows))
+	}
+	for i, gr := range rows {
+		row := res.Rows[i]
+		if gr.NumProc != row.Scenario.Topology.Size || gr.MsgFlits != row.Scenario.MsgFlits {
+			t.Errorf("row %d identity mismatch: %+v vs %+v", i, gr, row.Scenario)
+		}
+		if math.Abs(gr.Model-row.Model) > 1e-9 || math.Abs(gr.Sim-row.Sim) > 1e-9 {
+			t.Errorf("row %d values differ: (%v, %v) vs (%v, %v)",
+				i, gr.Model, gr.Sim, row.Model, row.Sim)
+		}
+	}
+}
+
+// TestSharedRunnerCachesAcrossExperiments verifies the package-level
+// runner reuses cells across repeated experiment invocations.
+func TestSharedRunnerCachesAcrossExperiments(t *testing.T) {
+	r := &sweep.Runner{Cache: sweep.NewCache()}
+	cfg := Figure3Config{NumProc: 16, MsgFlits: []int{4}, Points: 2, MaxFrac: 0.6,
+		WithSim: true, Budget: tiny}
+	if _, err := Figure3Run(cfg, r); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Figure3Run(cfg, r); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.Cache.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}

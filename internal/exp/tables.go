@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/series"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -27,36 +28,42 @@ type GridRow struct {
 	RelErr float64
 }
 
-// ValidationGrid runs experiment T1.
+// GridSpec compiles the T1 validation grid into the equivalent
+// declarative sweep spec; ValidationGrid is a thin wrapper over it.
+func GridSpec(sizes, msgFlits []int, fracs []float64, b Budget) sweep.Spec {
+	return sweep.Spec{
+		Name:        "validation-grid",
+		Description: "T1 validation grid: model vs simulation at fractions of saturation",
+		Topologies:  []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: sizes}},
+		MsgFlits:    msgFlits,
+		Loads:       sweep.LoadSpec{Fracs: fracs},
+		WithSim:     true,
+		Budget:      sweepBudget(b),
+	}
+}
+
+// ValidationGrid runs experiment T1 through the package's shared sweep
+// runner.
 func ValidationGrid(sizes, msgFlits []int, fracs []float64, b Budget) ([]GridRow, error) {
-	var rows []GridRow
-	for _, n := range sizes {
-		net, err := topology.NewFatTree(n)
-		if err != nil {
-			return nil, err
-		}
-		for _, flits := range msgFlits {
-			model, err := analytic.NewFatTreeModel(n, float64(flits), core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			sat, err := model.SaturationLoad()
-			if err != nil {
-				return nil, err
-			}
-			for _, frac := range fracs {
-				load := frac * sat
-				pts, err := CompareCurve(model, net, flits, []float64{load}, b, sim.PairQueue)
-				if err != nil {
-					return nil, fmt.Errorf("exp: grid N=%d s=%d frac=%v: %w", n, flits, frac, err)
-				}
-				p := pts[0]
-				rows = append(rows, GridRow{
-					NumProc: n, MsgFlits: flits, Frac: frac, LoadFlits: load,
-					Model: p.Model, Sim: p.Sim, SimCI: p.SimCI, RelErr: p.RelErr(),
-				})
-			}
-		}
+	return ValidationGridRun(sizes, msgFlits, fracs, b, defaultRunner)
+}
+
+// ValidationGridRun runs experiment T1 on the given sweep runner.
+func ValidationGridRun(sizes, msgFlits []int, fracs []float64, b Budget, r *sweep.Runner) ([]GridRow, error) {
+	sw, err := r.Run(GridSpec(sizes, msgFlits, fracs, b))
+	if err != nil {
+		return nil, fmt.Errorf("exp: validation grid: %w", err)
+	}
+	rows := make([]GridRow, 0, len(sw.Rows))
+	for _, row := range sw.Rows {
+		rows = append(rows, GridRow{
+			NumProc:   row.Scenario.Topology.Size,
+			MsgFlits:  row.Scenario.MsgFlits,
+			Frac:      row.Scenario.Load.Value,
+			LoadFlits: row.LoadFlits,
+			Model:     row.Model, Sim: row.Sim, SimCI: row.SimCI,
+			RelErr: row.RelErr(),
+		})
 	}
 	return rows, nil
 }

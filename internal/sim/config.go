@@ -62,6 +62,21 @@ func (p UpLinkPolicy) String() string {
 	}
 }
 
+// ParsePolicy maps a policy name (as produced by String) back to its
+// constant; the empty string means the default PairQueue. It is the
+// decoder behind declarative configs such as sweep specs.
+func ParsePolicy(name string) (UpLinkPolicy, error) {
+	switch name {
+	case "", PairQueue.String():
+		return PairQueue, nil
+	case RandomFixed.String():
+		return RandomFixed, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown policy %q (want %q or %q)",
+			name, PairQueue, RandomFixed)
+	}
+}
+
 // Config parameterises one simulation run.
 type Config struct {
 	// Net is the network to simulate.

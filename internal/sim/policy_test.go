@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicyRoundTrip(t *testing.T) {
+	for _, p := range []UpLinkPolicy{PairQueue, RandomFixed} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", p, err)
+		}
+		if got != p {
+			t.Errorf("ParsePolicy(%q) = %v, want %v", p, got, p)
+		}
+	}
+}
+
+func TestParsePolicyDefaultAndErrors(t *testing.T) {
+	if got, err := ParsePolicy(""); err != nil || got != PairQueue {
+		t.Errorf("empty name: got %v, %v; want PairQueue", got, err)
+	}
+	_, err := ParsePolicy("lifo")
+	if err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Errorf("want unknown-policy error, got %v", err)
+	}
+}

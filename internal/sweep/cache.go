@@ -1,0 +1,68 @@
+package sweep
+
+import "sync"
+
+// Cell is the cached outcome of one scenario: everything a Row carries
+// that is independent of the scenario's position in a particular sweep.
+type Cell struct {
+	// LoadFlits is the resolved absolute load (flits/cycle/processor).
+	LoadFlits float64
+	// Model is the predicted latency; +Inf when the model saturates.
+	Model float64
+	// ModelSaturated marks the +Inf case for JSON-safe serialisation.
+	ModelSaturated bool
+	// Sim is the measured latency (NaN when simulation was skipped),
+	// SimCI the 95% batch-means half-width.
+	Sim, SimCI float64
+	// SimSaturated reports the simulator could not sustain the load.
+	SimSaturated bool
+}
+
+// Cache is a concurrency-safe in-memory result cache keyed by
+// Scenario.Key. A cache can be shared across Runners and specs: any cell
+// of an overlapping grid is computed once per process.
+type Cache struct {
+	mu     sync.Mutex
+	cells  map[string]Cell
+	hits   int64
+	misses int64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{cells: make(map[string]Cell)}
+}
+
+// Get returns the cached cell for key, counting a hit or miss.
+func (c *Cache) Get(key string) (Cell, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cell, ok := c.cells[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return cell, ok
+}
+
+// Put stores a cell under key.
+func (c *Cache) Put(key string, cell Cell) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells[key] = cell
+}
+
+// Len returns the number of cached cells.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Stats returns the lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

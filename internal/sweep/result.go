@@ -1,0 +1,204 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/series"
+)
+
+// CurveInfo summarises one curve (topology × message length × policy) of
+// a sweep: the model behind it, its saturation operating point (Eq. 26),
+// and its average distance D̄.
+type CurveInfo struct {
+	Topology Topology `json:"topology"`
+	MsgFlits int      `json:"msg_flits"`
+	Policy   string   `json:"policy"`
+	// Model is the model's name, e.g. "bft-1024/s=16".
+	Model string `json:"model"`
+	// SaturationLoad is in flits/cycle/processor; NaN when the search
+	// failed and no fractional loads needed it.
+	SaturationLoad float64 `json:"-"`
+	// AvgDist is D̄ in channels.
+	AvgDist float64 `json:"avg_dist"`
+}
+
+// Row is one executed scenario.
+type Row struct {
+	Scenario Scenario
+	Cell
+	// Cached reports the row was served from the runner's cache.
+	Cached bool
+}
+
+// RelErr returns |sim−model|/model, or NaN when either side is not
+// finite.
+func (r Row) RelErr() float64 {
+	if math.IsInf(r.Model, 0) || math.IsNaN(r.Model) || math.IsNaN(r.Sim) {
+		return math.NaN()
+	}
+	return math.Abs(r.Sim-r.Model) / r.Model
+}
+
+func rowFromCell(sc Scenario, cell Cell, cached bool) Row {
+	return Row{Scenario: sc, Cell: cell, Cached: cached}
+}
+
+// Result is one executed sweep: rows in expansion order plus per-curve
+// metadata and cache accounting.
+type Result struct {
+	Spec   Spec
+	Rows   []Row
+	Curves []CurveInfo
+	// CacheHits and CacheMisses count this run's cells by provenance.
+	CacheHits, CacheMisses int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// CurvePoints returns the rows of one curve, in load order.
+func (r *Result) CurvePoints(curveKey string) []Row {
+	var out []Row
+	for _, row := range r.Rows {
+		if row.Scenario.CurveKey() == curveKey {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Table renders the sweep as the repo's standard fixed-width table.
+func (r *Result) Table() *series.Table {
+	tbl := &series.Table{Headers: []string{
+		"topology", "flits", "policy", "flits/cyc/PE", "model L", "sim L", "±CI", "rel err", "cached"}}
+	for _, row := range r.Rows {
+		model := "sat"
+		if !row.ModelSaturated {
+			model = fmt.Sprintf("%.4f", row.Model)
+		}
+		simCell, ciCell, errCell := "-", "-", "-"
+		if !math.IsNaN(row.Sim) {
+			simCell = fmt.Sprintf("%.4f", row.Sim)
+			ciCell = fmt.Sprintf("%.4f", row.SimCI)
+			if row.SimSaturated {
+				simCell += "*"
+			}
+			if e := row.RelErr(); !math.IsNaN(e) {
+				errCell = fmt.Sprintf("%.1f%%", e*100)
+			}
+		}
+		cached := ""
+		if row.Cached {
+			cached = "yes"
+		}
+		tbl.AddRow(
+			row.Scenario.Topology.String(),
+			fmt.Sprintf("%d", row.Scenario.MsgFlits),
+			row.Scenario.Policy.String(),
+			fmt.Sprintf("%.6f", row.LoadFlits),
+			model, simCell, ciCell, errCell, cached,
+		)
+	}
+	return tbl
+}
+
+// Summary renders a short account of the run: grid shape, cache
+// behaviour, and per-curve saturation loads.
+func (r *Result) Summary() string {
+	name := r.Spec.Name
+	if name == "" {
+		name = "sweep"
+	}
+	out := fmt.Sprintf("%s: %d cells (%d curves), %d computed, %d cached, %s\n",
+		name, len(r.Rows), len(r.Curves), r.CacheMisses, r.CacheHits,
+		r.Elapsed.Round(time.Millisecond))
+	for _, c := range r.Curves {
+		sat := "n/a"
+		if !math.IsNaN(c.SaturationLoad) {
+			sat = fmt.Sprintf("%.4f", c.SaturationLoad)
+		}
+		out += fmt.Sprintf("  %-28s D=%.2f saturation %s flits/cyc/PE\n",
+			fmt.Sprintf("%s s=%d %s", c.Topology, c.MsgFlits, c.Policy), c.AvgDist, sat)
+	}
+	return out
+}
+
+// jsonRow flattens a Row for serialisation; non-finite floats become
+// null/absent, which encoding/json cannot express natively.
+type jsonRow struct {
+	Topology       string   `json:"topology"`
+	Family         string   `json:"family"`
+	Size           int      `json:"size"`
+	K              int      `json:"k,omitempty"`
+	MsgFlits       int      `json:"msg_flits"`
+	Policy         string   `json:"policy"`
+	LoadFlits      float64  `json:"load_flits"`
+	ModelLatency   *float64 `json:"model_latency"`
+	ModelSaturated bool     `json:"model_saturated,omitempty"`
+	SimLatency     *float64 `json:"sim_latency,omitempty"`
+	SimCI95        *float64 `json:"sim_ci95,omitempty"`
+	SimSaturated   bool     `json:"sim_saturated,omitempty"`
+	Seed           uint64   `json:"seed"`
+	Cached         bool     `json:"cached,omitempty"`
+}
+
+type jsonCurve struct {
+	CurveInfo
+	SaturationLoad *float64 `json:"saturation_load"`
+}
+
+type jsonResult struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Curves      []jsonCurve `json:"curves"`
+	Rows        []jsonRow   `json:"rows"`
+	CacheHits   int         `json:"cache_hits"`
+	CacheMisses int         `json:"cache_misses"`
+	ElapsedMS   int64       `json:"elapsed_ms"`
+}
+
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON serialises the result with non-finite values mapped to
+// null (model saturation keeps its boolean marker).
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := jsonResult{
+		Name:        r.Spec.Name,
+		Description: r.Spec.Description,
+		CacheHits:   r.CacheHits,
+		CacheMisses: r.CacheMisses,
+		ElapsedMS:   r.Elapsed.Milliseconds(),
+	}
+	for _, c := range r.Curves {
+		out.Curves = append(out.Curves, jsonCurve{CurveInfo: c, SaturationLoad: finitePtr(c.SaturationLoad)})
+	}
+	for _, row := range r.Rows {
+		jr := jsonRow{
+			Topology:       row.Scenario.Topology.String(),
+			Family:         row.Scenario.Topology.Family,
+			Size:           row.Scenario.Topology.Size,
+			K:              row.Scenario.Topology.K,
+			MsgFlits:       row.Scenario.MsgFlits,
+			Policy:         row.Scenario.Policy.String(),
+			LoadFlits:      row.LoadFlits,
+			ModelLatency:   finitePtr(row.Model),
+			ModelSaturated: row.ModelSaturated,
+			SimLatency:     finitePtr(row.Sim),
+			SimSaturated:   row.SimSaturated,
+			Seed:           row.Scenario.Seed(),
+			Cached:         row.Cached,
+		}
+		if !math.IsNaN(row.Sim) {
+			jr.SimCI95 = finitePtr(row.SimCI)
+		}
+		out.Rows = append(out.Rows, jr)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,254 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Event is one progress notification: scenario sc just finished (or was
+// served from cache), done of total cells are now complete.
+type Event struct {
+	Done, Total int
+	Scenario    Scenario
+	Cached      bool
+}
+
+// Runner executes sweep specs. The zero value is ready to use: it sizes
+// the pool to GOMAXPROCS and caches within a single Run only. Set Cache
+// to share results across Runs (and specs), Progress to stream per-cell
+// completion events.
+type Runner struct {
+	// Workers bounds the worker pool; 0 defers to the spec, then to
+	// GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before and filled after every
+	// scenario. Scenario keys capture every result-affecting input, so a
+	// cache may safely outlive any one spec.
+	Cache *Cache
+	// Progress, when non-nil, receives an Event per completed cell. It is
+	// called from worker goroutines under a lock (events arrive in
+	// completion order, never concurrently).
+	Progress func(Event)
+}
+
+// curve is the per-(topology × message length × policy) context shared by
+// the scenarios of one curve.
+type curve struct {
+	info  CurveInfo
+	model Model
+	net   topology.Network
+}
+
+// Run expands the spec and executes every scenario, returning rows in
+// expansion order. Results are independent of the worker count: each
+// scenario derives its seed from the spec seed and its own curve
+// position, never from scheduling.
+func (r *Runner) Run(spec Spec) (*Result, error) {
+	start := time.Now()
+	scens, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	curves, err := r.resolveCurves(spec, scens)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: spec, Rows: make([]Row, len(scens))}
+	for _, key := range curveOrder(scens) {
+		res.Curves = append(res.Curves, curves[key].info)
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = spec.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var mu sync.Mutex // guards done count, cache tallies, Progress
+	done := 0
+	finish := func(i int, cached bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		if cached {
+			res.CacheHits++
+		} else {
+			res.CacheMisses++
+		}
+		if r.Progress != nil {
+			r.Progress(Event{Done: done, Total: len(scens), Scenario: scens[i], Cached: cached})
+		}
+	}
+
+	jobs := make(chan int)
+	errs := make([]error, len(scens))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sc := scens[i]
+				cell, err := runScenario(sc, curves[sc.CurveKey()])
+				if err != nil {
+					errs[i] = err
+					finish(i, false)
+					continue
+				}
+				if r.Cache != nil {
+					r.Cache.Put(sc.Key(), cell)
+				}
+				res.Rows[i] = rowFromCell(sc, cell, false)
+				finish(i, false)
+			}
+		}()
+	}
+	for i, sc := range scens {
+		if r.Cache != nil {
+			if cell, ok := r.Cache.Get(sc.Key()); ok {
+				res.Rows[i] = rowFromCell(sc, cell, true)
+				finish(i, true)
+				continue
+			}
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%s, load %v): %w",
+				i, scens[i].CurveKey(), scens[i].Load.Value, err)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// resolveCurves builds the per-curve context of the grid. Models (and
+// the Eq. 26 saturation search anchoring fractional load points) are
+// policy-independent, so they are shared across the policy axis, as
+// networks are shared across every curve of one topology instance.
+func (r *Runner) resolveCurves(spec Spec, scens []Scenario) (map[string]curve, error) {
+	type modelKey struct {
+		topo  Topology
+		flits int
+	}
+	type modelEntry struct {
+		model Model
+		sat   float64
+	}
+	curves := make(map[string]curve)
+	models := make(map[modelKey]modelEntry)
+	nets := make(map[Topology]topology.Network)
+	needSat := false
+	for _, sc := range scens {
+		if sc.Load.Frac {
+			needSat = true
+			break
+		}
+	}
+	for _, sc := range scens {
+		key := sc.CurveKey()
+		if _, ok := curves[key]; ok {
+			continue
+		}
+		mk := modelKey{sc.Topology, sc.MsgFlits}
+		me, ok := models[mk]
+		if !ok {
+			model, err := sc.Topology.NewModel(sc.MsgFlits)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %s: %w", key, err)
+			}
+			me = modelEntry{model: model, sat: math.NaN()}
+			if sat, err := model.SaturationLoad(); err == nil {
+				me.sat = sat
+			} else if needSat {
+				return nil, fmt.Errorf("sweep: %s: saturation load (needed for fractional load points): %w", key, err)
+			}
+			models[mk] = me
+		}
+		cv := curve{model: me.model, info: CurveInfo{
+			Topology: sc.Topology, MsgFlits: sc.MsgFlits,
+			Policy: sc.Policy.String(), Model: me.model.Name(),
+			AvgDist: me.model.AvgDist(), SaturationLoad: me.sat,
+		}}
+		if sc.WithSim {
+			net, ok := nets[sc.Topology]
+			if !ok {
+				n, err := sc.Topology.NewNetwork()
+				if err != nil {
+					return nil, fmt.Errorf("sweep: %s: %w", key, err)
+				}
+				net = n
+				nets[sc.Topology] = net
+			}
+			cv.net = net
+		}
+		curves[key] = cv
+	}
+	return curves, nil
+}
+
+// curveOrder returns curve keys in order of first appearance.
+func curveOrder(scens []Scenario) []string {
+	var order []string
+	seen := make(map[string]bool)
+	for _, sc := range scens {
+		if key := sc.CurveKey(); !seen[key] {
+			seen[key] = true
+			order = append(order, key)
+		}
+	}
+	return order
+}
+
+// runScenario computes one cell: the model's prediction and, when
+// configured, a simulation measurement.
+func runScenario(sc Scenario, cv curve) (Cell, error) {
+	load := sc.Load.Value
+	if sc.Load.Frac {
+		load = cv.info.SaturationLoad * sc.Load.Value
+	}
+	cell := Cell{LoadFlits: load, Sim: math.NaN()}
+	lat, err := cv.model.Latency(load / float64(sc.MsgFlits))
+	switch {
+	case err == nil:
+		cell.Model = lat.Total
+	case core.IsUnstable(err):
+		cell.Model = math.Inf(1)
+		cell.ModelSaturated = true
+	default:
+		return Cell{}, fmt.Errorf("model: %w", err)
+	}
+	if sc.WithSim {
+		cfg := sim.Config{
+			Net:           cv.net,
+			MsgFlits:      sc.MsgFlits,
+			Pattern:       traffic.Uniform{},
+			Seed:          sc.Seed(),
+			WarmupCycles:  sc.Budget.Warmup,
+			MeasureCycles: sc.Budget.Measure,
+			Policy:        sc.Policy,
+		}.FlitLoad(load)
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return Cell{}, fmt.Errorf("sim: %w", err)
+		}
+		cell.Sim = res.LatencyMean
+		cell.SimCI = res.LatencyCI95
+		cell.SimSaturated = res.Saturated
+	}
+	return cell, nil
+}

@@ -1,0 +1,209 @@
+// Package sweep is the declarative scenario-sweep engine: a JSON-decodable
+// Spec describes a grid of scenarios — topology family and sizes, message
+// lengths, up-link policies, load points, and a simulation budget — which
+// Expand turns into a deterministic list of Scenario values and Runner
+// executes on a bounded worker pool with an in-memory result cache.
+//
+// The engine generalises the per-figure experiment drivers of package exp:
+// a figure or table of the paper is just one point grid (see Builtin for
+// the paper's Figure 3 and Table-2-style validation grids), and any other
+// grid — larger machines, longer messages, other topology families — is a
+// spec away. Per-scenario seeds are derived from the spec seed and the
+// scenario's position within its curve, never from scheduling order, so a
+// sweep's numbers are independent of the worker count.
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Topology families understood by TopologySpec.Family.
+const (
+	// FamilyBFT is the paper's butterfly fat-tree; sizes are processor
+	// counts (powers of four >= 4).
+	FamilyBFT = "bft"
+	// FamilyHypercube is the binary hypercube; sizes are dimension counts.
+	FamilyHypercube = "hypercube"
+	// FamilyTorus is the unidirectional k-ary n-cube; sizes are dimension
+	// counts and K is the radix. The torus has an analytical model but no
+	// simulator topology, so torus sweeps must be model-only.
+	FamilyTorus = "torus"
+)
+
+// Budget scales the simulation effort of every scenario in a spec.
+type Budget struct {
+	// Warmup and Measure are the simulator's window sizes in cycles.
+	Warmup  int `json:"warmup"`
+	Measure int `json:"measure"`
+	// Seed is the base seed; each scenario derives its own from it (see
+	// Scenario.Seed).
+	Seed uint64 `json:"seed"`
+}
+
+// Quick is sized for CI and iterative work, Full for report-quality
+// numbers. They mirror the budgets package exp has always used.
+var (
+	Quick = Budget{Warmup: 4000, Measure: 20000, Seed: 1}
+	Full  = Budget{Warmup: 20000, Measure: 120000, Seed: 1}
+)
+
+// TopologySpec names one topology family and the sizes to sweep.
+type TopologySpec struct {
+	// Family is one of FamilyBFT, FamilyHypercube, FamilyTorus.
+	Family string `json:"family"`
+	// Sizes lists the instances: processor counts for the fat-tree,
+	// dimension counts for the hypercube and torus.
+	Sizes []int `json:"sizes"`
+	// K is the torus radix (>= 2); ignored by the other families.
+	K int `json:"k,omitempty"`
+}
+
+// LoadSpec describes the load points of every curve in the grid, in
+// exactly one of three forms.
+type LoadSpec struct {
+	// Flits lists absolute loads in flits/cycle/processor.
+	Flits []float64 `json:"flits,omitempty"`
+	// Fracs lists loads as fractions of each curve's model saturation
+	// load (the paper's validation-grid style).
+	Fracs []float64 `json:"fracs,omitempty"`
+	// Points/MaxFrac is sugar for Fracs: Points evenly spaced fractions
+	// in (0, MaxFrac] (the paper's Figure 3 style).
+	Points  int     `json:"points,omitempty"`
+	MaxFrac float64 `json:"max_frac,omitempty"`
+}
+
+// Spec declares a scenario grid. The zero value is invalid; every field
+// below without a default must be set.
+type Spec struct {
+	// Name and Description label reports; Name defaults to "sweep".
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
+	// Topologies × MsgFlits × Policies × Loads is the grid.
+	Topologies []TopologySpec `json:"topologies"`
+	MsgFlits   []int          `json:"msg_flits"`
+	// Policies lists up-link arbitration policies by name ("pairqueue",
+	// "randomfixed"); empty means pairqueue only.
+	Policies []string `json:"policies,omitempty"`
+	Loads    LoadSpec `json:"loads"`
+	// WithSim runs the flit-level simulator alongside the model.
+	WithSim bool `json:"with_sim"`
+	// Budget scales the simulation; ignored (and may be zero) when
+	// WithSim is false.
+	Budget Budget `json:"budget"`
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParseSpec decodes a JSON spec, rejecting unknown fields, and validates
+// it.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// policies returns the policy list with the default applied.
+func (s *Spec) policies() []string {
+	if len(s.Policies) == 0 {
+		return []string{sim.PairQueue.String()}
+	}
+	return s.Policies
+}
+
+// fracs returns the Points/MaxFrac sugar expanded to explicit fractions,
+// or nil when the spec uses another load form.
+func (l *LoadSpec) fracs() []float64 {
+	if len(l.Fracs) > 0 {
+		return l.Fracs
+	}
+	if l.Points > 0 {
+		out := make([]float64, l.Points)
+		for i := range out {
+			out[i] = l.MaxFrac * float64(i+1) / float64(l.Points)
+		}
+		return out
+	}
+	return nil
+}
+
+// Validate reports the first problem with the spec.
+func (s *Spec) Validate() error {
+	if len(s.Topologies) == 0 {
+		return fmt.Errorf("sweep: spec %q has no topologies", s.Name)
+	}
+	for i, t := range s.Topologies {
+		switch t.Family {
+		case FamilyBFT, FamilyHypercube:
+		case FamilyTorus:
+			if t.K < 2 {
+				return fmt.Errorf("sweep: topologies[%d]: torus needs k >= 2, got %d", i, t.K)
+			}
+			if s.WithSim {
+				return fmt.Errorf("sweep: topologies[%d]: the torus has no simulator topology; set with_sim=false", i)
+			}
+		default:
+			return fmt.Errorf("sweep: topologies[%d]: unknown family %q (want %q, %q or %q)",
+				i, t.Family, FamilyBFT, FamilyHypercube, FamilyTorus)
+		}
+		if len(t.Sizes) == 0 {
+			return fmt.Errorf("sweep: topologies[%d] (%s) has no sizes", i, t.Family)
+		}
+		for _, n := range t.Sizes {
+			if n < 1 {
+				return fmt.Errorf("sweep: topologies[%d] (%s): bad size %d", i, t.Family, n)
+			}
+		}
+	}
+	if len(s.MsgFlits) == 0 {
+		return fmt.Errorf("sweep: spec %q has no msg_flits", s.Name)
+	}
+	for _, f := range s.MsgFlits {
+		if f < 1 {
+			return fmt.Errorf("sweep: bad message length %d flits", f)
+		}
+	}
+	for _, p := range s.Policies {
+		if _, err := sim.ParsePolicy(p); err != nil {
+			return err
+		}
+	}
+	modes := 0
+	if len(s.Loads.Flits) > 0 {
+		modes++
+	}
+	if len(s.Loads.Fracs) > 0 {
+		modes++
+	}
+	if s.Loads.Points > 0 {
+		modes++
+		if s.Loads.MaxFrac <= 0 {
+			return fmt.Errorf("sweep: loads.points needs loads.max_frac > 0, got %v", s.Loads.MaxFrac)
+		}
+	}
+	if modes != 1 {
+		return fmt.Errorf("sweep: loads must set exactly one of flits, fracs, or points/max_frac (got %d forms)", modes)
+	}
+	for _, v := range append(append([]float64{}, s.Loads.Flits...), s.Loads.Fracs...) {
+		if v <= 0 {
+			return fmt.Errorf("sweep: bad load point %v, must be > 0", v)
+		}
+	}
+	if s.WithSim && s.Budget.Measure <= 0 {
+		return fmt.Errorf("sweep: with_sim needs budget.measure > 0, got %d", s.Budget.Measure)
+	}
+	if s.Budget.Warmup < 0 || s.Budget.Measure < 0 {
+		return fmt.Errorf("sweep: bad budget window (warmup=%d, measure=%d)", s.Budget.Warmup, s.Budget.Measure)
+	}
+	return nil
+}

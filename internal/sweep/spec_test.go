@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func validSpec() Spec {
+	return Spec{
+		Name:       "t",
+		Topologies: []TopologySpec{{Family: FamilyBFT, Sizes: []int{16}}},
+		MsgFlits:   []int{4},
+		Loads:      LoadSpec{Fracs: []float64{0.5}},
+		WithSim:    true,
+		Budget:     Budget{Warmup: 100, Measure: 1000, Seed: 1},
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	want := validSpec()
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || got.Topologies[0].Family != FamilyBFT ||
+		got.MsgFlits[0] != 4 || got.Loads.Fracs[0] != 0.5 || !got.WithSim ||
+		got.Budget != want.Budget {
+		t.Errorf("round trip mangled the spec: %+v", got)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ParseSpec([]byte(`{"topologies":[],"msg_flit":[16]}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("want unknown-field error, got %v", err)
+	}
+}
+
+func TestParseSpecRejectsMalformedJSON(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{`)); err == nil {
+		t.Error("accepted malformed JSON")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"no topologies", func(s *Spec) { s.Topologies = nil }, "no topologies"},
+		{"unknown family", func(s *Spec) { s.Topologies[0].Family = "mesh" }, "unknown family"},
+		{"no sizes", func(s *Spec) { s.Topologies[0].Sizes = nil }, "no sizes"},
+		{"bad size", func(s *Spec) { s.Topologies[0].Sizes = []int{0} }, "bad size"},
+		{"torus k", func(s *Spec) {
+			s.Topologies[0] = TopologySpec{Family: FamilyTorus, Sizes: []int{3}}
+		}, "k >= 2"},
+		{"torus sim", func(s *Spec) {
+			s.Topologies[0] = TopologySpec{Family: FamilyTorus, Sizes: []int{3}, K: 4}
+		}, "no simulator topology"},
+		{"no flits", func(s *Spec) { s.MsgFlits = nil }, "no msg_flits"},
+		{"bad flits", func(s *Spec) { s.MsgFlits = []int{0} }, "bad message length"},
+		{"bad policy", func(s *Spec) { s.Policies = []string{"lifo"} }, "unknown policy"},
+		{"no loads", func(s *Spec) { s.Loads = LoadSpec{} }, "exactly one"},
+		{"two load forms", func(s *Spec) {
+			s.Loads = LoadSpec{Fracs: []float64{0.5}, Flits: []float64{0.1}}
+		}, "exactly one"},
+		{"points without max_frac", func(s *Spec) { s.Loads = LoadSpec{Points: 4} }, "max_frac"},
+		{"negative load", func(s *Spec) { s.Loads = LoadSpec{Flits: []float64{-0.1}} }, "bad load"},
+		{"sim without measure", func(s *Spec) { s.Budget.Measure = 0 }, "budget.measure"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mut(&s)
+			err := s.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestModelOnlySpecNeedsNoBudget(t *testing.T) {
+	s := validSpec()
+	s.WithSim = false
+	s.Budget = Budget{}
+	if err := s.Validate(); err != nil {
+		t.Errorf("model-only spec should not need a budget: %v", err)
+	}
+}
+
+func TestBuiltinsAreValid(t *testing.T) {
+	names := Builtins()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Builtins() not sorted: %v", names)
+	}
+	for _, name := range names {
+		s, err := Builtin(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("builtin %q has Name %q", name, s.Name)
+		}
+		if _, err := Expand(s); err != nil {
+			t.Errorf("builtin %q does not expand: %v", name, err)
+		}
+	}
+	if _, err := Builtin("no-such-spec"); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+}
+
+func TestBuiltinReturnsIsolatedCopy(t *testing.T) {
+	a, err := Builtin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Topologies[0].Sizes[0] = 16
+	a.MsgFlits[0] = 999
+	a.Loads.Points = 1
+	b, err := Builtin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Topologies[0].Sizes[0] != 1024 || b.MsgFlits[0] != 16 || b.Loads.Points != 10 {
+		t.Errorf("mutating a Builtin result corrupted the registry: %+v", b)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -79,6 +80,14 @@ type (
 	Figure3Config = exp.Figure3Config
 	// Figure3Result holds a Figure 3 reproduction.
 	Figure3Result = exp.Figure3Result
+
+	// SweepSpec declares a scenario grid for the sweep engine (see
+	// docs/sweep.md); SweepRunner executes specs on a bounded worker
+	// pool against an optional SweepCache, producing a SweepResult.
+	SweepSpec   = sweep.Spec
+	SweepRunner = sweep.Runner
+	SweepResult = sweep.Result
+	SweepCache  = sweep.Cache
 )
 
 // Simulator policies.
@@ -125,6 +134,22 @@ func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 // Figure3 regenerates the paper's Figure 3 (see exp.Figure3Config;
 // zero-value config uses the paper's parameters with a CI-sized budget).
 func Figure3(cfg Figure3Config) (*Figure3Result, error) { return exp.Figure3(cfg) }
+
+// Sweep expands and executes a declarative scenario grid with default
+// runner settings. For worker bounds, progress streaming, or a shared
+// cache, use a SweepRunner directly.
+func Sweep(spec SweepSpec) (*SweepResult, error) { return (&SweepRunner{}).Run(spec) }
+
+// ParseSweepSpec decodes and validates a JSON sweep spec.
+func ParseSweepSpec(data []byte) (SweepSpec, error) { return sweep.ParseSpec(data) }
+
+// SweepBuiltin returns a built-in named sweep spec (the paper's grids);
+// sweep.Builtins lists the names.
+func SweepBuiltin(name string) (SweepSpec, error) { return sweep.Builtin(name) }
+
+// NewSweepCache returns an empty sweep result cache for sharing across
+// runners and specs.
+func NewSweepCache() *SweepCache { return sweep.NewCache() }
 
 // QuickBudget and FullBudget are the standard experiment efforts.
 var (

@@ -107,3 +107,38 @@ func TestFacadeFigure3Tiny(t *testing.T) {
 		t.Error("budgets misordered")
 	}
 }
+
+func TestFacadeSweep(t *testing.T) {
+	spec, err := repro.SweepBuiltin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to a model-only grid so the facade test stays fast.
+	spec.Topologies[0].Sizes = []int{16}
+	spec.MsgFlits = []int{8}
+	spec.WithSim = false
+	res, err := repro.Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 || len(res.Curves) != 1 {
+		t.Errorf("rows=%d curves=%d", len(res.Rows), len(res.Curves))
+	}
+
+	if _, err := repro.ParseSweepSpec([]byte(`{"bogus": true}`)); err == nil {
+		t.Error("ParseSweepSpec accepted an unknown field")
+	}
+
+	cache := repro.NewSweepCache()
+	runner := &repro.SweepRunner{Cache: cache}
+	if _, err := runner.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := runner.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.CacheHits != len(res2.Rows) {
+		t.Errorf("rerun hits=%d, want %d", res2.CacheHits, len(res2.Rows))
+	}
+}
