@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt
+.PHONY: all build test bench bench-sweep lint staticcheck fmt
 
 all: lint build test
 
@@ -18,10 +18,25 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
+# Benchmark smoke for the sweep engine: run a fixed small grid and emit
+# BENCH_sweep.json (points/sec) so the performance trajectory is tracked
+# across PRs.
+bench-sweep:
+	$(GO) run ./cmd/sweep -spec builtin:figure3-small -quiet -bench-out BENCH_sweep.json
+	@cat BENCH_sweep.json
+
 lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# staticcheck runs when the binary is available (CI installs it; locally
+# it is optional so the default toolchain stays sufficient).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 fmt:
 	gofmt -w .

@@ -17,6 +17,7 @@
 package repro_test
 
 import (
+	"context"
 	"os"
 	"testing"
 
@@ -276,7 +277,7 @@ func BenchmarkSweepTable2(b *testing.B) {
 	}
 	spec.Budget = sweep.Budget(budget())
 	for i := 0; i < b.N; i++ {
-		if _, err := (&sweep.Runner{}).Run(spec); err != nil {
+		if _, err := (&sweep.Runner{}).Run(context.Background(), spec); err != nil {
 			b.Fatal(err)
 		}
 	}

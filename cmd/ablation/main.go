@@ -2,64 +2,83 @@
 // each novel ingredient removed (blocking correction, multi-server
 // up-links, the published 2λ rate correction) against one simulated
 // reference curve, and — with -sim — the simulator-side policy comparison
-// (shared pair queue vs randomly pinned links).
+// (shared pair queue vs randomly pinned links). Both experiments compile
+// to declarative sweep specs (printable with -dumpspec, runnable with
+// cmd/sweep) executed through the Evaluator backends.
 //
 // Usage:
 //
-//	ablation [-n 1024] [-flits 32] [-points 6] [-full] [-sim] [-csv] [-seed 1]
+//	ablation [-n 1024] [-flits 32] [-points 6] [-full] [-sim] [-csv]
+//	         [-seed 1] [-timeout 0] [-dumpspec]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ablation: ")
+	cliutil.Setup("ablation")
 	var (
-		n      = flag.Int("n", 1024, "number of processors (power of four)")
-		flits  = flag.Int("flits", 32, "message length in flits")
-		points = flag.Int("points", 6, "loads per curve")
-		full   = flag.Bool("full", false, "use the report-quality simulation budget")
-		simCmp = flag.Bool("sim", false, "run the A3 simulator policy comparison instead")
-		csv    = flag.Bool("csv", false, "emit CSV")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
+		n       = flag.Int("n", 1024, "number of processors (power of four)")
+		flits   = flag.Int("flits", 32, "message length in flits")
+		points  = flag.Int("points", 6, "loads per curve")
+		full    = flag.Bool("full", false, "use the report-quality simulation budget")
+		simCmp  = flag.Bool("sim", false, "run the A3 simulator policy comparison instead")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		dump    = flag.Bool("dumpspec", false, "print the sweep spec for these flags as JSON and exit")
 	)
 	flag.Parse()
 	b := cliutil.Budget(*full, *seed)
 
+	specOf := exp.AblationSpec
 	if *simCmp {
-		rows, err := exp.PolicyComparison(*n, *flits, *points, b)
+		specOf = exp.PolicyComparisonSpec
+	}
+	if *dump {
+		spec, err := specOf(*n, *flits, *points, b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tbl := exp.PolicyTable(rows)
-		if *csv {
-			fmt.Fprint(os.Stdout, tbl.CSV())
-			return
+		if err := cliutil.DumpJSON(spec); err != nil {
+			log.Fatal(err)
 		}
-		fmt.Println("A3: simulator up-link policy (pair queue ~ M/G/2, random-fixed ~ 2x M/G/1)")
-		fmt.Print(tbl.String())
 		return
 	}
 
-	res, err := exp.Ablations(*n, *flits, *points, b)
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	runner := sweep.NewRunner()
+
+	if *simCmp {
+		rows, err := exp.PolicyComparisonRun(ctx, *n, *flits, *points, b, runner)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*csv {
+			fmt.Println("A3: simulator up-link policy (pair queue ~ M/G/2, random-fixed ~ 2x M/G/1)")
+		}
+		cliutil.Output(exp.PolicyTable(rows), *csv)
+		return
+	}
+
+	res, err := exp.AblationsRun(ctx, *n, *flits, *points, b, runner)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl := res.Table()
 	if *csv {
-		fmt.Fprint(os.Stdout, tbl.CSV())
+		cliutil.Output(res.Table(), true)
 		return
 	}
 	fmt.Printf("A1/A2: model ablations, N=%d, %d-flit messages (latencies in cycles)\n",
 		res.NumProc, res.MsgFlits)
-	fmt.Print(tbl.String())
+	cliutil.Output(res.Table(), false)
 	fmt.Println("\n+Inf entries mean the variant predicts saturation below that load.")
 }

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cliutil"
+
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/series"
@@ -23,8 +25,7 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bftmodel: ")
+	cliutil.Setup("bftmodel")
 	var (
 		n       = flag.Int("n", 1024, "number of processors (power of four)")
 		flits   = flag.Float64("flits", 16, "message length in flits")

@@ -14,13 +14,14 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cliutil"
+
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bftsim: ")
+	cliutil.Setup("bftsim")
 	var (
 		n       = flag.Int("n", 1024, "number of processors (power of four)")
 		cube    = flag.Int("cube", 0, "simulate a binary hypercube of this many dimensions instead")

@@ -18,7 +18,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,8 +28,7 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("figure3: ")
+	cliutil.Setup("figure3")
 	var (
 		n       = flag.Int("n", 1024, "number of processors (power of four)")
 		flits   = flag.String("flits", "16,32,64", "message lengths in flits")
@@ -57,11 +55,9 @@ func main() {
 		Budget:   cliutil.Budget(*full, *seed),
 	}
 	if *dump {
-		out, err := json.MarshalIndent(exp.Figure3Spec(cfg), "", "  ")
-		if err != nil {
+		if err := cliutil.DumpJSON(exp.Figure3Spec(cfg)); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(string(out))
 		return
 	}
 	res, err := exp.Figure3(cfg)

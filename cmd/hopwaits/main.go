@@ -12,15 +12,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hopwaits: ")
+	cliutil.Setup("hopwaits")
 	var (
 		n     = flag.Int("n", 256, "number of processors (power of four)")
 		flits = flag.Int("flits", 16, "message length in flits")
@@ -35,14 +33,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl := exp.HopWaitTable(rows)
 	if *csv {
-		fmt.Fprint(os.Stdout, tbl.CSV())
+		cliutil.Output(exp.HopWaitTable(rows), true)
 		return
 	}
 	fmt.Printf("V1: per-channel-class waits, N=%d, s=%d flits, load=%.4f flits/cyc/PE\n",
 		*n, *flits, *load)
-	fmt.Print(tbl.String())
+	cliutil.Output(exp.HopWaitTable(rows), false)
 	fmt.Println("\nmodel wait = flow-weighted Σ P(i|j)·W̄j over incoming classes (Eq. 9/10);")
 	fmt.Println("the injection class is excluded (its wait is the source queue, W̄(0,1)).")
 }

@@ -1,62 +1,75 @@
 // Command hypercube regenerates the extension experiments X1 and X2: the
 // paper's general model applied to a binary hypercube, validated against
 // flit-level simulation (X1), and the k-ary n-cube model's consistency
-// with the hypercube model at k = 2 (X2, with -torus).
+// with the hypercube model at k = 2 (X2, with -torus). X1 compiles to a
+// declarative sweep spec (printable with -dumpspec, runnable with
+// cmd/sweep) executed through the Evaluator backends.
 //
 // Usage:
 //
-//	hypercube [-dims 8] [-flits 16] [-points 6] [-full] [-torus] [-csv] [-seed 1]
+//	hypercube [-dims 8] [-flits 16] [-points 6] [-full] [-torus] [-csv]
+//	          [-seed 1] [-timeout 0] [-dumpspec]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hypercube: ")
+	cliutil.Setup("hypercube")
 	var (
-		dims   = flag.Int("dims", 8, "cube dimensions (2^dims processors)")
-		flits  = flag.Int("flits", 16, "message length in flits")
-		points = flag.Int("points", 6, "loads per curve")
-		full   = flag.Bool("full", false, "use the report-quality simulation budget")
-		torus  = flag.Bool("torus", false, "run the X2 torus consistency check instead")
-		csv    = flag.Bool("csv", false, "emit CSV")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
+		dims    = flag.Int("dims", 8, "cube dimensions (2^dims processors)")
+		flits   = flag.Int("flits", 16, "message length in flits")
+		points  = flag.Int("points", 6, "loads per curve")
+		full    = flag.Bool("full", false, "use the report-quality simulation budget")
+		torus   = flag.Bool("torus", false, "run the X2 torus consistency check instead")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		dump    = flag.Bool("dumpspec", false, "print the X1 sweep spec for these flags as JSON and exit")
 	)
 	flag.Parse()
+
+	if *dump {
+		spec, err := exp.HypercubeSpec(*dims, *flits, *points, cliutil.Budget(*full, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cliutil.DumpJSON(spec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *torus {
 		tbl, maxDiff, err := exp.TorusConsistency(*dims, *flits, *points)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if *csv {
-			fmt.Fprint(os.Stdout, tbl.CSV())
-			return
+		if !*csv {
+			fmt.Printf("X2: 2-ary %d-cube torus model vs hypercube model (max diff %.2e)\n",
+				*dims, maxDiff)
 		}
-		fmt.Printf("X2: 2-ary %d-cube torus model vs hypercube model (max diff %.2e)\n",
-			*dims, maxDiff)
-		fmt.Print(tbl.String())
+		cliutil.Output(tbl, *csv)
 		return
 	}
 
-	res, err := exp.Hypercube(*dims, *flits, *points, cliutil.Budget(*full, *seed))
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	res, err := exp.HypercubeRun(ctx, *dims, *flits, *points, cliutil.Budget(*full, *seed),
+		sweep.NewRunner())
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl := res.Table()
-	if *csv {
-		fmt.Fprint(os.Stdout, tbl.CSV())
-		return
+	if !*csv {
+		fmt.Printf("X1: binary %d-cube (%d PEs), %d-flit messages; model saturation %.4f flits/cyc/PE\n",
+			res.Dims, 1<<res.Dims, res.MsgFlits, res.SaturationLoad)
 	}
-	fmt.Printf("X1: binary %d-cube (%d PEs), %d-flit messages; model saturation %.4f flits/cyc/PE\n",
-		res.Dims, 1<<res.Dims, res.MsgFlits, res.SaturationLoad)
-	fmt.Print(tbl.String())
+	cliutil.Output(res.Table(), *csv)
 }

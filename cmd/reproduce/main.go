@@ -23,19 +23,21 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("reproduce: ")
+	cliutil.Setup("reproduce")
 	var (
-		out   = flag.String("out", "results", "output directory")
-		full  = flag.Bool("full", false, "use the report-quality simulation budget")
-		scale = flag.String("scale", "paper", "machine sizes: paper (N<=1024) or small (N<=256)")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		out     = flag.String("out", "results", "output directory")
+		full    = flag.Bool("full", false, "use the report-quality simulation budget")
+		scale   = flag.String("scale", "paper", "machine sizes: paper (N<=1024) or small (N<=256)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	)
 	flag.Parse()
 	if *scale != "paper" && *scale != "small" {
 		log.Fatalf("unknown scale %q", *scale)
 	}
-	summary, err := exp.RunAll(exp.RunAllConfig{
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	summary, err := exp.RunAll(ctx, exp.RunAllConfig{
 		Dir:    *out,
 		Budget: cliutil.Budget(*full, *seed),
 		Scale:  *scale,

@@ -1,31 +1,35 @@
 // Command saturation regenerates experiment T2: maximum throughput. For
 // every configuration it reports the model's Eq. 26 saturation load and a
 // simulated bracket (highest sustained probe, lowest saturated probe).
+// The experiment compiles to a declarative sweep spec (printable with
+// -dumpspec, runnable with cmd/sweep) executed through the Evaluator
+// backends.
 //
 // Usage:
 //
-//	saturation [-sizes 64,256,1024] [-flits 16,32,64] [-full] [-csv] [-seed 1]
+//	saturation [-sizes 64,256,1024] [-flits 16,32,64] [-full] [-csv]
+//	           [-seed 1] [-timeout 0] [-dumpspec]
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
+	"repro/internal/sweep"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("saturation: ")
+	cliutil.Setup("saturation")
 	var (
-		sizes = flag.String("sizes", "64,256,1024", "machine sizes (powers of four)")
-		flits = flag.String("flits", "16,32,64", "message lengths in flits")
-		full  = flag.Bool("full", false, "use the report-quality simulation budget")
-		csv   = flag.Bool("csv", false, "emit CSV")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		sizes   = flag.String("sizes", "64,256,1024", "machine sizes (powers of four)")
+		flits   = flag.String("flits", "16,32,64", "message lengths in flits")
+		full    = flag.Bool("full", false, "use the report-quality simulation budget")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		dump    = flag.Bool("dumpspec", false, "print the sweep spec for these flags as JSON and exit")
 	)
 	flag.Parse()
 
@@ -37,14 +41,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rows, err := exp.SaturationTable(ns, ss, cliutil.Budget(*full, *seed))
+	b := cliutil.Budget(*full, *seed)
+	if *dump {
+		if err := cliutil.DumpJSON(exp.SaturationSpec(ns, ss, b)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	rows, err := exp.SaturationTableRun(ctx, ns, ss, b,
+		sweep.NewRunner())
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl := exp.SaturationTableRender(rows)
-	if *csv {
-		fmt.Fprint(os.Stdout, tbl.CSV())
-		return
-	}
-	fmt.Print(tbl.String())
+	cliutil.Output(exp.SaturationTableRender(rows), *csv)
 }

@@ -1,29 +1,39 @@
 // Command sweep runs declarative scenario sweeps: a JSON spec (or a
 // built-in named spec) describing a grid of topology × message length ×
-// policy × load scenarios is expanded, executed on a bounded worker pool,
-// and rendered as a table or JSON. Repeating -spec runs several sweeps in
-// one process against a shared result cache, so overlapping grids report
-// cache hits instead of recomputing cells.
+// policy × variant × load scenarios is expanded, executed on a bounded
+// worker pool through the Evaluator backends, and rendered as a table or
+// JSON. Repeating -spec runs several sweeps in one process against a
+// shared result cache, so overlapping grids report cache hits instead of
+// recomputing cells.
 //
 // Usage:
 //
 //	sweep -spec builtin:figure3                  # a paper grid by name
 //	sweep -spec my-grid.json -json               # a custom grid, JSON out
+//	sweep -spec builtin:figure3 -stream          # NDJSON, one cell per line
+//	sweep -spec builtin:figure3 -timeout 30s     # bounded wall clock
 //	sweep -spec builtin:figure3 -spec builtin:figure3   # 2nd run: all cached
 //	sweep -list                                  # show built-in specs
 //	sweep -dump builtin:table2                   # print a spec as JSON
 //
-// Progress streams to stderr; results go to stdout.
+// Progress streams to stderr; results go to stdout. With -stream each
+// cell is emitted as one JSON line the moment it completes (completion
+// order, not grid order); without it, results render after each sweep
+// finishes. -timeout wires a deadline into the sweep's context — the
+// simulator aborts mid-cycle-loop when it expires.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/sweep"
 )
 
@@ -38,18 +48,20 @@ func (s *specList) Set(v string) error {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
+	cliutil.Setup("sweep")
 	var specs specList
 	flag.Var(&specs, "spec", "spec file path or builtin:<name>; repeat to run several sweeps against one cache")
 	var (
-		list    = flag.Bool("list", false, "list built-in specs and exit")
-		dump    = flag.String("dump", "", "print the named spec (file path or builtin:<name>) as JSON and exit")
-		jsonOut = flag.Bool("json", false, "emit JSON instead of tables")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		full    = flag.Bool("full", false, "override spec budgets with the report-quality budget")
-		seed    = flag.Uint64("seed", 0, "override spec seeds (0 keeps each spec's own)")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		list     = flag.Bool("list", false, "list built-in specs and exit")
+		dump     = flag.String("dump", "", "print the named spec (file path or builtin:<name>) as JSON and exit")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of tables")
+		stream   = flag.Bool("stream", false, "emit NDJSON: one JSON line per cell as it completes")
+		timeout  = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		full     = flag.Bool("full", false, "override spec budgets with the report-quality budget")
+		seed     = flag.Uint64("seed", 0, "override spec seeds (0 keeps each spec's own)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		benchOut = flag.String("bench-out", "", "write a points/sec benchmark summary JSON to this file")
 	)
 	flag.Parse()
 
@@ -65,19 +77,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		out, err := json.MarshalIndent(spec, "", "  ")
-		if err != nil {
+		if err := cliutil.DumpJSON(spec); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(string(out))
 		return
 	}
 	if len(specs) == 0 {
 		log.Fatal("no -spec given (try -spec builtin:figure3, or -list)")
 	}
 
-	runner := &sweep.Runner{Workers: *workers, Cache: sweep.NewCache()}
-	if !*quiet {
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+
+	runner := sweep.NewRunner(sweep.WithWorkers(*workers), sweep.WithCache(sweep.NewCache()))
+	if !*quiet && !*stream {
 		runner.Progress = func(ev sweep.Event) {
 			tag := ""
 			if ev.Cached {
@@ -88,7 +101,9 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	var results []*sweep.Result
+	computed, cells := 0, 0
 	for _, ref := range specs {
 		spec, err := loadSpec(ref)
 		if err != nil {
@@ -101,15 +116,34 @@ func main() {
 		if *seed != 0 {
 			spec.Budget.Seed = *seed
 		}
-		res, err := runner.Run(spec)
+		if *stream {
+			n, fresh, err := streamSpec(ctx, runner, spec)
+			cells += n
+			computed += fresh
+			if err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		res, err := runner.Run(ctx, spec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		results = append(results, res)
+		cells += len(res.Rows)
+		computed += res.CacheMisses
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "sweep: %s done: %d computed, %d cache hits\n",
 				displayName(spec), res.CacheMisses, res.CacheHits)
 		}
+	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, specs, cells, computed, time.Since(start)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *stream {
+		return
 	}
 
 	if *jsonOut {
@@ -127,6 +161,51 @@ func main() {
 		fmt.Print(res.Summary())
 		fmt.Print(res.Table().String())
 	}
+}
+
+// streamSpec runs one spec through Runner.Stream, printing each cell as
+// a JSON line the moment it completes. It returns the number of emitted
+// cells and how many of those were freshly computed (not cache hits).
+func streamSpec(ctx context.Context, runner *sweep.Runner, spec sweep.Spec) (cells, fresh int, err error) {
+	enc := json.NewEncoder(os.Stdout)
+	for pr := range runner.Stream(ctx, spec) {
+		if pr.Err != nil {
+			return cells, fresh, pr.Err
+		}
+		if err := enc.Encode(pr.Row); err != nil {
+			return cells, fresh, err
+		}
+		cells++
+		if !pr.Row.Cached {
+			fresh++
+		}
+	}
+	return cells, fresh, ctx.Err()
+}
+
+// writeBench records a small throughput summary so CI can track the
+// sweep engine's performance trajectory across PRs.
+func writeBench(path string, specs specList, cells, computed int, elapsed time.Duration) error {
+	summary := struct {
+		Specs        []string `json:"specs"`
+		Cells        int      `json:"cells"`
+		Computed     int      `json:"computed"`
+		ElapsedMS    int64    `json:"elapsed_ms"`
+		PointsPerSec float64  `json:"points_per_sec"`
+	}{
+		Specs:     specs,
+		Cells:     cells,
+		Computed:  computed,
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		summary.PointsPerSec = float64(computed) / s
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // loadSpec resolves a -spec argument: "builtin:<name>" or a JSON file

@@ -14,19 +14,15 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
-	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/exp"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("validate: ")
+	cliutil.Setup("validate")
 	var (
 		sizes = flag.String("sizes", "64,256,1024", "machine sizes (powers of four)")
 		flits = flag.String("flits", "16,32,64", "message lengths in flits")
@@ -51,21 +47,14 @@ func main() {
 		log.Fatal(err)
 	}
 	if *dump {
-		out, err := json.MarshalIndent(exp.GridSpec(ns, ss, fs, cliutil.Budget(*full, *seed)), "", "  ")
-		if err != nil {
+		if err := cliutil.DumpJSON(exp.GridSpec(ns, ss, fs, cliutil.Budget(*full, *seed))); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println(string(out))
 		return
 	}
 	rows, err := exp.ValidationGrid(ns, ss, fs, cliutil.Budget(*full, *seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl := exp.GridTable(rows)
-	if *csv {
-		fmt.Fprint(os.Stdout, tbl.CSV())
-		return
-	}
-	fmt.Print(tbl.String())
+	cliutil.Output(exp.GridTable(rows), *csv)
 }

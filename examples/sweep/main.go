@@ -1,11 +1,13 @@
 // Example sweep drives the declarative scenario-sweep engine from code:
 // it declares a grid, runs it on a bounded worker pool, reruns an
-// overlapping grid against the same cache, and prints what the cache
-// saved. The same spec as JSON lives next to this file in spec.json and
-// runs via `go run ./cmd/sweep -spec examples/sweep/spec.json`.
+// overlapping grid against the same cache, prints what the cache saved,
+// and finally streams a grid point by point. The same spec as JSON lives
+// next to this file in spec.json and runs via
+// `go run ./cmd/sweep -spec examples/sweep/spec.json`.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +16,7 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// A model-only grid: three fat-tree sizes × two message lengths ×
 	// six loads, no simulation, so it finishes in milliseconds.
@@ -24,8 +27,8 @@ func main() {
 		Loads:      sweep.LoadSpec{Points: 6, MaxFrac: 0.9},
 	}
 
-	runner := &sweep.Runner{Cache: sweep.NewCache()}
-	res, err := runner.Run(spec)
+	runner := sweep.NewRunner(sweep.WithCache(sweep.NewCache()))
+	res, err := runner.Run(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,10 +38,22 @@ func main() {
 	// Widen the grid: one more machine size. Every cell of the first run
 	// comes back from the cache; only the new topology is computed.
 	spec.Topologies[0].Sizes = append(spec.Topologies[0].Sizes, 4096)
-	res2, err := runner.Run(spec)
+	res2, err := runner.Run(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwidened sweep: %d cells computed, %d served from cache\n",
 		res2.CacheMisses, res2.CacheHits)
+
+	// Stream the same grid: cells arrive as they complete (here straight
+	// from the cache). A cancelled context would close the channel
+	// promptly, aborting even in-flight simulations.
+	streamed := 0
+	for pr := range runner.Stream(ctx, spec) {
+		if pr.Err != nil {
+			log.Fatal(pr.Err)
+		}
+		streamed++
+	}
+	fmt.Printf("streamed %d cells\n", streamed)
 }

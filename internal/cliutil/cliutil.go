@@ -1,14 +1,56 @@
 // Package cliutil holds the small helpers shared by the cmd/ binaries:
-// comma-separated list parsing and experiment budget selection.
+// logger setup, comma-separated list parsing, experiment budget
+// selection, table-or-CSV output, spec dumping, and timeout contexts.
 package cliutil
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"log"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
+	"repro/internal/series"
 )
+
+// Setup configures the standard logger the binaries share: no
+// timestamps, the binary's name as prefix.
+func Setup(name string) {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+}
+
+// Output writes the table to stdout, as CSV when csv is set.
+func Output(tbl *series.Table, csv bool) {
+	if csv {
+		fmt.Fprint(os.Stdout, tbl.CSV())
+		return
+	}
+	fmt.Print(tbl.String())
+}
+
+// DumpJSON pretty-prints v to stdout; the binaries use it for -dumpspec.
+func DumpJSON(v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// Context returns a context honouring the -timeout convention: zero
+// means no deadline. The cancel func must always be called.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.WithCancel(context.Background())
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
 
 // ParseInts parses a comma-separated integer list such as "64,256,1024".
 func ParseInts(s string) ([]int, error) {

@@ -1,0 +1,139 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// AnalyticBackend evaluates scenarios with the paper's analytical model.
+// Models (and the Eq. 26 saturation searches anchoring fractional load
+// points) are memoized per topology instance, message length and variant,
+// so evaluating a whole curve builds its model once. The zero value is
+// not usable; construct with NewAnalyticBackend. Safe for concurrent use.
+type AnalyticBackend struct {
+	mu     sync.Mutex
+	models map[modelKey]Model
+	sats   map[modelKey]satEntry
+}
+
+type modelKey struct {
+	topo    Topology
+	flits   int
+	variant core.Options
+}
+
+type satEntry struct {
+	load float64
+	err  error
+}
+
+// NewAnalyticBackend returns an empty backend.
+func NewAnalyticBackend() *AnalyticBackend {
+	return &AnalyticBackend{
+		models: make(map[modelKey]Model),
+		sats:   make(map[modelKey]satEntry),
+	}
+}
+
+// Name implements Evaluator.
+func (b *AnalyticBackend) Name() string { return "analytic" }
+
+// model returns the memoized model for the scenario's curve.
+func (b *AnalyticBackend) model(topo Topology, flits int, v Variant) (Model, error) {
+	key := modelKey{topo, flits, v.Options()}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m, ok := b.models[key]; ok {
+		return m, nil
+	}
+	m, err := topo.NewModel(flits, v.Options())
+	if err != nil {
+		return nil, err
+	}
+	b.models[key] = m
+	return m, nil
+}
+
+// SaturationLoad returns the memoized Eq. 26 saturation load of the
+// *base* (paper) model for the given instance and message length. It is
+// the anchor for fractional load points: variants are probed at the base
+// model's operating points so their curves stay comparable.
+func (b *AnalyticBackend) SaturationLoad(topo Topology, flits int) (float64, error) {
+	m, err := b.model(topo, flits, Variant{})
+	if err != nil {
+		return math.NaN(), err
+	}
+	key := modelKey{topo, flits, core.Options{}}
+	b.mu.Lock()
+	e, ok := b.sats[key]
+	b.mu.Unlock()
+	if !ok {
+		e.load, e.err = m.SaturationLoad()
+		if e.err != nil {
+			e.load = math.NaN()
+		}
+		b.mu.Lock()
+		b.sats[key] = e
+		b.mu.Unlock()
+	}
+	return e.load, e.err
+}
+
+// ResolveLoad implements LoadResolver: it maps the scenario's load point
+// to absolute flits/cycle/processor, anchoring fractions at the base
+// model's saturation load.
+func (b *AnalyticBackend) ResolveLoad(sc Scenario) (float64, error) {
+	if !sc.Load.Frac {
+		return sc.Load.Value, nil
+	}
+	sat, err := b.SaturationLoad(sc.Topology, sc.MsgFlits)
+	if err != nil {
+		return math.NaN(), fmt.Errorf("saturation load (needed for fractional load points): %w", err)
+	}
+	return sat * sc.Load.Value, nil
+}
+
+// Curve describes the scenario's curve: model name, average distance,
+// and the saturation anchor (NaN when the Eq. 26 search failed — the
+// failure only becomes an error once a fractional load needs it).
+func (b *AnalyticBackend) Curve(sc Scenario) (CurveDesc, error) {
+	m, err := b.model(sc.Topology, sc.MsgFlits, sc.Variant)
+	if err != nil {
+		return CurveDesc{}, err
+	}
+	sat, _ := b.SaturationLoad(sc.Topology, sc.MsgFlits)
+	return CurveDesc{Model: m.Name(), AvgDist: m.AvgDist(), SaturationLoad: sat}, nil
+}
+
+// Evaluate implements Evaluator: the model's latency prediction at the
+// scenario's load, with saturation reported as +Inf rather than failure.
+func (b *AnalyticBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
+	if err := ctx.Err(); err != nil {
+		return Point{}, err
+	}
+	m, err := b.model(sc.Topology, sc.MsgFlits, sc.Variant)
+	if err != nil {
+		return Point{}, err
+	}
+	load, err := b.ResolveLoad(sc)
+	if err != nil {
+		return Point{}, err
+	}
+	pt := NewPoint()
+	pt.LoadFlits = load
+	lat, err := m.Latency(load / float64(sc.MsgFlits))
+	switch {
+	case err == nil:
+		pt.Model = lat.Total
+	case core.IsUnstable(err):
+		pt.Model = math.Inf(1)
+		pt.ModelSaturated = true
+	default:
+		return Point{}, err
+	}
+	return pt, nil
+}

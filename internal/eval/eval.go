@@ -1,0 +1,92 @@
+// Package eval defines the evaluation backend API: the paper's central
+// claim is that an analytical model and a flit-level simulator answer the
+// same question — the latency of a scenario (topology, message length,
+// policy, load) — so both are exposed behind one interface.
+//
+// An Evaluator turns a Scenario into a Point. AnalyticBackend answers
+// from the closed-form model of package analytic, SimBackend from the
+// cycle-driven simulator of package sim; future backends (bound calculi,
+// remote shards, learned surrogates) plug in behind the same contract.
+// The sweep engine (package sweep) composes a list of Evaluators over a
+// declarative scenario grid and merges their Points into cells.
+//
+// Backends are safe for concurrent use and honour context cancellation:
+// SimBackend checks the context inside the simulator's cycle loop, so a
+// cancelled sweep stops mid-simulation rather than at the next scenario
+// boundary.
+package eval
+
+import (
+	"context"
+	"math"
+)
+
+// Evaluator is the common contract of every evaluation backend.
+type Evaluator interface {
+	// Name labels the backend in errors and reports, e.g. "analytic".
+	Name() string
+	// Evaluate answers the scenario's question — average latency at the
+	// scenario's operating point — filling only the Point fields this
+	// backend knows (NaN elsewhere, see Point.Merge). It must be safe
+	// for concurrent calls and return promptly (ctx.Err wrapped) once
+	// ctx is cancelled.
+	Evaluate(ctx context.Context, sc Scenario) (Point, error)
+}
+
+// Point is one evaluated scenario. Fields a backend does not produce
+// stay NaN; Merge folds the points of several backends into one cell.
+type Point struct {
+	// LoadFlits is the resolved absolute load (flits/cycle/processor).
+	LoadFlits float64
+	// Model is the predicted latency; +Inf when the model saturates.
+	Model float64
+	// ModelSaturated marks the +Inf case for JSON-safe serialisation.
+	ModelSaturated bool
+	// Sim is the measured latency (NaN when simulation was skipped),
+	// SimCI the 95% batch-means half-width.
+	Sim, SimCI float64
+	// SimSaturated reports the simulator could not sustain the load.
+	SimSaturated bool
+}
+
+// NewPoint returns the empty point: every field NaN, nothing measured.
+func NewPoint() Point {
+	nan := math.NaN()
+	return Point{LoadFlits: nan, Model: nan, Sim: nan, SimCI: nan}
+}
+
+// Merge folds q into p: any field q actually produced (non-NaN, or a
+// set saturation marker) overrides p's. Backends never contradict each
+// other on LoadFlits — both resolve it from the same scenario.
+func (p Point) Merge(q Point) Point {
+	if !math.IsNaN(q.LoadFlits) {
+		p.LoadFlits = q.LoadFlits
+	}
+	if !math.IsNaN(q.Model) || q.ModelSaturated {
+		p.Model, p.ModelSaturated = q.Model, q.ModelSaturated
+	}
+	if !math.IsNaN(q.Sim) || q.SimSaturated {
+		p.Sim, p.SimCI, p.SimSaturated = q.Sim, q.SimCI, q.SimSaturated
+	}
+	return p
+}
+
+// CurveDesc summarises the model context of one curve: the quantities
+// reports need beyond per-point latencies.
+type CurveDesc struct {
+	// Model is the model instance's name, e.g. "bft-1024/s=16".
+	Model string
+	// AvgDist is D̄ in channels.
+	AvgDist float64
+	// SaturationLoad is the Eq. 26 operating point in
+	// flits/cycle/processor; NaN when the search failed.
+	SaturationLoad float64
+}
+
+// LoadResolver maps a scenario to its absolute load. Fractional loads
+// are anchored at the base model's saturation load, so a backend without
+// a model of its own (the simulator) borrows the resolution from one
+// that has (the analytic backend).
+type LoadResolver interface {
+	ResolveLoad(sc Scenario) (float64, error)
+}

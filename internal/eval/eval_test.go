@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func bftScenario(withSim bool) Scenario {
+	sc := Scenario{
+		Topology: Topology{Family: FamilyBFT, Size: 16},
+		MsgFlits: 4,
+		Load:     Load{Frac: true, Value: 0.5},
+		WithSim:  withSim,
+		Budget:   Budget{Warmup: 300, Measure: 2000, Seed: 3},
+	}
+	return sc
+}
+
+func TestPointMerge(t *testing.T) {
+	model := NewPoint()
+	model.LoadFlits, model.Model = 0.02, 31.5
+	simPt := NewPoint()
+	simPt.LoadFlits, simPt.Sim, simPt.SimCI, simPt.SimSaturated = 0.02, 33.0, 0.5, false
+
+	got := NewPoint().Merge(model).Merge(simPt)
+	if got.LoadFlits != 0.02 || got.Model != 31.5 || got.Sim != 33.0 || got.SimCI != 0.5 {
+		t.Errorf("merge lost fields: %+v", got)
+	}
+	// Merging an empty point must change nothing.
+	if again := got.Merge(NewPoint()); again != got {
+		t.Errorf("empty merge perturbed the point: %+v vs %+v", again, got)
+	}
+	// A saturated-but-NaN sim still carries its marker.
+	sat := NewPoint()
+	sat.SimSaturated = true
+	if merged := got.Merge(sat); !merged.SimSaturated {
+		t.Error("saturation marker dropped by merge")
+	}
+}
+
+func TestAnalyticBackendEvaluate(t *testing.T) {
+	b := NewAnalyticBackend()
+	pt, err := b.Evaluate(context.Background(), bftScenario(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pt.Model) || pt.Model <= 0 {
+		t.Fatalf("model latency %v", pt.Model)
+	}
+	if !math.IsNaN(pt.Sim) {
+		t.Errorf("analytic backend produced a sim value: %v", pt.Sim)
+	}
+	// Fractional load resolved through the base saturation anchor.
+	sat, err := b.SaturationLoad(Topology{Family: FamilyBFT, Size: 16}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.5 * sat; math.Abs(pt.LoadFlits-want) > 1e-15 {
+		t.Errorf("load %v, want %v", pt.LoadFlits, want)
+	}
+}
+
+func TestAnalyticBackendSaturationReportsAsPoint(t *testing.T) {
+	b := NewAnalyticBackend()
+	sc := bftScenario(false)
+	sc.Load = Load{Value: 10} // absurd absolute load
+	pt, err := b.Evaluate(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.ModelSaturated || !math.IsInf(pt.Model, 1) {
+		t.Errorf("super-saturated load should mark the point: %+v", pt)
+	}
+}
+
+func TestVariantAnchoring(t *testing.T) {
+	b := NewAnalyticBackend()
+	base, err := b.Evaluate(context.Background(), bftScenario(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bftScenario(false)
+	sc.Variant = Variant{Name: "A1", NoBlockingCorrection: true}
+	ablated, err := b.Evaluate(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.LoadFlits != base.LoadFlits {
+		t.Errorf("variant probed %v, base %v — fractional loads must share the base anchor",
+			ablated.LoadFlits, base.LoadFlits)
+	}
+	if !(ablated.Model > base.Model) {
+		t.Errorf("A1 variant %v should exceed base %v", ablated.Model, base.Model)
+	}
+}
+
+func TestSimBackendEvaluate(t *testing.T) {
+	ab := NewAnalyticBackend()
+	sb := NewSimBackend(ab)
+	pt, err := sb.Evaluate(context.Background(), bftScenario(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pt.Sim) || pt.Sim <= 0 {
+		t.Fatalf("sim latency %v", pt.Sim)
+	}
+	if !math.IsNaN(pt.Model) {
+		t.Errorf("sim backend produced a model value: %v", pt.Model)
+	}
+
+	// Scenarios not asking for simulation are answered with an empty
+	// point.
+	skip, err := sb.Evaluate(context.Background(), bftScenario(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(skip.Sim) || !math.IsNaN(skip.LoadFlits) {
+		t.Errorf("WithSim=false should yield an empty point: %+v", skip)
+	}
+}
+
+func TestSimBackendNeedsAnchorForFractions(t *testing.T) {
+	sb := NewSimBackend(nil)
+	_, err := sb.Evaluate(context.Background(), bftScenario(true))
+	if err == nil {
+		t.Fatal("fractional load without an anchor should fail")
+	}
+	// Absolute loads work without one.
+	sc := bftScenario(true)
+	sc.Load = Load{Value: 0.05}
+	if _, err := sb.Evaluate(context.Background(), sc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBackendsHonourCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ab := NewAnalyticBackend()
+	if _, err := ab.Evaluate(ctx, bftScenario(false)); !errors.Is(err, context.Canceled) {
+		t.Errorf("analytic: want context.Canceled, got %v", err)
+	}
+	if _, err := NewSimBackend(ab).Evaluate(ctx, bftScenario(true)); !errors.Is(err, context.Canceled) {
+		t.Errorf("sim: want context.Canceled, got %v", err)
+	}
+}
+
+func TestTopologyConstructorsRejectUnknownFamily(t *testing.T) {
+	bad := Topology{Family: "mesh", Size: 16}
+	if _, err := bad.NewModel(8, core.Options{}); err == nil {
+		t.Error("NewModel accepted an unknown family")
+	}
+	if _, err := bad.NewNetwork(); err == nil {
+		t.Error("NewNetwork accepted an unknown family")
+	}
+	if _, err := (Topology{Family: FamilyTorus, Size: 3, K: 4}).NewNetwork(); err == nil {
+		t.Error("the torus should have no simulator topology")
+	}
+}
+
+func TestScenarioKeyVariantSensitivity(t *testing.T) {
+	base := bftScenario(false)
+	ablated := base
+	ablated.Variant = Variant{Name: "A1", NoBlockingCorrection: true}
+	renamed := base
+	renamed.Variant = Variant{Name: "cosmetic"} // base options, different name
+	if base.Key() == ablated.Key() {
+		t.Error("variant options must change the cache key")
+	}
+	if base.Key() != renamed.Key() {
+		t.Error("a variant's cosmetic name must not change the cache key")
+	}
+	if base.CurveKey() == ablated.CurveKey() {
+		t.Error("variants must land on distinct curves")
+	}
+}

@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Topology families understood by Topology.Family.
+const (
+	// FamilyBFT is the paper's butterfly fat-tree; sizes are processor
+	// counts (powers of four >= 4).
+	FamilyBFT = "bft"
+	// FamilyHypercube is the binary hypercube; sizes are dimension counts.
+	FamilyHypercube = "hypercube"
+	// FamilyTorus is the unidirectional k-ary n-cube; sizes are dimension
+	// counts and K is the radix. The torus has an analytical model but no
+	// simulator topology, so torus scenarios must be model-only.
+	FamilyTorus = "torus"
+)
+
+// Topology identifies one concrete network instance.
+type Topology struct {
+	// Family is a Family* constant.
+	Family string `json:"family"`
+	// Size is the processor count (fat-tree) or dimension count
+	// (hypercube, torus).
+	Size int `json:"size"`
+	// K is the torus radix; 0 for the other families.
+	K int `json:"k,omitempty"`
+}
+
+// String names the instance, e.g. "bft-1024" or "torus-4x3".
+func (t Topology) String() string {
+	if t.Family == FamilyTorus {
+		return fmt.Sprintf("torus-%dx%d", t.K, t.Size)
+	}
+	return fmt.Sprintf("%s-%d", t.Family, t.Size)
+}
+
+// NewModel builds the analytical model for the instance with the given
+// ablation options.
+func (t Topology) NewModel(msgFlits int, opt core.Options) (Model, error) {
+	switch t.Family {
+	case FamilyBFT:
+		return analytic.NewFatTreeModel(t.Size, float64(msgFlits), opt)
+	case FamilyHypercube:
+		return analytic.NewHypercubeModel(t.Size, float64(msgFlits), opt)
+	case FamilyTorus:
+		return analytic.NewTorusModel(t.K, t.Size, float64(msgFlits), opt)
+	default:
+		return nil, fmt.Errorf("eval: unknown family %q", t.Family)
+	}
+}
+
+// NewNetwork builds the simulator topology for the instance.
+func (t Topology) NewNetwork() (topology.Network, error) {
+	switch t.Family {
+	case FamilyBFT:
+		return topology.NewFatTree(t.Size)
+	case FamilyHypercube:
+		return topology.NewHypercube(t.Size)
+	default:
+		return nil, fmt.Errorf("eval: family %q has no simulator topology", t.Family)
+	}
+}
+
+// Model is the analytical surface an evaluation needs: latency prediction
+// plus the saturation operating point that anchors fractional loads.
+type Model interface {
+	analytic.NetworkModel
+	SaturationLoad() (float64, error)
+}
+
+// Budget scales the simulation effort of a scenario.
+type Budget struct {
+	// Warmup and Measure are the simulator's window sizes in cycles.
+	Warmup  int `json:"warmup"`
+	Measure int `json:"measure"`
+	// Seed is the base seed; each scenario derives its own from it (see
+	// Scenario.Seed).
+	Seed uint64 `json:"seed"`
+	// DrainLimit bounds the extra cycles after the measurement window
+	// while tracked messages finish; 0 picks the simulator's default.
+	DrainLimit int `json:"drain_limit,omitempty"`
+}
+
+// Load is one load point of a scenario.
+type Load struct {
+	// Frac marks Value as a fraction of the curve's model saturation
+	// load; otherwise Value is absolute flits/cycle/processor.
+	Frac bool `json:"frac,omitempty"`
+	// Value is the load point.
+	Value float64 `json:"value"`
+}
+
+// Variant selects a model ablation: the paper's model with one of its
+// novel ingredients removed. The zero value (no toggles) is the paper's
+// model. Variants change only the analytic side of a cell; fractional
+// loads stay anchored at the base model's saturation so every variant of
+// a curve is probed at the same absolute loads.
+type Variant struct {
+	// Name labels the variant in reports and curve keys.
+	Name string `json:"name,omitempty"`
+	// NoBlockingCorrection drops the Eq. 9/10 wormhole blocking term.
+	NoBlockingCorrection bool `json:"no_blocking_correction,omitempty"`
+	// SingleServerGroups models the up-link pair as two independent
+	// M/G/1 queues instead of one M/G/2.
+	SingleServerGroups bool `json:"single_server_groups,omitempty"`
+	// NoPairRateCorrection reverts to the paper's pre-erratum M/G/2 rate.
+	NoPairRateCorrection bool `json:"no_pair_rate_correction,omitempty"`
+	// WithSim runs the simulator reference on this variant's cells (the
+	// simulator does not depend on model options, so specs typically
+	// enable it on exactly one variant).
+	WithSim bool `json:"with_sim,omitempty"`
+}
+
+// Options maps the variant to the model toggles of package core.
+func (v Variant) Options() core.Options {
+	return core.Options{
+		NoBlockingCorrection: v.NoBlockingCorrection,
+		SingleServerGroups:   v.SingleServerGroups,
+		NoPairRateCorrection: v.NoPairRateCorrection,
+	}
+}
+
+// IsBase reports whether the variant is the paper's model (no toggles).
+func (v Variant) IsBase() bool {
+	return !v.NoBlockingCorrection && !v.SingleServerGroups && !v.NoPairRateCorrection
+}
+
+// Scenario is one fully determined evaluation question: a topology
+// instance, message length, policy, model variant, and a single load
+// point.
+type Scenario struct {
+	// Index is the cell's position in the expanded grid.
+	Index int `json:"index"`
+	// Topology, MsgFlits, Policy and Load identify the cell.
+	Topology Topology         `json:"topology"`
+	MsgFlits int              `json:"msg_flits"`
+	Policy   sim.UpLinkPolicy `json:"-"`
+	Load     Load             `json:"load"`
+	// Variant selects the model ablation; the zero value is the paper's
+	// model.
+	Variant Variant `json:"variant"`
+	// LoadIndex is the cell's position within its curve; it, not Index,
+	// drives the seed so that adding topologies or message lengths to a
+	// spec does not perturb existing cells.
+	LoadIndex int `json:"load_index"`
+	// WithSim and Budget describe the execution.
+	WithSim bool   `json:"with_sim"`
+	Budget  Budget `json:"budget"`
+}
+
+// Seed derives the scenario's simulation seed from the budget seed and
+// the scenario's position within its curve, so results never depend on
+// scheduling order or grid width. The derivation matches what
+// exp.CompareCurve applies along a multi-point curve, which is why a
+// Figure 3 sweep reproduces cmd/figure3 bit for bit; grids whose cells
+// were historically simulated one point at a time (the pre-sweep
+// ValidationGrid) now give each load position its own seed instead of
+// reusing the base seed, which shifts their sim values at noise level.
+func (s Scenario) Seed() uint64 {
+	return s.Budget.Seed + uint64(s.LoadIndex)*7919
+}
+
+// CurveKey identifies the curve (topology × message length × policy ×
+// variant) the scenario belongs to.
+func (s Scenario) CurveKey() string {
+	key := fmt.Sprintf("%s/s=%d/%s", s.Topology, s.MsgFlits, s.Policy)
+	if s.Variant != (Variant{}) {
+		key += "/v=" + s.Variant.Name
+	}
+	return key
+}
+
+// Key returns the scenario's cache key: a hash over every field that
+// influences its result (and nothing else — Index and the variant's
+// cosmetic name are excluded, so the same cell reached from different
+// specs hits the same cache line).
+func (s Scenario) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "family=%s size=%d k=%d flits=%d policy=%s",
+		s.Topology.Family, s.Topology.Size, s.Topology.K, s.MsgFlits, s.Policy)
+	fmt.Fprintf(&b, " frac=%v load=%s", s.Load.Frac, strconv.FormatFloat(s.Load.Value, 'x', -1, 64))
+	if !s.Variant.IsBase() {
+		fmt.Fprintf(&b, " variant=%v%v%v", s.Variant.NoBlockingCorrection,
+			s.Variant.SingleServerGroups, s.Variant.NoPairRateCorrection)
+	}
+	fmt.Fprintf(&b, " sim=%v", s.WithSim)
+	if s.WithSim {
+		fmt.Fprintf(&b, " warmup=%d measure=%d seed=%d", s.Budget.Warmup, s.Budget.Measure, s.Seed())
+		if s.Budget.DrainLimit != 0 {
+			fmt.Fprintf(&b, " drain=%d", s.Budget.DrainLimit)
+		}
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}

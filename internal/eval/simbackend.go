@@ -1,0 +1,99 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// SimBackend evaluates scenarios with the flit-level wormhole simulator.
+// Networks are memoized per topology instance; fractional load points
+// are resolved through the anchor (normally the AnalyticBackend of the
+// same sweep, so model and simulator probe identical absolute loads).
+// Scenarios with WithSim unset are answered with an empty Point — the
+// backend only measures where the grid asked for measurement. Safe for
+// concurrent use; the simulator checks ctx inside its cycle loop.
+type SimBackend struct {
+	mu     sync.Mutex
+	nets   map[Topology]topology.Network
+	anchor LoadResolver
+}
+
+// NewSimBackend returns a backend resolving fractional loads through
+// anchor. A nil anchor restricts the backend to absolute load points.
+func NewSimBackend(anchor LoadResolver) *SimBackend {
+	return &SimBackend{nets: make(map[Topology]topology.Network), anchor: anchor}
+}
+
+// Name implements Evaluator.
+func (b *SimBackend) Name() string { return "sim" }
+
+// network returns the memoized simulator topology for the instance.
+func (b *SimBackend) network(topo Topology) (topology.Network, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n, ok := b.nets[topo]; ok {
+		return n, nil
+	}
+	n, err := topo.NewNetwork()
+	if err != nil {
+		return nil, err
+	}
+	b.nets[topo] = n
+	return n, nil
+}
+
+// ResolveLoad implements LoadResolver, delegating fractions to the
+// anchor.
+func (b *SimBackend) ResolveLoad(sc Scenario) (float64, error) {
+	if !sc.Load.Frac {
+		return sc.Load.Value, nil
+	}
+	if b.anchor == nil {
+		return 0, fmt.Errorf("fractional load %v needs a load anchor (see NewSimBackend)", sc.Load.Value)
+	}
+	return b.anchor.ResolveLoad(sc)
+}
+
+// Evaluate implements Evaluator: one deterministic simulation run at the
+// scenario's derived seed.
+func (b *SimBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
+	if err := ctx.Err(); err != nil {
+		return Point{}, err
+	}
+	if !sc.WithSim {
+		return NewPoint(), nil
+	}
+	net, err := b.network(sc.Topology)
+	if err != nil {
+		return Point{}, err
+	}
+	load, err := b.ResolveLoad(sc)
+	if err != nil {
+		return Point{}, err
+	}
+	cfg := sim.Config{
+		Net:           net,
+		MsgFlits:      sc.MsgFlits,
+		Pattern:       traffic.Uniform{},
+		Seed:          sc.Seed(),
+		WarmupCycles:  sc.Budget.Warmup,
+		MeasureCycles: sc.Budget.Measure,
+		DrainLimit:    sc.Budget.DrainLimit,
+		Policy:        sc.Policy,
+	}.FlitLoad(load)
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	pt := NewPoint()
+	pt.LoadFlits = load
+	pt.Sim = res.LatencyMean
+	pt.SimCI = res.LatencyCI95
+	pt.SimSaturated = res.Saturated
+	return pt, nil
+}

@@ -1,13 +1,24 @@
 package exp
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/series"
 	"repro/internal/sim"
-	"repro/internal/topology"
+	"repro/internal/sweep"
+)
+
+// Ablation variant labels, in reporting order. They double as the sweep
+// variant names of AblationSpec.
+const (
+	variantPaper    = "paper model"
+	variantNoBlock  = "A1: no blocking correction"
+	variantSingle   = "A2: up-links as 2x M/G/1"
+	variantPreErrat = "pre-erratum M/G/2 rate"
 )
 
 // AblationResult holds experiment A1/A2: the full model against variants
@@ -27,60 +38,69 @@ type AblationResult struct {
 	VariantOrder []string
 }
 
-// Ablations runs experiments A1 (no blocking correction) and A2
-// (independent M/G/1 up-links), plus the pre-erratum rate variant, against
-// one simulated reference curve.
-func Ablations(numProc, msgFlits, points int, b Budget) (*AblationResult, error) {
+// AblationSpec compiles experiments A1/A2 into the equivalent sweep
+// spec: a variant axis over one curve, with the simulator reference
+// attached to the paper-model variant only (the simulator does not
+// depend on model options). Loads are pinned as absolute values from the
+// base model's saturation so every variant is probed at identical
+// operating points.
+func AblationSpec(numProc, msgFlits, points int, b Budget) (sweep.Spec, error) {
 	base, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), core.Options{})
 	if err != nil {
-		return nil, err
+		return sweep.Spec{}, err
 	}
 	loads, err := LoadsUpTo(base, points, 0.9)
 	if err != nil {
-		return nil, err
+		return sweep.Spec{}, err
 	}
-	net, err := topology.NewFatTree(numProc)
-	if err != nil {
-		return nil, err
-	}
-	simPts, err := CompareCurve(base, net, msgFlits, loads, b, sim.PairQueue)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &AblationResult{
-		NumProc:  numProc,
-		MsgFlits: msgFlits,
-		Loads:    loads,
-		Sim:      simPts,
-		Variants: map[string][]float64{},
-		VariantOrder: []string{
-			"paper model",
-			"A1: no blocking correction",
-			"A2: up-links as 2x M/G/1",
-			"pre-erratum M/G/2 rate",
+	return sweep.Spec{
+		Name:        "ablations",
+		Description: fmt.Sprintf("A1/A2 model ablations, N=%d, s=%d", numProc, msgFlits),
+		Topologies:  []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{numProc}}},
+		MsgFlits:    []int{msgFlits},
+		Variants: []sweep.Variant{
+			{Name: variantPaper, WithSim: true},
+			{Name: variantNoBlock, NoBlockingCorrection: true},
+			{Name: variantSingle, SingleServerGroups: true},
+			{Name: variantPreErrat, NoPairRateCorrection: true},
 		},
+		Loads:   sweep.LoadSpec{Flits: loads},
+		WithSim: true,
+		Budget:  b,
+	}, nil
+}
+
+// Ablations runs experiments A1 (no blocking correction) and A2
+// (independent M/G/1 up-links), plus the pre-erratum rate variant,
+// against one simulated reference curve, through the package's shared
+// sweep runner.
+func Ablations(numProc, msgFlits, points int, b Budget) (*AblationResult, error) {
+	return AblationsRun(context.Background(), numProc, msgFlits, points, b, defaultRunner)
+}
+
+// AblationsRun runs experiments A1/A2 on the given sweep runner.
+func AblationsRun(ctx context.Context, numProc, msgFlits, points int, b Budget, r *sweep.Runner) (*AblationResult, error) {
+	spec, err := AblationSpec(numProc, msgFlits, points, b)
+	if err != nil {
+		return nil, err
 	}
-	variants := map[string]core.Options{
-		"paper model":                {},
-		"A1: no blocking correction": {NoBlockingCorrection: true},
-		"A2: up-links as 2x M/G/1":   {SingleServerGroups: true},
-		"pre-erratum M/G/2 rate":     {NoPairRateCorrection: true},
+	sw, err := r.Run(ctx, spec)
+	if err != nil {
+		return nil, fmt.Errorf("exp: ablations: %w", err)
 	}
-	for name, opt := range variants {
-		m, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), opt)
-		if err != nil {
-			return nil, err
+	res := &AblationResult{
+		NumProc:      numProc,
+		MsgFlits:     msgFlits,
+		Loads:        spec.Loads.Flits,
+		Variants:     map[string][]float64{},
+		VariantOrder: []string{variantPaper, variantNoBlock, variantSingle, variantPreErrat},
+	}
+	for _, row := range sw.Rows {
+		name := row.Scenario.Variant.Name
+		res.Variants[name] = append(res.Variants[name], row.Model)
+		if row.Scenario.WithSim {
+			res.Sim = append(res.Sim, comparisonPoint(row))
 		}
-		pts, err := CompareCurve(m, nil, msgFlits, loads, b, sim.PairQueue)
-		if err != nil {
-			return nil, fmt.Errorf("exp: ablation %q: %w", name, err)
-		}
-		col := make([]float64, len(pts))
-		for i, p := range pts {
-			col[i] = p.Model
-		}
-		res.Variants[name] = col
 	}
 	return res, nil
 }
@@ -113,37 +133,56 @@ type PolicyRow struct {
 	PairCI, FixedCI float64
 }
 
-// PolicyComparison runs experiment A3: the shared-queue pair (M/G/2-like)
-// against randomly pinned links (2×M/G/1-like) in the simulator itself.
-func PolicyComparison(numProc, msgFlits, points int, b Budget) ([]PolicyRow, error) {
+// PolicyComparisonSpec compiles experiment A3 into the equivalent sweep
+// spec: one curve swept under both up-link arbitration policies, at
+// absolute loads from the model's saturation.
+func PolicyComparisonSpec(numProc, msgFlits, points int, b Budget) (sweep.Spec, error) {
 	model, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), core.Options{})
 	if err != nil {
-		return nil, err
+		return sweep.Spec{}, err
 	}
 	loads, err := LoadsUpTo(model, points, 0.85)
 	if err != nil {
-		return nil, err
+		return sweep.Spec{}, err
 	}
-	net, err := topology.NewFatTree(numProc)
+	return sweep.Spec{
+		Name:        "policy-comparison",
+		Description: fmt.Sprintf("A3 up-link policy comparison, N=%d, s=%d", numProc, msgFlits),
+		Topologies:  []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{numProc}}},
+		MsgFlits:    []int{msgFlits},
+		Policies:    []string{"pairqueue", "randomfixed"},
+		Loads:       sweep.LoadSpec{Flits: loads},
+		WithSim:     true,
+		Budget:      b,
+	}, nil
+}
+
+// PolicyComparison runs experiment A3: the shared-queue pair (M/G/2-like)
+// against randomly pinned links (2×M/G/1-like) in the simulator itself,
+// through the package's shared sweep runner.
+func PolicyComparison(numProc, msgFlits, points int, b Budget) ([]PolicyRow, error) {
+	return PolicyComparisonRun(context.Background(), numProc, msgFlits, points, b, defaultRunner)
+}
+
+// PolicyComparisonRun runs experiment A3 on the given sweep runner.
+func PolicyComparisonRun(ctx context.Context, numProc, msgFlits, points int, b Budget, r *sweep.Runner) ([]PolicyRow, error) {
+	spec, err := PolicyComparisonSpec(numProc, msgFlits, points, b)
 	if err != nil {
 		return nil, err
 	}
-	pair, err := CompareCurve(model, net, msgFlits, loads, b, sim.PairQueue)
+	sw, err := r.Run(ctx, spec)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: policy comparison: %w", err)
 	}
-	fixed, err := CompareCurve(model, net, msgFlits, loads, b, sim.RandomFixed)
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]PolicyRow, len(loads))
-	for i := range loads {
-		rows[i] = PolicyRow{
-			LoadFlits:   loads[i],
-			PairQueue:   pair[i].Sim,
-			RandomFixed: fixed[i].Sim,
-			PairCI:      pair[i].SimCI,
-			FixedCI:     fixed[i].SimCI,
+	rows := make([]PolicyRow, len(spec.Loads.Flits))
+	for _, row := range sw.Rows {
+		pr := &rows[row.Scenario.LoadIndex]
+		pr.LoadFlits = row.LoadFlits
+		switch row.Scenario.Policy {
+		case sim.PairQueue:
+			pr.PairQueue, pr.PairCI = row.Sim, row.SimCI
+		case sim.RandomFixed:
+			pr.RandomFixed, pr.FixedCI = row.Sim, row.SimCI
 		}
 	}
 	return rows, nil
@@ -176,29 +215,50 @@ type HypercubeResult struct {
 	SaturationLoad float64
 }
 
-// Hypercube runs experiment X1.
-func Hypercube(dims, msgFlits, points int, b Budget) (*HypercubeResult, error) {
+// HypercubeSpec compiles experiment X1 into the equivalent sweep spec.
+func HypercubeSpec(dims, msgFlits, points int, b Budget) (sweep.Spec, error) {
 	model, err := analytic.NewHypercubeModel(dims, float64(msgFlits), core.Options{})
 	if err != nil {
-		return nil, err
-	}
-	sat, err := model.SaturationLoad()
-	if err != nil {
-		return nil, err
+		return sweep.Spec{}, err
 	}
 	loads, err := LoadsUpTo(model, points, 0.85)
 	if err != nil {
-		return nil, err
+		return sweep.Spec{}, err
 	}
-	net, err := topology.NewHypercube(dims)
+	return sweep.Spec{
+		Name:        "hypercube-x1",
+		Description: fmt.Sprintf("X1 hypercube extension, %d-cube, s=%d", dims, msgFlits),
+		Topologies:  []sweep.TopologySpec{{Family: sweep.FamilyHypercube, Sizes: []int{dims}}},
+		MsgFlits:    []int{msgFlits},
+		Loads:       sweep.LoadSpec{Flits: loads},
+		WithSim:     true,
+		Budget:      b,
+	}, nil
+}
+
+// Hypercube runs experiment X1 through the package's shared sweep runner.
+func Hypercube(dims, msgFlits, points int, b Budget) (*HypercubeResult, error) {
+	return HypercubeRun(context.Background(), dims, msgFlits, points, b, defaultRunner)
+}
+
+// HypercubeRun runs experiment X1 on the given sweep runner.
+func HypercubeRun(ctx context.Context, dims, msgFlits, points int, b Budget, r *sweep.Runner) (*HypercubeResult, error) {
+	spec, err := HypercubeSpec(dims, msgFlits, points, b)
 	if err != nil {
 		return nil, err
 	}
-	pts, err := CompareCurve(model, net, msgFlits, loads, b, sim.PairQueue)
+	sw, err := r.Run(ctx, spec)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("exp: hypercube: %w", err)
 	}
-	return &HypercubeResult{Dims: dims, MsgFlits: msgFlits, Points: pts, SaturationLoad: sat}, nil
+	res := &HypercubeResult{Dims: dims, MsgFlits: msgFlits, SaturationLoad: math.NaN()}
+	for _, row := range sw.Rows {
+		res.Points = append(res.Points, comparisonPoint(row))
+	}
+	if len(sw.Curves) > 0 {
+		res.SaturationLoad = sw.Curves[0].SaturationLoad
+	}
+	return res, nil
 }
 
 // Table renders X1 rows.

@@ -13,24 +13,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/series"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
-// Budget scales the simulation effort of an experiment.
-type Budget struct {
-	// Warmup and Measure are the simulator's window sizes in cycles.
-	Warmup, Measure int
-	// Seed drives all randomness.
-	Seed uint64
-}
+// Budget scales the simulation effort of an experiment. It is the sweep
+// engine's budget type: every experiment driver compiles to a sweep spec.
+type Budget = sweep.Budget
 
 // Quick is sized for CI and iterative work: a Figure 3 reproduction in
 // tens of seconds with visible but modest noise.
-var Quick = Budget{Warmup: 4000, Measure: 20000, Seed: 1}
+var Quick = sweep.Quick
 
 // Full is sized for report-quality numbers.
-var Full = Budget{Warmup: 20000, Measure: 120000, Seed: 1}
+var Full = sweep.Full
 
 // ComparisonPoint pairs the model's prediction with a simulation
 // measurement at one offered load.

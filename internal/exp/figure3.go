@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -63,21 +64,21 @@ func Figure3Spec(cfg Figure3Config) sweep.Spec {
 		MsgFlits:    cfg.MsgFlits,
 		Loads:       sweep.LoadSpec{Points: cfg.Points, MaxFrac: cfg.MaxFrac},
 		WithSim:     cfg.WithSim,
-		Budget:      sweepBudget(cfg.Budget),
+		Budget:      cfg.Budget,
 	}
 }
 
 // Figure3 runs experiment F3 through the package's shared sweep runner.
 func Figure3(cfg Figure3Config) (*Figure3Result, error) {
-	return Figure3Run(cfg, defaultRunner)
+	return Figure3Run(context.Background(), cfg, defaultRunner)
 }
 
 // Figure3Run runs experiment F3 on the given sweep runner.
-func Figure3Run(cfg Figure3Config, r *sweep.Runner) (*Figure3Result, error) {
+func Figure3Run(ctx context.Context, cfg Figure3Config, r *sweep.Runner) (*Figure3Result, error) {
 	if cfg.NumProc == 0 {
 		cfg = DefaultFigure3()
 	}
-	sw, err := r.Run(Figure3Spec(cfg))
+	sw, err := r.Run(ctx, Figure3Spec(cfg))
 	if err != nil {
 		return nil, fmt.Errorf("exp: figure3: %w", err)
 	}

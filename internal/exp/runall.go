@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -25,8 +26,9 @@ type RunAllConfig struct {
 
 // RunAll executes every experiment in DESIGN.md's index (F3, T1, T2,
 // A1–A3, X1, X2, V1) and writes the artifacts to cfg.Dir. It returns the
-// summary text.
-func RunAll(cfg RunAllConfig) (string, error) {
+// summary text. Cancelling ctx aborts the run mid-experiment (the sweep
+// engine checks it inside the simulator's cycle loop).
+func RunAll(ctx context.Context, cfg RunAllConfig) (string, error) {
 	if cfg.Log == nil {
 		cfg.Log = io.Discard
 	}
@@ -49,21 +51,22 @@ func RunAll(cfg RunAllConfig) (string, error) {
 		return os.WriteFile(filepath.Join(cfg.Dir, name), []byte(content), 0o644)
 	}
 
-	// The sweep-backed experiments (F3, T1) share one runner so their
-	// grids land in a common cache and progress streams to cfg.Log.
-	runner := &sweep.Runner{
-		Cache: sweep.NewCache(),
-		Progress: func(ev sweep.Event) {
+	// Every sweep-backed experiment (F3, T1, T2, A1–A3, X1) shares one
+	// runner so their grids land in a common cache and progress streams
+	// to cfg.Log.
+	runner := sweep.NewRunner(
+		sweep.WithCache(sweep.NewCache()),
+		sweep.WithProgress(func(ev sweep.Event) {
 			if ev.Done == ev.Total || ev.Done%10 == 0 {
 				fmt.Fprintf(cfg.Log, "  sweep %d/%d cells (%s)\n",
 					ev.Done, ev.Total, ev.Scenario.CurveKey())
 			}
-		},
-	}
+		}),
+	)
 
 	// F3.
 	fmt.Fprintln(cfg.Log, "running F3 (Figure 3)...")
-	f3, err := Figure3Run(Figure3Config{
+	f3, err := Figure3Run(ctx, Figure3Config{
 		NumProc: figN, MsgFlits: flits, Points: 10, MaxFrac: 0.95,
 		WithSim: true, Budget: cfg.Budget,
 	}, runner)
@@ -81,7 +84,7 @@ func RunAll(cfg RunAllConfig) (string, error) {
 
 	// T1.
 	fmt.Fprintln(cfg.Log, "running T1 (validation grid)...")
-	grid, err := ValidationGridRun(sizes, flits, []float64{0.2, 0.5, 0.8}, cfg.Budget, runner)
+	grid, err := ValidationGridRun(ctx, sizes, flits, []float64{0.2, 0.5, 0.8}, cfg.Budget, runner)
 	if err != nil {
 		return "", fmt.Errorf("T1: %w", err)
 	}
@@ -98,7 +101,7 @@ func RunAll(cfg RunAllConfig) (string, error) {
 
 	// T2.
 	fmt.Fprintln(cfg.Log, "running T2 (saturation)...")
-	sat, err := SaturationTable(sizes, flits, cfg.Budget)
+	sat, err := SaturationTableRun(ctx, sizes, flits, cfg.Budget, runner)
 	if err != nil {
 		return "", fmt.Errorf("T2: %w", err)
 	}
@@ -109,7 +112,7 @@ func RunAll(cfg RunAllConfig) (string, error) {
 
 	// A1/A2.
 	fmt.Fprintln(cfg.Log, "running A1/A2 (model ablations)...")
-	abl, err := Ablations(figN, 32, 6, cfg.Budget)
+	abl, err := AblationsRun(ctx, figN, 32, 6, cfg.Budget, runner)
 	if err != nil {
 		return "", fmt.Errorf("A1/A2: %w", err)
 	}
@@ -120,7 +123,7 @@ func RunAll(cfg RunAllConfig) (string, error) {
 
 	// A3.
 	fmt.Fprintln(cfg.Log, "running A3 (policy comparison)...")
-	pol, err := PolicyComparison(min(figN, 256), 16, 4, cfg.Budget)
+	pol, err := PolicyComparisonRun(ctx, min(figN, 256), 16, 4, cfg.Budget, runner)
 	if err != nil {
 		return "", fmt.Errorf("A3: %w", err)
 	}
@@ -133,7 +136,7 @@ func RunAll(cfg RunAllConfig) (string, error) {
 
 	// X1.
 	fmt.Fprintln(cfg.Log, "running X1 (hypercube)...")
-	hc, err := Hypercube(hcDims, 16, 6, cfg.Budget)
+	hc, err := HypercubeRun(ctx, hcDims, 16, 6, cfg.Budget, runner)
 	if err != nil {
 		return "", fmt.Errorf("X1: %w", err)
 	}

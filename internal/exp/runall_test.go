@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ func TestRunAllSmallScale(t *testing.T) {
 		t.Skip("full orchestration skipped in -short mode")
 	}
 	dir := t.TempDir()
-	summary, err := RunAll(RunAllConfig{
+	summary, err := RunAll(context.Background(), RunAllConfig{
 		Dir:    dir,
 		Budget: Budget{Warmup: 500, Measure: 3000, Seed: 2},
 		Scale:  "small",
@@ -43,7 +44,7 @@ func TestRunAllSmallScale(t *testing.T) {
 }
 
 func TestRunAllBadDir(t *testing.T) {
-	_, err := RunAll(RunAllConfig{Dir: "/dev/null/cannot-exist", Budget: tiny})
+	_, err := RunAll(context.Background(), RunAllConfig{Dir: "/dev/null/cannot-exist", Budget: tiny})
 	if err == nil {
 		t.Error("accepted an impossible output directory")
 	}

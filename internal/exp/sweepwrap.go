@@ -1,9 +1,10 @@
 package exp
 
 // The experiment drivers in this package compile down to declarative
-// sweep specs (package sweep); this file holds the shared glue: the
-// package-level runner with its process-wide result cache and the
-// conversions between sweep rows and the experiment types.
+// sweep specs (package sweep) executed through the Evaluator backend API
+// (package eval); this file holds the shared glue: the package-level
+// runner with its process-wide result cache and the conversions between
+// sweep rows and the experiment types.
 
 import (
 	"repro/internal/sweep"
@@ -12,12 +13,7 @@ import (
 // defaultRunner executes the sweep specs behind the package's experiment
 // wrappers. Its cache is shared process-wide: a cell computed for one
 // figure is reused by any later experiment whose grid overlaps it.
-var defaultRunner = &sweep.Runner{Cache: sweep.NewCache()}
-
-// sweepBudget converts the experiment budget to the sweep schema.
-func sweepBudget(b Budget) sweep.Budget {
-	return sweep.Budget{Warmup: b.Warmup, Measure: b.Measure, Seed: b.Seed}
-}
+var defaultRunner = sweep.NewRunner(sweep.WithCache(sweep.NewCache()))
 
 // comparisonPoint converts one sweep row to the experiment point type.
 func comparisonPoint(row sweep.Row) ComparisonPoint {

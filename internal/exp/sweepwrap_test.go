@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,11 +21,11 @@ func TestFigure3MatchesSweepSpec(t *testing.T) {
 		WithSim:  true,
 		Budget:   tiny,
 	}
-	viaExp, err := Figure3Run(cfg, &sweep.Runner{Workers: 2})
+	viaExp, err := Figure3Run(context.Background(), cfg, &sweep.Runner{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	viaSpec, err := (&sweep.Runner{Workers: 1}).Run(Figure3Spec(cfg))
+	viaSpec, err := (&sweep.Runner{Workers: 1}).Run(context.Background(), Figure3Spec(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,11 +59,11 @@ func TestFigure3MatchesSweepSpec(t *testing.T) {
 // TestValidationGridMatchesSweepSpec does the same for the T1 grid.
 func TestValidationGridMatchesSweepSpec(t *testing.T) {
 	sizes, flits, fracs := []int{16, 64}, []int{8}, []float64{0.3, 0.6}
-	rows, err := ValidationGridRun(sizes, flits, fracs, tiny, &sweep.Runner{Workers: 2})
+	rows, err := ValidationGridRun(context.Background(), sizes, flits, fracs, tiny, &sweep.Runner{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := (&sweep.Runner{Workers: 1}).Run(GridSpec(sizes, flits, fracs, tiny))
+	res, err := (&sweep.Runner{Workers: 1}).Run(context.Background(), GridSpec(sizes, flits, fracs, tiny))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +88,10 @@ func TestSharedRunnerCachesAcrossExperiments(t *testing.T) {
 	r := &sweep.Runner{Cache: sweep.NewCache()}
 	cfg := Figure3Config{NumProc: 16, MsgFlits: []int{4}, Points: 2, MaxFrac: 0.6,
 		WithSim: true, Budget: tiny}
-	if _, err := Figure3Run(cfg, r); err != nil {
+	if _, err := Figure3Run(context.Background(), cfg, r); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Figure3Run(cfg, r); err != nil {
+	if _, err := Figure3Run(context.Background(), cfg, r); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses := r.Cache.Stats()

@@ -1,16 +1,12 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/analytic"
-	"repro/internal/core"
 	"repro/internal/series"
-	"repro/internal/sim"
 	"repro/internal/sweep"
-	"repro/internal/topology"
-	"repro/internal/traffic"
 )
 
 // GridRow is one row of the T1 validation grid (§3.6's "accurate for all
@@ -38,19 +34,19 @@ func GridSpec(sizes, msgFlits []int, fracs []float64, b Budget) sweep.Spec {
 		MsgFlits:    msgFlits,
 		Loads:       sweep.LoadSpec{Fracs: fracs},
 		WithSim:     true,
-		Budget:      sweepBudget(b),
+		Budget:      b,
 	}
 }
 
 // ValidationGrid runs experiment T1 through the package's shared sweep
 // runner.
 func ValidationGrid(sizes, msgFlits []int, fracs []float64, b Budget) ([]GridRow, error) {
-	return ValidationGridRun(sizes, msgFlits, fracs, b, defaultRunner)
+	return ValidationGridRun(context.Background(), sizes, msgFlits, fracs, b, defaultRunner)
 }
 
 // ValidationGridRun runs experiment T1 on the given sweep runner.
-func ValidationGridRun(sizes, msgFlits []int, fracs []float64, b Budget, r *sweep.Runner) ([]GridRow, error) {
-	sw, err := r.Run(GridSpec(sizes, msgFlits, fracs, b))
+func ValidationGridRun(ctx context.Context, sizes, msgFlits []int, fracs []float64, b Budget, r *sweep.Runner) ([]GridRow, error) {
+	sw, err := r.Run(ctx, GridSpec(sizes, msgFlits, fracs, b))
 	if err != nil {
 		return nil, fmt.Errorf("exp: validation grid: %w", err)
 	}
@@ -98,50 +94,54 @@ type SatRow struct {
 	SimStable, SimSaturated float64
 }
 
-// SaturationTable runs experiment T2: for each configuration it computes
-// the model's saturation load and brackets the simulator's by probing
-// fractions of it.
+// SaturationSpec compiles the T2 experiment into the equivalent sweep
+// spec: every configuration probed at fixed fractions of its model
+// saturation load, bracketing the simulator's own saturation point. The
+// drain limit is capped at the measurement window so super-saturated
+// probes finish in bounded time.
+func SaturationSpec(sizes, msgFlits []int, b Budget) sweep.Spec {
+	if b.DrainLimit == 0 {
+		b.DrainLimit = b.Measure
+	}
+	return sweep.Spec{
+		Name:        "saturation",
+		Description: "T2 saturation throughput: simulated bracket around the Eq. 26 load",
+		Topologies:  []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: sizes}},
+		MsgFlits:    msgFlits,
+		Loads:       sweep.LoadSpec{Fracs: []float64{0.80, 0.95, 1.10, 1.30}},
+		WithSim:     true,
+		Budget:      b,
+	}
+}
+
+// SaturationTable runs experiment T2 through the package's shared sweep
+// runner: for each configuration it computes the model's saturation load
+// and brackets the simulator's by probing fractions of it.
 func SaturationTable(sizes, msgFlits []int, b Budget) ([]SatRow, error) {
-	probes := []float64{0.80, 0.95, 1.10, 1.30}
+	return SaturationTableRun(context.Background(), sizes, msgFlits, b, defaultRunner)
+}
+
+// SaturationTableRun runs experiment T2 on the given sweep runner.
+func SaturationTableRun(ctx context.Context, sizes, msgFlits []int, b Budget, r *sweep.Runner) ([]SatRow, error) {
+	sw, err := r.Run(ctx, SaturationSpec(sizes, msgFlits, b))
+	if err != nil {
+		return nil, fmt.Errorf("exp: saturation table: %w", err)
+	}
 	var rows []SatRow
-	for _, n := range sizes {
-		net, err := topology.NewFatTree(n)
-		if err != nil {
-			return nil, err
-		}
-		for _, flits := range msgFlits {
-			model, err := analytic.NewFatTreeModel(n, float64(flits), core.Options{})
-			if err != nil {
-				return nil, err
-			}
-			sat, err := model.SaturationLoad()
-			if err != nil {
-				return nil, err
-			}
-			row := SatRow{NumProc: n, MsgFlits: flits, Model: sat,
-				SimStable: math.NaN(), SimSaturated: math.NaN()}
-			for _, frac := range probes {
-				load := frac * sat
-				cfg := sim.Config{
-					Net:           net,
-					MsgFlits:      flits,
-					Pattern:       traffic.Uniform{},
-					Seed:          b.Seed,
-					WarmupCycles:  b.Warmup,
-					MeasureCycles: b.Measure,
-					DrainLimit:    b.Measure,
-				}.FlitLoad(load)
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return nil, err
-				}
-				if !res.Saturated {
-					row.SimStable = load
-				} else if math.IsNaN(row.SimSaturated) {
-					row.SimSaturated = load
-				}
-			}
-			rows = append(rows, row)
+	idx := make(map[string]int)
+	for _, c := range sw.Curves {
+		idx[fmt.Sprintf("%s/%d", c.Topology, c.MsgFlits)] = len(rows)
+		rows = append(rows, SatRow{
+			NumProc: c.Topology.Size, MsgFlits: c.MsgFlits, Model: c.SaturationLoad,
+			SimStable: math.NaN(), SimSaturated: math.NaN(),
+		})
+	}
+	for _, swRow := range sw.Rows {
+		row := &rows[idx[fmt.Sprintf("%s/%d", swRow.Scenario.Topology, swRow.Scenario.MsgFlits)]]
+		if !swRow.SimSaturated {
+			row.SimStable = swRow.LoadFlits
+		} else if math.IsNaN(row.SimSaturated) {
+			row.SimSaturated = swRow.LoadFlits
 		}
 	}
 	return rows, nil

@@ -27,6 +27,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -135,21 +136,38 @@ func (c Config) FlitLoad(load float64) Config {
 // expected outcome.
 var ErrDeadlock = errors.New("sim: no progress; routing deadlock or watchdog misconfiguration")
 
-func (c *Config) validate() error {
+// Validate reports the first problem that would make the run misbehave:
+// a nil network, a non-positive message length, a negative/NaN/infinite
+// rate, zero or negative windows, an unknown policy, or negative tuning
+// knobs. Run rejects invalid configs with the same errors; Validate lets
+// callers fail before committing to a run.
+func (c *Config) Validate() error {
 	if c.Net == nil {
 		return errors.New("sim: Config.Net is nil")
 	}
 	if c.MsgFlits < 1 {
 		return fmt.Errorf("sim: MsgFlits = %d, must be >= 1", c.MsgFlits)
 	}
-	if c.Lambda0 < 0 {
-		return fmt.Errorf("sim: Lambda0 = %v, must be >= 0", c.Lambda0)
+	if c.Lambda0 < 0 || math.IsNaN(c.Lambda0) || math.IsInf(c.Lambda0, 0) {
+		return fmt.Errorf("sim: Lambda0 = %v, must be finite and >= 0", c.Lambda0)
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
-		return fmt.Errorf("sim: bad window (warmup=%d, measure=%d)", c.WarmupCycles, c.MeasureCycles)
+		return fmt.Errorf("sim: bad window (warmup=%d, measure=%d); warmup must be >= 0 and measure > 0", c.WarmupCycles, c.MeasureCycles)
 	}
 	if c.Policy != PairQueue && c.Policy != RandomFixed {
 		return fmt.Errorf("sim: unknown policy %d", c.Policy)
+	}
+	if c.DrainLimit < 0 {
+		return fmt.Errorf("sim: DrainLimit = %d, must be >= 0", c.DrainLimit)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("sim: BatchSize = %d, must be >= 0", c.BatchSize)
+	}
+	if c.ProgressTimeout < 0 {
+		return fmt.Errorf("sim: ProgressTimeout = %d, must be >= 0", c.ProgressTimeout)
+	}
+	if c.HistMax < 0 || math.IsNaN(c.HistMax) {
+		return fmt.Errorf("sim: HistMax = %v, must be >= 0", c.HistMax)
 	}
 	return nil
 }

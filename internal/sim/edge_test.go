@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestSingleFlitMessages(t *testing.T) {
 	}.FlitLoad(0.02)
 	e := newEngine(cfg)
 	e.debugChecks = true
-	res, err := e.run()
+	res, err := e.run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestShortWormsBelowDiameter(t *testing.T) {
 	}.FlitLoad(0.03)
 	e := newEngine(cfg)
 	e.debugChecks = true
-	res, err := e.run()
+	res, err := e.run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestSmallestMachineBusyButStable(t *testing.T) {
 	cfg.Lambda0 = 0.08 // ejection rho = 0.32; x̄01 ≈ 4.6, rho_inj ≈ 0.37
 	e := newEngine(cfg)
 	e.debugChecks = true
-	res, err := e.run()
+	res, err := e.run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

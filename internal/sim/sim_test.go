@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -138,7 +139,7 @@ func TestInvariantsUnderLoad(t *testing.T) {
 		}.FlitLoad(0.05)
 		e := newEngine(cfg)
 		e.debugChecks = true
-		if _, err := e.run(); err != nil {
+		if _, err := e.run(context.Background()); err != nil {
 			t.Fatalf("policy %v: %v", policy, err)
 		}
 	}
@@ -151,7 +152,7 @@ func TestInvariantsUnderLoad(t *testing.T) {
 	}.FlitLoad(0.08)
 	e := newEngine(cfg)
 	e.debugChecks = true
-	if _, err := e.run(); err != nil {
+	if _, err := e.run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }

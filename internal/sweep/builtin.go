@@ -98,6 +98,7 @@ func (s Spec) clone() Spec {
 	}
 	s.MsgFlits = append([]int(nil), s.MsgFlits...)
 	s.Policies = append([]string(nil), s.Policies...)
+	s.Variants = append([]Variant(nil), s.Variants...)
 	s.Loads.Flits = append([]float64(nil), s.Loads.Flits...)
 	s.Loads.Fracs = append([]float64(nil), s.Loads.Fracs...)
 	return s

@@ -1,26 +1,21 @@
 package sweep
 
-import "sync"
+import (
+	"sync"
 
-// Cell is the cached outcome of one scenario: everything a Row carries
-// that is independent of the scenario's position in a particular sweep.
-type Cell struct {
-	// LoadFlits is the resolved absolute load (flits/cycle/processor).
-	LoadFlits float64
-	// Model is the predicted latency; +Inf when the model saturates.
-	Model float64
-	// ModelSaturated marks the +Inf case for JSON-safe serialisation.
-	ModelSaturated bool
-	// Sim is the measured latency (NaN when simulation was skipped),
-	// SimCI the 95% batch-means half-width.
-	Sim, SimCI float64
-	// SimSaturated reports the simulator could not sustain the load.
-	SimSaturated bool
-}
+	"repro/internal/eval"
+)
+
+// Cell is the cached outcome of one scenario: the merged Point of every
+// backend, independent of the scenario's position in a particular sweep.
+type Cell = eval.Point
 
 // Cache is a concurrency-safe in-memory result cache keyed by
-// Scenario.Key. A cache can be shared across Runners and specs: any cell
-// of an overlapping grid is computed once per process.
+// Scenario.Key (prefixed with a backend salt for runners using
+// WithBackends — see Runner.cacheSalt). A cache can be shared across
+// Runners and specs: any cell of an overlapping grid is computed once
+// per process. Sharing assumes backends with equal names (or CacheTag
+// values) are equivalently configured.
 type Cache struct {
 	mu     sync.Mutex
 	cells  map[string]Cell

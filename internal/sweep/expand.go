@@ -1,136 +1,40 @@
 package sweep
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"strconv"
-	"strings"
-
-	"repro/internal/analytic"
-	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/sim"
-	"repro/internal/topology"
 )
 
-// Topology identifies one concrete network instance of a sweep.
-type Topology struct {
-	// Family is a Family* constant.
-	Family string `json:"family"`
-	// Size is the processor count (fat-tree) or dimension count
-	// (hypercube, torus).
-	Size int `json:"size"`
-	// K is the torus radix; 0 for the other families.
-	K int `json:"k,omitempty"`
-}
+// The scenario domain types live in package eval (they are the currency
+// of the Evaluator backend API); sweep re-exports them so specs, rows
+// and results keep reading naturally.
+type (
+	// Topology identifies one concrete network instance of a sweep.
+	Topology = eval.Topology
+	// Load is one load point of a scenario.
+	Load = eval.Load
+	// Variant selects a model ablation for part of the grid.
+	Variant = eval.Variant
+	// Scenario is one fully determined cell of a sweep grid.
+	Scenario = eval.Scenario
+	// Model is the analytical surface a sweep needs.
+	Model = eval.Model
+	// Budget scales the simulation effort of every scenario in a spec.
+	Budget = eval.Budget
+)
 
-// String names the instance, e.g. "bft-1024" or "torus-4x3".
-func (t Topology) String() string {
-	if t.Family == FamilyTorus {
-		return fmt.Sprintf("torus-%dx%d", t.K, t.Size)
-	}
-	return fmt.Sprintf("%s-%d", t.Family, t.Size)
-}
-
-// NewModel builds the analytical model for the instance.
-func (t Topology) NewModel(msgFlits int) (Model, error) {
-	switch t.Family {
-	case FamilyBFT:
-		return analytic.NewFatTreeModel(t.Size, float64(msgFlits), core.Options{})
-	case FamilyHypercube:
-		return analytic.NewHypercubeModel(t.Size, float64(msgFlits), core.Options{})
-	case FamilyTorus:
-		return analytic.NewTorusModel(t.K, t.Size, float64(msgFlits), core.Options{})
-	default:
-		return nil, fmt.Errorf("sweep: unknown family %q", t.Family)
-	}
-}
-
-// NewNetwork builds the simulator topology for the instance.
-func (t Topology) NewNetwork() (topology.Network, error) {
-	switch t.Family {
-	case FamilyBFT:
-		return topology.NewFatTree(t.Size)
-	case FamilyHypercube:
-		return topology.NewHypercube(t.Size)
-	default:
-		return nil, fmt.Errorf("sweep: family %q has no simulator topology", t.Family)
-	}
-}
-
-// Model is the analytical surface a sweep needs: latency prediction plus
-// the saturation operating point that anchors fractional loads.
-type Model interface {
-	analytic.NetworkModel
-	SaturationLoad() (float64, error)
-}
-
-// Load is one load point of a scenario.
-type Load struct {
-	// Frac marks Value as a fraction of the curve's model saturation
-	// load; otherwise Value is absolute flits/cycle/processor.
-	Frac bool `json:"frac,omitempty"`
-	// Value is the load point.
-	Value float64 `json:"value"`
-}
-
-// Scenario is one fully determined cell of a sweep grid: a topology
-// instance, message length, policy, and a single load point.
-type Scenario struct {
-	// Index is the cell's position in the expanded grid.
-	Index int `json:"index"`
-	// Topology, MsgFlits, Policy and Load identify the cell.
-	Topology Topology         `json:"topology"`
-	MsgFlits int              `json:"msg_flits"`
-	Policy   sim.UpLinkPolicy `json:"-"`
-	Load     Load             `json:"load"`
-	// LoadIndex is the cell's position within its curve; it, not Index,
-	// drives the seed so that adding topologies or message lengths to a
-	// spec does not perturb existing cells.
-	LoadIndex int `json:"load_index"`
-	// WithSim and Budget describe the execution.
-	WithSim bool   `json:"with_sim"`
-	Budget  Budget `json:"budget"`
-}
-
-// Seed derives the scenario's simulation seed from the spec seed and the
-// scenario's position within its curve, so results never depend on
-// scheduling order or grid width. The derivation matches what
-// exp.CompareCurve applies along a multi-point curve, which is why a
-// Figure 3 sweep reproduces cmd/figure3 bit for bit; grids whose cells
-// were historically simulated one point at a time (the pre-sweep
-// ValidationGrid) now give each load position its own seed instead of
-// reusing the base seed, which shifts their sim values at noise level.
-func (s Scenario) Seed() uint64 {
-	return s.Budget.Seed + uint64(s.LoadIndex)*7919
-}
-
-// CurveKey identifies the curve (topology × message length × policy) the
-// scenario belongs to.
-func (s Scenario) CurveKey() string {
-	return fmt.Sprintf("%s/s=%d/%s", s.Topology, s.MsgFlits, s.Policy)
-}
-
-// Key returns the scenario's cache key: a hash over every field that
-// influences its result (and nothing else — Index is excluded, so the
-// same cell reached from different specs hits the same cache line).
-func (s Scenario) Key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "family=%s size=%d k=%d flits=%d policy=%s",
-		s.Topology.Family, s.Topology.Size, s.Topology.K, s.MsgFlits, s.Policy)
-	fmt.Fprintf(&b, " frac=%v load=%s", s.Load.Frac, strconv.FormatFloat(s.Load.Value, 'x', -1, 64))
-	fmt.Fprintf(&b, " sim=%v", s.WithSim)
-	if s.WithSim {
-		fmt.Fprintf(&b, " warmup=%d measure=%d seed=%d", s.Budget.Warmup, s.Budget.Measure, s.Seed())
-	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:16])
-}
+// Topology families understood by TopologySpec.Family (see the eval
+// package for their semantics).
+const (
+	FamilyBFT       = eval.FamilyBFT
+	FamilyHypercube = eval.FamilyHypercube
+	FamilyTorus     = eval.FamilyTorus
+)
 
 // Expand turns a validated spec into its deterministic scenario list:
-// topologies × sizes × message lengths × policies × loads, in declaration
-// order, with exact duplicate cells (same cache key) dropped on all but
-// their first appearance.
+// topologies × sizes × message lengths × policies × variants × loads, in
+// declaration order, with exact duplicate cells (same cache key) dropped
+// on all but their first appearance.
 func Expand(s Spec) ([]Scenario, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -160,20 +64,23 @@ func Expand(s Spec) ([]Scenario, error) {
 					if err != nil {
 						return nil, err
 					}
-					for li, load := range loads {
-						sc := Scenario{
-							Index:     len(out),
-							Topology:  topo,
-							MsgFlits:  flits,
-							Policy:    pol,
-							Load:      load,
-							LoadIndex: li,
-							WithSim:   s.WithSim,
-							Budget:    s.Budget,
-						}
-						if key := sc.Key(); !seen[key] {
-							seen[key] = true
-							out = append(out, sc)
+					for _, v := range s.variants() {
+						for li, load := range loads {
+							sc := Scenario{
+								Index:     len(out),
+								Topology:  topo,
+								MsgFlits:  flits,
+								Policy:    pol,
+								Load:      load,
+								Variant:   v,
+								LoadIndex: li,
+								WithSim:   s.WithSim && (len(s.Variants) == 0 || v.WithSim),
+								Budget:    s.Budget,
+							}
+							if key := sc.Key(); !seen[key] {
+								seen[key] = true
+								out = append(out, sc)
+							}
 						}
 					}
 				}

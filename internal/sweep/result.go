@@ -9,13 +9,16 @@ import (
 	"repro/internal/series"
 )
 
-// CurveInfo summarises one curve (topology × message length × policy) of
-// a sweep: the model behind it, its saturation operating point (Eq. 26),
-// and its average distance D̄.
+// CurveInfo summarises one curve (topology × message length × policy ×
+// variant) of a sweep: the model behind it, its saturation operating
+// point (Eq. 26), and its average distance D̄.
 type CurveInfo struct {
 	Topology Topology `json:"topology"`
 	MsgFlits int      `json:"msg_flits"`
 	Policy   string   `json:"policy"`
+	// Variant names the model-ablation variant; empty for the paper's
+	// model.
+	Variant string `json:"variant,omitempty"`
 	// Model is the model's name, e.g. "bft-1024/s=16".
 	Model string `json:"model"`
 	// SaturationLoad is in flits/cycle/processor; NaN when the search
@@ -42,10 +45,6 @@ func (r Row) RelErr() float64 {
 	return math.Abs(r.Sim-r.Model) / r.Model
 }
 
-func rowFromCell(sc Scenario, cell Cell, cached bool) Row {
-	return Row{Scenario: sc, Cell: cell, Cached: cached}
-}
-
 // Result is one executed sweep: rows in expansion order plus per-curve
 // metadata and cache accounting.
 type Result struct {
@@ -69,10 +68,22 @@ func (r *Result) CurvePoints(curveKey string) []Row {
 	return out
 }
 
-// Table renders the sweep as the repo's standard fixed-width table.
+// Table renders the sweep as the repo's standard fixed-width table. A
+// variant column appears only when the grid has a variant axis.
 func (r *Result) Table() *series.Table {
-	tbl := &series.Table{Headers: []string{
-		"topology", "flits", "policy", "flits/cyc/PE", "model L", "sim L", "±CI", "rel err", "cached"}}
+	withVariants := false
+	for _, row := range r.Rows {
+		if row.Scenario.Variant.Name != "" {
+			withVariants = true
+			break
+		}
+	}
+	headers := []string{"topology", "flits", "policy"}
+	if withVariants {
+		headers = append(headers, "variant")
+	}
+	headers = append(headers, "flits/cyc/PE", "model L", "sim L", "±CI", "rel err", "cached")
+	tbl := &series.Table{Headers: headers}
 	for _, row := range r.Rows {
 		model := "sat"
 		if !row.ModelSaturated {
@@ -93,13 +104,18 @@ func (r *Result) Table() *series.Table {
 		if row.Cached {
 			cached = "yes"
 		}
-		tbl.AddRow(
+		cells := []string{
 			row.Scenario.Topology.String(),
 			fmt.Sprintf("%d", row.Scenario.MsgFlits),
 			row.Scenario.Policy.String(),
+		}
+		if withVariants {
+			cells = append(cells, row.Scenario.Variant.Name)
+		}
+		tbl.AddRow(append(cells,
 			fmt.Sprintf("%.6f", row.LoadFlits),
 			model, simCell, ciCell, errCell, cached,
-		)
+		)...)
 	}
 	return tbl
 }
@@ -119,8 +135,12 @@ func (r *Result) Summary() string {
 		if !math.IsNaN(c.SaturationLoad) {
 			sat = fmt.Sprintf("%.4f", c.SaturationLoad)
 		}
+		label := fmt.Sprintf("%s s=%d %s", c.Topology, c.MsgFlits, c.Policy)
+		if c.Variant != "" {
+			label += " [" + c.Variant + "]"
+		}
 		out += fmt.Sprintf("  %-28s D=%.2f saturation %s flits/cyc/PE\n",
-			fmt.Sprintf("%s s=%d %s", c.Topology, c.MsgFlits, c.Policy), c.AvgDist, sat)
+			label, c.AvgDist, sat)
 	}
 	return out
 }
@@ -134,7 +154,8 @@ type jsonRow struct {
 	K              int      `json:"k,omitempty"`
 	MsgFlits       int      `json:"msg_flits"`
 	Policy         string   `json:"policy"`
-	LoadFlits      float64  `json:"load_flits"`
+	Variant        string   `json:"variant,omitempty"`
+	LoadFlits      *float64 `json:"load_flits"`
 	ModelLatency   *float64 `json:"model_latency"`
 	ModelSaturated bool     `json:"model_saturated,omitempty"`
 	SimLatency     *float64 `json:"sim_latency,omitempty"`
@@ -144,9 +165,13 @@ type jsonRow struct {
 	Cached         bool     `json:"cached,omitempty"`
 }
 
+// jsonCurve overrides the non-finite-capable fields: backends without a
+// curve describer leave saturation and average distance NaN, which
+// encoding/json cannot express natively.
 type jsonCurve struct {
 	CurveInfo
 	SaturationLoad *float64 `json:"saturation_load"`
+	AvgDist        *float64 `json:"avg_dist"`
 }
 
 type jsonResult struct {
@@ -177,28 +202,44 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		ElapsedMS:   r.Elapsed.Milliseconds(),
 	}
 	for _, c := range r.Curves {
-		out.Curves = append(out.Curves, jsonCurve{CurveInfo: c, SaturationLoad: finitePtr(c.SaturationLoad)})
+		out.Curves = append(out.Curves, jsonCurve{
+			CurveInfo:      c,
+			SaturationLoad: finitePtr(c.SaturationLoad),
+			AvgDist:        finitePtr(c.AvgDist),
+		})
 	}
 	for _, row := range r.Rows {
-		jr := jsonRow{
-			Topology:       row.Scenario.Topology.String(),
-			Family:         row.Scenario.Topology.Family,
-			Size:           row.Scenario.Topology.Size,
-			K:              row.Scenario.Topology.K,
-			MsgFlits:       row.Scenario.MsgFlits,
-			Policy:         row.Scenario.Policy.String(),
-			LoadFlits:      row.LoadFlits,
-			ModelLatency:   finitePtr(row.Model),
-			ModelSaturated: row.ModelSaturated,
-			SimLatency:     finitePtr(row.Sim),
-			SimSaturated:   row.SimSaturated,
-			Seed:           row.Scenario.Seed(),
-			Cached:         row.Cached,
-		}
-		if !math.IsNaN(row.Sim) {
-			jr.SimCI95 = finitePtr(row.SimCI)
-		}
-		out.Rows = append(out.Rows, jr)
+		out.Rows = append(out.Rows, row.jsonRow())
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+func (r Row) jsonRow() jsonRow {
+	jr := jsonRow{
+		Topology:       r.Scenario.Topology.String(),
+		Family:         r.Scenario.Topology.Family,
+		Size:           r.Scenario.Topology.Size,
+		K:              r.Scenario.Topology.K,
+		MsgFlits:       r.Scenario.MsgFlits,
+		Policy:         r.Scenario.Policy.String(),
+		Variant:        r.Scenario.Variant.Name,
+		LoadFlits:      finitePtr(r.LoadFlits),
+		ModelLatency:   finitePtr(r.Model),
+		ModelSaturated: r.ModelSaturated,
+		SimLatency:     finitePtr(r.Sim),
+		SimSaturated:   r.SimSaturated,
+		Seed:           r.Scenario.Seed(),
+		Cached:         r.Cached,
+	}
+	if !math.IsNaN(r.Sim) {
+		jr.SimCI95 = finitePtr(r.SimCI)
+	}
+	return jr
+}
+
+// MarshalJSON serialises one row in the same flattened shape the Result
+// uses, with non-finite values mapped to null. It is the line format of
+// cmd/sweep's NDJSON streaming output.
+func (r Row) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.jsonRow())
 }

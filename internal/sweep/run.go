@@ -1,16 +1,16 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/topology"
-	"repro/internal/traffic"
+	"repro/internal/eval"
 )
 
 // Event is one progress notification: scenario sc just finished (or was
@@ -21,10 +21,13 @@ type Event struct {
 	Cached      bool
 }
 
-// Runner executes sweep specs. The zero value is ready to use: it sizes
-// the pool to GOMAXPROCS and caches within a single Run only. Set Cache
-// to share results across Runs (and specs), Progress to stream per-cell
-// completion events.
+// Runner executes sweep specs over a list of Evaluator backends. The
+// zero value is ready to use: it sizes the pool to GOMAXPROCS and
+// builds the default backends (analytic, plus the simulator when the
+// spec asks for it); without a Cache, no results are memoized (a single
+// Run never revisits a cell — Expand deduplicates). Construct with
+// NewRunner to configure via functional options, or set the fields
+// directly.
 type Runner struct {
 	// Workers bounds the worker pool; 0 defers to the spec, then to
 	// GOMAXPROCS.
@@ -34,221 +37,346 @@ type Runner struct {
 	// cache may safely outlive any one spec.
 	Cache *Cache
 	// Progress, when non-nil, receives an Event per completed cell. It is
-	// called from worker goroutines under a lock (events arrive in
-	// completion order, never concurrently).
+	// called from a single goroutine (events arrive in completion order,
+	// never concurrently).
 	Progress func(Event)
+	// Backends, when non-nil, replaces the default evaluator list. Every
+	// scenario is offered to every backend in order and their points are
+	// merged into one cell; backends skip the scenarios that do not
+	// concern them (the simulator skips cells with WithSim unset).
+	Backends []eval.Evaluator
 }
 
-// curve is the per-(topology × message length × policy) context shared by
-// the scenarios of one curve.
-type curve struct {
-	info  CurveInfo
-	model Model
-	net   topology.Network
+// Option configures a Runner.
+type Option func(*Runner)
+
+// NewRunner builds a Runner from functional options.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
 }
 
-// Run expands the spec and executes every scenario, returning rows in
-// expansion order. Results are independent of the worker count: each
-// scenario derives its seed from the spec seed and its own curve
-// position, never from scheduling.
-func (r *Runner) Run(spec Spec) (*Result, error) {
-	start := time.Now()
-	scens, err := Expand(spec)
-	if err != nil {
-		return nil, err
-	}
-	curves, err := r.resolveCurves(spec, scens)
-	if err != nil {
-		return nil, err
-	}
+// WithWorkers bounds the worker pool.
+func WithWorkers(n int) Option { return func(r *Runner) { r.Workers = n } }
 
-	res := &Result{Spec: spec, Rows: make([]Row, len(scens))}
-	for _, key := range curveOrder(scens) {
-		res.Curves = append(res.Curves, curves[key].info)
-	}
+// WithCache attaches a (shareable) result cache.
+func WithCache(c *Cache) Option { return func(r *Runner) { r.Cache = c } }
 
-	workers := r.Workers
-	if workers <= 0 {
-		workers = spec.Workers
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+// WithBackends replaces the default evaluator list.
+func WithBackends(b ...eval.Evaluator) Option { return func(r *Runner) { r.Backends = b } }
 
-	var mu sync.Mutex // guards done count, cache tallies, Progress
-	done := 0
-	finish := func(i int, cached bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		done++
-		if cached {
-			res.CacheHits++
+// WithProgress attaches a per-cell completion callback.
+func WithProgress(f func(Event)) Option { return func(r *Runner) { r.Progress = f } }
+
+// PointResult is one streamed cell: a completed row, or the error that
+// ended the sweep. A failing sweep delivers its error as the stream's
+// final element; a cancelled or expired context instead just closes the
+// channel promptly (the consumer's own ctx is the signal — check
+// ctx.Err() to distinguish completion from cancellation), with no
+// goroutine left behind.
+type PointResult struct {
+	Row Row
+	Err error
+}
+
+// backends returns the runner's evaluator list, defaulting to the
+// analytic model plus — when the spec simulates — the flit-level
+// simulator anchored on it.
+func (r *Runner) backends(spec Spec) []eval.Evaluator {
+	if r.Backends != nil {
+		return r.Backends
+	}
+	ab := eval.NewAnalyticBackend()
+	if spec.WithSim {
+		return []eval.Evaluator{ab, eval.NewSimBackend(ab)}
+	}
+	return []eval.Evaluator{ab}
+}
+
+// cacheSalt distinguishes cache lines produced by non-default backend
+// lists: Scenario.Key hashes only the scenario, so a cache shared
+// between runners with different Backends (WithBackends) must not serve
+// one backend's cells as another's. Backends are identified by Name(),
+// or by CacheTag() when they implement it — a backend whose results
+// depend on configuration beyond its name (a custom LoadResolver, a
+// remote endpoint, …) should return a tag capturing that configuration.
+// The default list keeps unsalted keys, preserving cache sharing across
+// default runners.
+func (r *Runner) cacheSalt() string {
+	if r.Backends == nil {
+		return ""
+	}
+	type tagged interface{ CacheTag() string }
+	names := make([]string, len(r.Backends))
+	for i, be := range r.Backends {
+		if tg, ok := be.(tagged); ok {
+			names[i] = tg.CacheTag()
 		} else {
-			res.CacheMisses++
-		}
-		if r.Progress != nil {
-			r.Progress(Event{Done: done, Total: len(scens), Scenario: scens[i], Cached: cached})
+			names[i] = be.Name()
 		}
 	}
+	return "backends=" + strings.Join(names, ",") + "|"
+}
 
+func (r *Runner) workers(spec Spec) int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	if spec.Workers > 0 {
+		return spec.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// completion is one finished cell travelling from the pool to the
+// consumer.
+type completion struct {
+	row Row
+	err error
+}
+
+// launch starts the worker pool for the expanded scenarios and returns
+// the completion stream. The returned channel is buffered for every
+// scenario, so workers and the cache feeder never block on a slow
+// consumer; it is closed once all workers have drained. Cancelling ctx
+// stops the pool promptly (in-flight simulations abort inside their
+// cycle loop).
+func (r *Runner) launch(ctx context.Context, spec Spec, scens []Scenario, backends []eval.Evaluator) <-chan completion {
+	out := make(chan completion, len(scens))
 	jobs := make(chan int)
-	errs := make([]error, len(scens))
+	salt := r.cacheSalt()
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < r.workers(spec); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
 				sc := scens[i]
-				cell, err := runScenario(sc, curves[sc.CurveKey()])
+				if err := ctx.Err(); err != nil {
+					out <- completion{row: Row{Scenario: sc}, err: err}
+					continue
+				}
+				cell, err := evaluate(ctx, sc, backends)
 				if err != nil {
-					errs[i] = err
-					finish(i, false)
+					out <- completion{row: Row{Scenario: sc}, err: err}
 					continue
 				}
 				if r.Cache != nil {
-					r.Cache.Put(sc.Key(), cell)
+					r.Cache.Put(salt+sc.Key(), cell)
 				}
-				res.Rows[i] = rowFromCell(sc, cell, false)
-				finish(i, false)
+				out <- completion{row: Row{Scenario: sc, Cell: cell}}
 			}
 		}()
 	}
-	for i, sc := range scens {
-		if r.Cache != nil {
-			if cell, ok := r.Cache.Get(sc.Key()); ok {
-				res.Rows[i] = rowFromCell(sc, cell, true)
-				finish(i, true)
-				continue
+	go func() {
+		defer close(out)
+		for i, sc := range scens {
+			if r.Cache != nil {
+				if cell, ok := r.Cache.Get(salt + sc.Key()); ok {
+					out <- completion{row: Row{Scenario: sc, Cell: cell, Cached: true}}
+					continue
+				}
+			}
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				out <- completion{row: Row{Scenario: sc}, err: ctx.Err()}
 			}
 		}
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for i, err := range errs {
+		close(jobs)
+		wg.Wait()
+	}()
+	return out
+}
+
+// evaluate offers the scenario to every backend and merges their points
+// into one cell.
+func evaluate(ctx context.Context, sc Scenario, backends []eval.Evaluator) (Cell, error) {
+	cell := eval.NewPoint()
+	for _, be := range backends {
+		pt, err := be.Evaluate(ctx, sc)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: scenario %d (%s, load %v): %w",
-				i, scens[i].CurveKey(), scens[i].Load.Value, err)
+			return Cell{}, fmt.Errorf("%s: %w", be.Name(), err)
 		}
+		cell = cell.Merge(pt)
+	}
+	return cell, nil
+}
+
+// Run expands the spec and executes every scenario, returning rows in
+// expansion order. Results are independent of the worker count: each
+// scenario derives its seed from the spec seed and its own curve
+// position, never from scheduling. Cancelling ctx aborts the sweep —
+// including simulations already in flight — and returns ctx's error;
+// cells completed before the cancellation are still in the cache.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
+	start := time.Now()
+	scens, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	backends := r.backends(spec)
+	curves, order, err := resolveCurves(scens, backends)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec, Rows: make([]Row, len(scens))}
+	for _, key := range order {
+		res.Curves = append(res.Curves, curves[key])
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr error
+	done := 0
+	for c := range r.launch(runCtx, spec, scens, backends) {
+		if c.err != nil {
+			// Genuine scenario failures are reported with their cell;
+			// errors that merely reflect ctx ending (directly, or wrapped
+			// by an aborted simulation) fall through to the ctx.Err()
+			// return below — a timeout is not any one scenario's fault.
+			if firstErr == nil && ctx.Err() == nil && !errors.Is(c.err, context.Canceled) {
+				firstErr = fmt.Errorf("sweep: scenario %d (%s, load %v): %w",
+					c.row.Scenario.Index, c.row.Scenario.CurveKey(), c.row.Scenario.Load.Value, c.err)
+			}
+			cancel() // fail fast; remaining cells drain as cancelled
+			continue
+		}
+		res.Rows[c.row.Scenario.Index] = c.row
+		done++
+		if c.row.Cached {
+			res.CacheHits++
+		} else {
+			res.CacheMisses++
+		}
+		if r.Progress != nil {
+			r.Progress(Event{Done: done, Total: len(scens), Scenario: c.row.Scenario, Cached: c.row.Cached})
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
-// resolveCurves builds the per-curve context of the grid. Models (and
-// the Eq. 26 saturation search anchoring fractional load points) are
-// policy-independent, so they are shared across the policy axis, as
-// networks are shared across every curve of one topology instance.
-func (r *Runner) resolveCurves(spec Spec, scens []Scenario) (map[string]curve, error) {
-	type modelKey struct {
-		topo  Topology
-		flits int
+// Stream expands the spec and delivers each cell on the returned channel
+// as it completes (completion order, not expansion order). The channel
+// closes when the sweep finishes, fails, or ctx is cancelled. A failure
+// is delivered as the final PointResult with Err set — guaranteed, as
+// long as the consumer keeps receiving until the channel closes.
+// Cancelling or timing out ctx instead closes the channel promptly with
+// no terminal error element (the consumer's own ctx is the signal) and
+// leaves no goroutines behind.
+func (r *Runner) Stream(ctx context.Context, spec Spec) <-chan PointResult {
+	out := make(chan PointResult)
+	go func() {
+		defer close(out)
+		scens, err := Expand(spec)
+		if err != nil {
+			emit(ctx, out, PointResult{Err: err})
+			return
+		}
+		backends := r.backends(spec)
+		if _, _, err := resolveCurves(scens, backends); err != nil {
+			emit(ctx, out, PointResult{Err: err})
+			return
+		}
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		done, total := 0, len(scens)
+		var streamErr error
+		for c := range r.launch(runCtx, spec, scens, backends) {
+			switch {
+			case c.err != nil:
+				// Scenario failures end the sweep; errors that merely
+				// reflect ctx ending (directly, or wrapped by an aborted
+				// simulation) are cancellation, not failure — the close
+				// itself is the consumer's signal. By the time such a
+				// completion drains, ctx.Err() is already non-nil.
+				if streamErr == nil && ctx.Err() == nil && !errors.Is(c.err, context.Canceled) {
+					streamErr = fmt.Errorf("sweep: scenario %d (%s, load %v): %w",
+						c.row.Scenario.Index, c.row.Scenario.CurveKey(), c.row.Scenario.Load.Value, c.err)
+				}
+				cancel() // fail fast; keep draining the pool
+			case streamErr == nil:
+				done++
+				if r.Progress != nil {
+					r.Progress(Event{Done: done, Total: total, Scenario: c.row.Scenario, Cached: c.row.Cached})
+				}
+				if !emit(ctx, out, PointResult{Row: c.row}) {
+					cancel() // consumer gone; drain the pool and close
+				}
+			}
+		}
+		if streamErr != nil {
+			// While ctx is live this send blocks until the consumer takes
+			// it, so a consumer following the contract (receive until
+			// close) is guaranteed the error; once ctx has ended, close
+			// itself is the signal and emit gives up instead of leaking.
+			emit(ctx, out, PointResult{Err: streamErr})
+		}
+	}()
+	return out
+}
+
+// emit sends pr unless ctx is already cancelled; it reports whether the
+// consumer is still listening.
+func emit(ctx context.Context, out chan<- PointResult, pr PointResult) bool {
+	if ctx.Err() != nil {
+		return false
 	}
-	type modelEntry struct {
-		model Model
-		sat   float64
+	select {
+	case out <- pr:
+		return true
+	case <-ctx.Done():
+		return false
 	}
-	curves := make(map[string]curve)
-	models := make(map[modelKey]modelEntry)
-	nets := make(map[Topology]topology.Network)
-	needSat := false
-	for _, sc := range scens {
-		if sc.Load.Frac {
-			needSat = true
+}
+
+// resolveCurves builds the per-curve metadata of the grid in order of
+// first appearance, asking the first backend that can describe curves
+// (the analytic backend, in the default list).
+func resolveCurves(scens []Scenario, backends []eval.Evaluator) (map[string]CurveInfo, []string, error) {
+	type describer interface {
+		Curve(eval.Scenario) (eval.CurveDesc, error)
+	}
+	var desc describer
+	for _, be := range backends {
+		if d, ok := be.(describer); ok {
+			desc = d
 			break
 		}
 	}
+	curves := make(map[string]CurveInfo)
+	var order []string
 	for _, sc := range scens {
 		key := sc.CurveKey()
 		if _, ok := curves[key]; ok {
 			continue
 		}
-		mk := modelKey{sc.Topology, sc.MsgFlits}
-		me, ok := models[mk]
-		if !ok {
-			model, err := sc.Topology.NewModel(sc.MsgFlits)
-			if err != nil {
-				return nil, fmt.Errorf("sweep: %s: %w", key, err)
-			}
-			me = modelEntry{model: model, sat: math.NaN()}
-			if sat, err := model.SaturationLoad(); err == nil {
-				me.sat = sat
-			} else if needSat {
-				return nil, fmt.Errorf("sweep: %s: saturation load (needed for fractional load points): %w", key, err)
-			}
-			models[mk] = me
-		}
-		cv := curve{model: me.model, info: CurveInfo{
+		info := CurveInfo{
 			Topology: sc.Topology, MsgFlits: sc.MsgFlits,
-			Policy: sc.Policy.String(), Model: me.model.Name(),
-			AvgDist: me.model.AvgDist(), SaturationLoad: me.sat,
-		}}
-		if sc.WithSim {
-			net, ok := nets[sc.Topology]
-			if !ok {
-				n, err := sc.Topology.NewNetwork()
-				if err != nil {
-					return nil, fmt.Errorf("sweep: %s: %w", key, err)
-				}
-				net = n
-				nets[sc.Topology] = net
+			Policy: sc.Policy.String(), Variant: sc.Variant.Name,
+			AvgDist: math.NaN(), SaturationLoad: math.NaN(),
+		}
+		if desc != nil {
+			cd, err := desc.Curve(sc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sweep: %s: %w", key, err)
 			}
-			cv.net = net
+			info.Model = cd.Model
+			info.AvgDist = cd.AvgDist
+			info.SaturationLoad = cd.SaturationLoad
 		}
-		curves[key] = cv
+		curves[key] = info
+		order = append(order, key)
 	}
-	return curves, nil
-}
-
-// curveOrder returns curve keys in order of first appearance.
-func curveOrder(scens []Scenario) []string {
-	var order []string
-	seen := make(map[string]bool)
-	for _, sc := range scens {
-		if key := sc.CurveKey(); !seen[key] {
-			seen[key] = true
-			order = append(order, key)
-		}
-	}
-	return order
-}
-
-// runScenario computes one cell: the model's prediction and, when
-// configured, a simulation measurement.
-func runScenario(sc Scenario, cv curve) (Cell, error) {
-	load := sc.Load.Value
-	if sc.Load.Frac {
-		load = cv.info.SaturationLoad * sc.Load.Value
-	}
-	cell := Cell{LoadFlits: load, Sim: math.NaN()}
-	lat, err := cv.model.Latency(load / float64(sc.MsgFlits))
-	switch {
-	case err == nil:
-		cell.Model = lat.Total
-	case core.IsUnstable(err):
-		cell.Model = math.Inf(1)
-		cell.ModelSaturated = true
-	default:
-		return Cell{}, fmt.Errorf("model: %w", err)
-	}
-	if sc.WithSim {
-		cfg := sim.Config{
-			Net:           cv.net,
-			MsgFlits:      sc.MsgFlits,
-			Pattern:       traffic.Uniform{},
-			Seed:          sc.Seed(),
-			WarmupCycles:  sc.Budget.Warmup,
-			MeasureCycles: sc.Budget.Measure,
-			Policy:        sc.Policy,
-		}.FlitLoad(load)
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return Cell{}, fmt.Errorf("sim: %w", err)
-		}
-		cell.Sim = res.LatencyMean
-		cell.SimCI = res.LatencyCI95
-		cell.SimSaturated = res.Saturated
-	}
-	return cell, nil
+	return curves, order, nil
 }

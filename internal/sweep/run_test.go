@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -21,7 +22,7 @@ func tinySpec() Spec {
 
 func mustRun(t *testing.T, r *Runner, s Spec) *Result {
 	t.Helper()
-	res, err := r.Run(s)
+	res, err := r.Run(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestRunAbsoluteLoadsAndModelSaturation(t *testing.T) {
 func TestRunRejectsBadTopologySize(t *testing.T) {
 	s := tinySpec()
 	s.Topologies[0].Sizes = []int{5} // not a power of four
-	if _, err := (&Runner{}).Run(s); err == nil {
+	if _, err := (&Runner{}).Run(context.Background(), s); err == nil {
 		t.Error("accepted a 5-processor fat-tree")
 	}
 }

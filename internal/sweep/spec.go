@@ -21,29 +21,6 @@ import (
 	"repro/internal/sim"
 )
 
-// Topology families understood by TopologySpec.Family.
-const (
-	// FamilyBFT is the paper's butterfly fat-tree; sizes are processor
-	// counts (powers of four >= 4).
-	FamilyBFT = "bft"
-	// FamilyHypercube is the binary hypercube; sizes are dimension counts.
-	FamilyHypercube = "hypercube"
-	// FamilyTorus is the unidirectional k-ary n-cube; sizes are dimension
-	// counts and K is the radix. The torus has an analytical model but no
-	// simulator topology, so torus sweeps must be model-only.
-	FamilyTorus = "torus"
-)
-
-// Budget scales the simulation effort of every scenario in a spec.
-type Budget struct {
-	// Warmup and Measure are the simulator's window sizes in cycles.
-	Warmup  int `json:"warmup"`
-	Measure int `json:"measure"`
-	// Seed is the base seed; each scenario derives its own from it (see
-	// Scenario.Seed).
-	Seed uint64 `json:"seed"`
-}
-
 // Quick is sized for CI and iterative work, Full for report-quality
 // numbers. They mirror the budgets package exp has always used.
 var (
@@ -88,7 +65,14 @@ type Spec struct {
 	// Policies lists up-link arbitration policies by name ("pairqueue",
 	// "randomfixed"); empty means pairqueue only.
 	Policies []string `json:"policies,omitempty"`
-	Loads    LoadSpec `json:"loads"`
+	// Variants adds a model-ablation axis: each variant re-evaluates the
+	// model side of every curve with some of the paper's ingredients
+	// removed (fractional loads stay anchored at the base model's
+	// saturation). Empty means the paper's model only. The simulator does
+	// not depend on model options, so when variants are listed the
+	// simulator runs only on cells of variants that set with_sim.
+	Variants []Variant `json:"variants,omitempty"`
+	Loads    LoadSpec  `json:"loads"`
 	// WithSim runs the flit-level simulator alongside the model.
 	WithSim bool `json:"with_sim"`
 	// Budget scales the simulation; ignored (and may be zero) when
@@ -119,6 +103,15 @@ func (s *Spec) policies() []string {
 		return []string{sim.PairQueue.String()}
 	}
 	return s.Policies
+}
+
+// variants returns the variant list with the default (the paper's model)
+// applied.
+func (s *Spec) variants() []Variant {
+	if len(s.Variants) == 0 {
+		return []Variant{{}}
+	}
+	return s.Variants
 }
 
 // fracs returns the Points/MaxFrac sugar expanded to explicit fractions,
@@ -178,6 +171,36 @@ func (s *Spec) Validate() error {
 			return err
 		}
 	}
+	names := make(map[string]bool, len(s.Variants))
+	// Cache keys hash a variant's options, not its name, so two variants
+	// with identical options would silently collapse at expansion;
+	// reject them instead.
+	type variantKey struct {
+		opts    Variant
+		withSim bool
+	}
+	options := make(map[variantKey]string, len(s.Variants))
+	for i, v := range s.Variants {
+		if v.Name == "" {
+			return fmt.Errorf("sweep: variants[%d] has no name", i)
+		}
+		if names[v.Name] {
+			return fmt.Errorf("sweep: duplicate variant name %q", v.Name)
+		}
+		names[v.Name] = true
+		if v.WithSim && !s.WithSim {
+			return fmt.Errorf("sweep: variant %q sets with_sim but the spec does not", v.Name)
+		}
+		key := variantKey{opts: Variant{
+			NoBlockingCorrection: v.NoBlockingCorrection,
+			SingleServerGroups:   v.SingleServerGroups,
+			NoPairRateCorrection: v.NoPairRateCorrection,
+		}, withSim: v.WithSim}
+		if prev, dup := options[key]; dup {
+			return fmt.Errorf("sweep: variants %q and %q have identical options and would collapse to one curve", prev, v.Name)
+		}
+		options[key] = v.Name
+	}
 	modes := 0
 	if len(s.Loads.Flits) > 0 {
 		modes++
@@ -204,6 +227,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.Budget.Warmup < 0 || s.Budget.Measure < 0 {
 		return fmt.Errorf("sweep: bad budget window (warmup=%d, measure=%d)", s.Budget.Warmup, s.Budget.Measure)
+	}
+	if s.Budget.DrainLimit < 0 {
+		return fmt.Errorf("sweep: bad budget drain limit %d", s.Budget.DrainLimit)
 	}
 	return nil
 }

@@ -13,12 +13,16 @@
 //   - its application to the butterfly fat-tree (closed-form Eq. 12–26)
 //     and to binary hypercubes and k-ary n-cubes;
 //   - a flit-level, cycle-driven wormhole simulator matching the paper's
-//     experimental assumptions; and
-//   - an experiment harness that regenerates every figure and table of
-//     the evaluation (see DESIGN.md and EXPERIMENTS.md).
+//     experimental assumptions;
+//   - the Evaluator backend API: the model and the simulator answer the
+//     same question — the latency of a Scenario — behind one
+//     context-aware interface (AnalyticBackend, SimBackend); and
+//   - a declarative scenario-sweep engine on top of it, with streaming,
+//     caching and cancellation, plus an experiment harness regenerating
+//     every figure and table of the evaluation.
 //
 // This facade re-exports the main entry points; the implementation lives
-// under internal/ (core, analytic, sim, topology, queueing, …).
+// under internal/ (core, analytic, sim, topology, eval, sweep, …).
 //
 // # Quick start
 //
@@ -32,11 +36,28 @@
 //	    WarmupCycles: 10000, MeasureCycles: 50000,
 //	}.FlitLoad(0.03))
 //	fmt.Println(lat.Total, sat, res.LatencyMean)
+//
+// # Sweeps and streaming
+//
+// Declarative grids run through the context-aware sweep API; cancelling
+// the context aborts mid-simulation. Points can be consumed as they
+// complete:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	spec, _ := repro.SweepBuiltin("figure3")
+//	for pr := range repro.SweepStream(ctx, spec) {
+//	    if pr.Err != nil { log.Fatal(pr.Err) }
+//	    fmt.Println(pr.Row.Scenario.CurveKey(), pr.Row.Model, pr.Row.Sim)
+//	}
 package repro
 
 import (
+	"context"
+
 	"repro/internal/analytic"
 	"repro/internal/core"
+	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -81,6 +102,20 @@ type (
 	// Figure3Result holds a Figure 3 reproduction.
 	Figure3Result = exp.Figure3Result
 
+	// Evaluator is the backend contract shared by the analytical model
+	// and the simulator: Evaluate(ctx, Scenario) -> Point. Custom
+	// backends plug into a SweepRunner via its Backends field.
+	Evaluator = eval.Evaluator
+	// Scenario is one fully determined evaluation question (topology,
+	// message length, policy, variant, load).
+	Scenario = eval.Scenario
+	// Point is one evaluated scenario; backends merge their halves.
+	Point = eval.Point
+	// Topology identifies one concrete network instance of a scenario.
+	SweepTopology = eval.Topology
+	// SweepVariant selects a model ablation for part of a grid.
+	SweepVariant = eval.Variant
+
 	// SweepSpec declares a scenario grid for the sweep engine (see
 	// docs/sweep.md); SweepRunner executes specs on a bounded worker
 	// pool against an optional SweepCache, producing a SweepResult.
@@ -88,6 +123,8 @@ type (
 	SweepRunner = sweep.Runner
 	SweepResult = sweep.Result
 	SweepCache  = sweep.Cache
+	// SweepPoint is one streamed sweep cell (row or error).
+	SweepPoint = sweep.PointResult
 )
 
 // Simulator policies.
@@ -131,14 +168,48 @@ func NewTorusModel(k, dims int, msgFlits float64) (*TorusModel, error) {
 // Simulate runs the flit-level wormhole simulator.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
 
+// SimulateContext is Simulate with cancellation: the simulator checks
+// ctx inside its cycle loop.
+func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	return sim.RunContext(ctx, cfg)
+}
+
 // Figure3 regenerates the paper's Figure 3 (see exp.Figure3Config;
 // zero-value config uses the paper's parameters with a CI-sized budget).
 func Figure3(cfg Figure3Config) (*Figure3Result, error) { return exp.Figure3(cfg) }
 
+// NewAnalyticBackend returns the analytical-model Evaluator: memoized
+// models per topology/message length/variant, fractional loads anchored
+// at the base model's Eq. 26 saturation.
+func NewAnalyticBackend() *eval.AnalyticBackend { return eval.NewAnalyticBackend() }
+
+// NewSimBackend returns the simulator Evaluator, resolving fractional
+// loads through anchor (normally the sweep's AnalyticBackend; it
+// satisfies the interface).
+func NewSimBackend(anchor eval.LoadResolver) *eval.SimBackend { return eval.NewSimBackend(anchor) }
+
 // Sweep expands and executes a declarative scenario grid with default
-// runner settings. For worker bounds, progress streaming, or a shared
-// cache, use a SweepRunner directly.
-func Sweep(spec SweepSpec) (*SweepResult, error) { return (&SweepRunner{}).Run(spec) }
+// runner settings, honouring ctx (cancellation reaches into running
+// simulations). For worker bounds, custom backends, progress streaming,
+// or a shared cache, use a SweepRunner directly (see sweep.NewRunner and
+// its functional options WithWorkers, WithCache, WithBackends).
+func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	return (&SweepRunner{}).Run(ctx, spec)
+}
+
+// SweepStream executes the grid and delivers each cell as it completes.
+// The channel closes when the sweep finishes or ctx is cancelled; errors
+// arrive as the final SweepPoint.
+func SweepStream(ctx context.Context, spec SweepSpec) <-chan SweepPoint {
+	return (&SweepRunner{}).Stream(ctx, spec)
+}
+
+// RunSweep is the pre-context form of Sweep.
+//
+// Deprecated: use Sweep with a context.
+func RunSweep(spec SweepSpec) (*SweepResult, error) {
+	return Sweep(context.Background(), spec)
+}
 
 // ParseSweepSpec decodes and validates a JSON sweep spec.
 func ParseSweepSpec(data []byte) (SweepSpec, error) { return sweep.ParseSpec(data) }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -117,7 +118,7 @@ func TestFacadeSweep(t *testing.T) {
 	spec.Topologies[0].Sizes = []int{16}
 	spec.MsgFlits = []int{8}
 	spec.WithSim = false
-	res, err := repro.Sweep(spec)
+	res, err := repro.Sweep(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,14 +132,68 @@ func TestFacadeSweep(t *testing.T) {
 
 	cache := repro.NewSweepCache()
 	runner := &repro.SweepRunner{Cache: cache}
-	if _, err := runner.Run(spec); err != nil {
+	if _, err := runner.Run(context.Background(), spec); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := runner.Run(spec)
+	res2, err := runner.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res2.CacheHits != len(res2.Rows) {
 		t.Errorf("rerun hits=%d, want %d", res2.CacheHits, len(res2.Rows))
+	}
+
+	// The deprecated pre-context shim still works.
+	if _, err := repro.RunSweep(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming delivers every cell and closes the channel.
+	streamed := 0
+	for pr := range repro.SweepStream(context.Background(), spec) {
+		if pr.Err != nil {
+			t.Fatal(pr.Err)
+		}
+		streamed++
+	}
+	if streamed != len(res.Rows) {
+		t.Errorf("streamed %d cells, want %d", streamed, len(res.Rows))
+	}
+}
+
+// TestFacadeEvaluator exercises the Evaluator backend surface directly:
+// both backends answer the same scenario and their points merge.
+func TestFacadeEvaluator(t *testing.T) {
+	ab := repro.NewAnalyticBackend()
+	sb := repro.NewSimBackend(ab)
+	scenario := repro.Scenario{
+		Topology: repro.SweepTopology{Family: "bft", Size: 16},
+		MsgFlits: 8,
+		WithSim:  true,
+	}
+	scenario.Load.Frac = true
+	scenario.Load.Value = 0.4
+	scenario.Budget.Warmup = 500
+	scenario.Budget.Measure = 4000
+	scenario.Budget.Seed = 7
+
+	pt := repro.Point{}
+	first := true
+	for _, be := range []repro.Evaluator{ab, sb} {
+		p, err := be.Evaluate(context.Background(), scenario)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if first {
+			pt, first = p, false
+		} else {
+			pt = pt.Merge(p)
+		}
+	}
+	if math.IsNaN(pt.Model) || math.IsNaN(pt.Sim) {
+		t.Fatalf("merged point incomplete: %+v", pt)
+	}
+	if math.Abs(pt.Sim-pt.Model)/pt.Model > 0.5 {
+		t.Errorf("backends disagree wildly: model=%v sim=%v", pt.Model, pt.Sim)
 	}
 }
