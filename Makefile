@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sweep lint staticcheck fmt
+.PHONY: all build test bench bench-sweep serve-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -24,6 +24,13 @@ bench:
 bench-sweep:
 	$(GO) run ./cmd/sweep -spec builtin:figure3-small -quiet -bench-out BENCH_sweep.json
 	@cat BENCH_sweep.json
+
+# Smoke-test the sweep service: start sweepd, run builtin:figure3 both
+# in-process and via -addr, diff the results, and emit BENCH_serve.json
+# (points/sec over HTTP) for the CI artifact.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+	@cat BENCH_serve.json
 
 lint:
 	$(GO) vet ./...

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	hopwaits [-n 256] [-flits 16] [-load 0.04] [-full] [-csv] [-seed 1]
+//	hopwaits [-n 256] [-flits 16] [-load 0.04] [-full] [-seed 1]
+//	         [-csv] [-json] [-timeout 2m]
+//
+// -timeout bounds the wall clock (the instrumented simulation aborts
+// inside its cycle loop); -json emits the rows as JSON instead of the
+// table.
 package main
 
 import (
@@ -20,26 +25,36 @@ import (
 func main() {
 	cliutil.Setup("hopwaits")
 	var (
-		n     = flag.Int("n", 256, "number of processors (power of four)")
-		flits = flag.Int("flits", 16, "message length in flits")
-		load  = flag.Float64("load", 0.04, "offered load (flits/cycle per processor)")
-		full  = flag.Bool("full", false, "use the report-quality simulation budget")
-		csv   = flag.Bool("csv", false, "emit CSV")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		n       = flag.Int("n", 256, "number of processors (power of four)")
+		flits   = flag.Int("flits", 16, "message length in flits")
+		load    = flag.Float64("load", 0.04, "offered load (flits/cycle per processor)")
+		full    = flag.Bool("full", false, "use the report-quality simulation budget")
+		csv     = flag.Bool("csv", false, "emit CSV")
+		jsonOut = flag.Bool("json", false, "emit JSON")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no deadline)")
 	)
 	flag.Parse()
 
-	rows, err := exp.HopWaits(*n, *flits, *load, cliutil.Budget(*full, *seed))
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+
+	rows, err := exp.HopWaitsContext(ctx, *n, *flits, *load, cliutil.Budget(*full, *seed))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *csv {
+	switch {
+	case *jsonOut:
+		if err := cliutil.DumpJSON(rows); err != nil {
+			log.Fatal(err)
+		}
+	case *csv:
 		cliutil.Output(exp.HopWaitTable(rows), true)
-		return
+	default:
+		fmt.Printf("V1: per-channel-class waits, N=%d, s=%d flits, load=%.4f flits/cyc/PE\n",
+			*n, *flits, *load)
+		cliutil.Output(exp.HopWaitTable(rows), false)
+		fmt.Println("\nmodel wait = flow-weighted Σ P(i|j)·W̄j over incoming classes (Eq. 9/10);")
+		fmt.Println("the injection class is excluded (its wait is the source queue, W̄(0,1)).")
 	}
-	fmt.Printf("V1: per-channel-class waits, N=%d, s=%d flits, load=%.4f flits/cyc/PE\n",
-		*n, *flits, *load)
-	cliutil.Output(exp.HopWaitTable(rows), false)
-	fmt.Println("\nmodel wait = flow-weighted Σ P(i|j)·W̄j over incoming classes (Eq. 9/10);")
-	fmt.Println("the injection class is excluded (its wait is the source queue, W̄(0,1)).")
 }

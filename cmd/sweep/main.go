@@ -15,12 +15,20 @@
 //	sweep -spec builtin:figure3 -spec builtin:figure3   # 2nd run: all cached
 //	sweep -list                                  # show built-in specs
 //	sweep -dump builtin:table2                   # print a spec as JSON
+//	sweep -spec builtin:figure3 -addr :8713      # evaluate on a sweepd server
+//	sweep -spec builtin:figure3 -cache-dir d     # persistent result store
 //
 // Progress streams to stderr; results go to stdout. With -stream each
 // cell is emitted as one JSON line the moment it completes (completion
 // order, not grid order); without it, results render after each sweep
 // finishes. -timeout wires a deadline into the sweep's context — the
 // simulator aborts mid-cycle-loop when it expires.
+//
+// With -addr the grid is still expanded (and cached) locally, but every
+// cell is evaluated by the named sweepd server(s) — comma-separate
+// addresses to shard round-robin across a fleet. With -cache-dir the
+// result cache is a persistent store: a rerun in a fresh process serves
+// every previously computed cell from disk.
 package main
 
 import (
@@ -34,6 +42,8 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/eval"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -62,6 +72,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override spec seeds (0 keeps each spec's own)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		benchOut = flag.String("bench-out", "", "write a points/sec benchmark summary JSON to this file")
+		addr     = flag.String("addr", "", "evaluate scenarios on these sweepd server(s), comma-separated (empty = in-process)")
+		cacheDir = flag.String("cache-dir", "", "persist the result cache to this directory (empty = in-memory)")
 	)
 	flag.Parse()
 
@@ -89,7 +101,37 @@ func main() {
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
 
-	runner := sweep.NewRunner(sweep.WithWorkers(*workers), sweep.WithCache(sweep.NewCache()))
+	opts := []sweep.Option{sweep.WithWorkers(*workers)}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}()
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sweep: store: %d cell(s) recovered from %s\n",
+				st.Recovered(), *cacheDir)
+		}
+		opts = append(opts, sweep.WithCache(st))
+	} else {
+		opts = append(opts, sweep.WithCache(sweep.NewCache()))
+	}
+	if *addr != "" {
+		addrs, err := cliutil.ParseStrings(*addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rb, err := eval.NewRemoteBackend(addrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, sweep.WithBackends(rb))
+	}
+	runner := sweep.NewRunner(opts...)
 	if !*quiet && !*stream {
 		runner.Progress = func(ev sweep.Event) {
 			tag := ""

@@ -1,0 +1,90 @@
+// Command sweepd is the sweep service daemon: a long-running HTTP server
+// over the Evaluator backends, so sweeps and single-scenario evaluations
+// can be submitted by thin clients (cmd/sweep -addr, curl, or a fleet of
+// eval.RemoteBackend shards) while models, saturation searches and
+// simulator networks stay memoized in one process. With -cache-dir every
+// computed cell is also persisted to an append-only result store and
+// survives restarts.
+//
+// Usage:
+//
+//	sweepd                                  # serve on :8713
+//	sweepd -addr :9000 -workers 8           # custom port and pool bound
+//	sweepd -cache-dir /var/lib/sweepd       # persistent result store
+//	sweepd -compact -cache-dir d            # compact the store and exit
+//
+// Endpoints (see docs/serve.md): POST /v1/sweep (NDJSON stream),
+// POST /v1/eval, POST /v1/curve, GET /v1/builtins, GET /healthz.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: new connections are
+// refused, in-flight streams get -grace to finish, then connections are
+// force-closed (which cancels their sweeps) and the store is flushed.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/serve"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+func main() {
+	cliutil.Setup("sweepd")
+	var (
+		addr     = flag.String("addr", ":8713", "listen address")
+		cacheDir = flag.String("cache-dir", "", "persist results to this directory (empty = in-memory only)")
+		workers  = flag.Int("workers", 0, "worker pool bound per sweep (0 = GOMAXPROCS)")
+		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown window for in-flight requests")
+		compact  = flag.Bool("compact", false, "compact -cache-dir into one segment and exit")
+	)
+	flag.Parse()
+
+	var cache sweep.CacheStore = sweep.NewCache()
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}()
+		if dropped := st.Dropped(); dropped > 0 {
+			log.Printf("store recovery dropped %d corrupt line(s)", dropped)
+		}
+		log.Printf("store: %d cell(s) recovered from %s", st.Recovered(), *cacheDir)
+		if *compact {
+			if err := st.Compact(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("store compacted: %d live cell(s)", st.Len())
+			return
+		}
+		cache = st
+	} else if *compact {
+		log.Fatal("-compact needs -cache-dir")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("listening on %s", *addr)
+	err := serve.ListenAndServe(ctx, *addr, *grace,
+		serve.WithCache(cache), serve.WithWorkers(*workers))
+	if err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+	if err != nil {
+		log.Printf("shutdown: %v", err)
+	} else {
+		log.Printf("shutdown: clean")
+	}
+}

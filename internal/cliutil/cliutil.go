@@ -94,6 +94,24 @@ func ParseFloats(s string) ([]float64, error) {
 	return out, nil
 }
 
+// ParseStrings parses a comma-separated string list such as
+// "hosta:8713, hostb:8713", trimming whitespace and dropping empty
+// entries; it is the decoder behind list-valued flags like cmd/sweep's
+// -addr.
+func ParseStrings(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cliutil: empty list %q", s)
+	}
+	return out, nil
+}
+
 // Budget returns the Full budget when full is set, Quick otherwise, with
 // the given seed applied.
 func Budget(full bool, seed uint64) exp.Budget {

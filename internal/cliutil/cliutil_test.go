@@ -34,6 +34,19 @@ func TestParseFloats(t *testing.T) {
 	}
 }
 
+func TestParseStrings(t *testing.T) {
+	got, err := ParseStrings(" hosta:8713, hostb:8713 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"hosta:8713", "hostb:8713"}) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseStrings(" , "); err == nil {
+		t.Error("accepted empty list")
+	}
+}
+
 func TestBudget(t *testing.T) {
 	q := Budget(false, 9)
 	f := Budget(true, 9)

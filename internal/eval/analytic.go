@@ -99,8 +99,10 @@ func (b *AnalyticBackend) ResolveLoad(sc Scenario) (float64, error) {
 
 // Curve describes the scenario's curve: model name, average distance,
 // and the saturation anchor (NaN when the Eq. 26 search failed — the
-// failure only becomes an error once a fractional load needs it).
-func (b *AnalyticBackend) Curve(sc Scenario) (CurveDesc, error) {
+// failure only becomes an error once a fractional load needs it). The
+// context is unused here (the model is local and memoized) but part of
+// the describer contract, which remote implementations need.
+func (b *AnalyticBackend) Curve(ctx context.Context, sc Scenario) (CurveDesc, error) {
 	m, err := b.model(sc.Topology, sc.MsgFlits, sc.Variant)
 	if err != nil {
 		return CurveDesc{}, err

@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// RemoteBackend is a client-side Evaluator: it answers scenarios by
+// calling the /v1/eval endpoint of one or more sweep servers (see
+// internal/serve and cmd/sweepd), so a local Runner can fan a grid out
+// to a fleet behind the exact same interface as AnalyticBackend and
+// SimBackend. Requests are sharded round-robin across the configured
+// addresses; transient failures (connection errors, 5xx responses) are
+// retried with exponential backoff, rotating to the next shard on every
+// attempt. Safe for concurrent use.
+//
+// The backend also implements the curve describer used by sweep result
+// metadata (via /v1/curve) and CacheTag, so a cache shared between
+// runners pointed at different server sets never mixes their cells.
+type RemoteBackend struct {
+	addrs   []string // normalized base URLs, in round-robin order
+	tag     string   // cache salt: the sorted shard set
+	client  *http.Client
+	next    atomic.Uint64
+	retries int
+	backoff time.Duration
+}
+
+// RemoteOption configures a RemoteBackend.
+type RemoteOption func(*RemoteBackend)
+
+// WithHTTPClient replaces the default HTTP client (30 s timeout is the
+// default; simulation-heavy scenarios may need a laxer one — or a client
+// with no timeout at all, leaving deadlines to the Evaluate context).
+func WithHTTPClient(c *http.Client) RemoteOption {
+	return func(b *RemoteBackend) { b.client = c }
+}
+
+// WithRetry sets the per-request attempt budget and the base backoff
+// delay (doubled after every failed attempt).
+func WithRetry(attempts int, backoff time.Duration) RemoteOption {
+	return func(b *RemoteBackend) { b.retries, b.backoff = attempts, backoff }
+}
+
+// NewRemoteBackend builds a backend over the given server addresses
+// ("host:port" or full "http://…" URLs). At least one address is
+// required; duplicates and empty entries are dropped.
+func NewRemoteBackend(addrs []string, opts ...RemoteOption) (*RemoteBackend, error) {
+	b := &RemoteBackend{
+		client:  &http.Client{Timeout: 30 * time.Second},
+		backoff: 100 * time.Millisecond,
+	}
+	seen := make(map[string]bool)
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		a = strings.TrimRight(a, "/")
+		if !seen[a] {
+			seen[a] = true
+			b.addrs = append(b.addrs, a)
+		}
+	}
+	if len(b.addrs) == 0 {
+		return nil, fmt.Errorf("eval: remote backend needs at least one server address")
+	}
+	sorted := append([]string(nil), b.addrs...)
+	sort.Strings(sorted)
+	b.tag = "remote(" + strings.Join(sorted, ",") + ")"
+	for _, opt := range opts {
+		opt(b)
+	}
+	if b.retries <= 0 {
+		b.retries = 2 * len(b.addrs)
+		if b.retries < 3 {
+			b.retries = 3
+		}
+	}
+	return b, nil
+}
+
+// Name implements Evaluator.
+func (b *RemoteBackend) Name() string { return "remote" }
+
+// CacheTag identifies the backend's configuration for cache salting: two
+// remote backends share cache lines only when they point at the same
+// shard set (order-insensitively — the rotation order does not change
+// what a server answers).
+func (b *RemoteBackend) CacheTag() string { return b.tag }
+
+// Addrs returns the normalized server addresses, in round-robin order.
+func (b *RemoteBackend) Addrs() []string { return append([]string(nil), b.addrs...) }
+
+// Evaluate implements Evaluator: one /v1/eval round trip (with retries).
+func (b *RemoteBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
+	var pt Point
+	if err := b.call(ctx, "/v1/eval", sc, &pt); err != nil {
+		return Point{}, err
+	}
+	return pt, nil
+}
+
+// Curve implements the sweep engine's curve describer through /v1/curve,
+// so remote sweeps carry the same per-curve metadata (model name, D̄,
+// saturation anchor) as in-process ones. The caller's ctx bounds the
+// retries, so a cancelled sweep does not block in curve resolution.
+func (b *RemoteBackend) Curve(ctx context.Context, sc Scenario) (CurveDesc, error) {
+	var cd CurveDesc
+	if err := b.call(ctx, "/v1/curve", sc, &cd); err != nil {
+		return CurveDesc{}, err
+	}
+	return cd, nil
+}
+
+// call POSTs the scenario to path on the next shard, decoding the JSON
+// response into out. Connection errors and 5xx responses rotate to the
+// next shard and retry with exponential backoff; any other non-200
+// response is a permanent error carrying the server's message.
+func (b *RemoteBackend) call(ctx context.Context, path string, sc Scenario, out any) error {
+	body, err := json.Marshal(sc)
+	if err != nil {
+		return fmt.Errorf("eval: remote: encoding scenario: %w", err)
+	}
+	var lastErr error
+	for attempt := 0; attempt < b.retries; attempt++ {
+		if attempt > 0 {
+			if err := sleep(ctx, b.backoff<<(attempt-1)); err != nil {
+				return err
+			}
+		}
+		addr := b.addrs[int(b.next.Add(1)-1)%len(b.addrs)]
+		retryable, err := b.post(ctx, addr+path, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable {
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("eval: remote: all %d attempts across %d shard(s) failed: %w",
+		b.retries, len(b.addrs), lastErr)
+}
+
+// post performs one request; it reports whether a failure is retryable.
+func (b *RemoteBackend) post(ctx context.Context, url string, body []byte, out any) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("eval: remote: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("eval: remote: %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg := serverError(resp.Body)
+		err := fmt.Errorf("eval: remote: %s: %s%s", url, resp.Status, msg)
+		return resp.StatusCode >= 500, err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return true, fmt.Errorf("eval: remote: %s: decoding response: %w", url, err)
+	}
+	return false, nil
+}
+
+// serverError extracts the {"error": …} message of an error response.
+func serverError(r io.Reader) string {
+	data, err := io.ReadAll(io.LimitReader(r, 4096))
+	if err != nil {
+		return ""
+	}
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
+		return ": " + payload.Error
+	}
+	if msg := strings.TrimSpace(string(data)); msg != "" {
+		return ": " + msg
+	}
+	return ""
+}
+
+// sleep waits for d or until ctx ends, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,174 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// This file is the JSON wire format of the Evaluator API: the exact
+// Scenario/Point encoding spoken by the serving subsystem (internal/serve,
+// RemoteBackend) and by the persistent result store (internal/store).
+// encoding/json cannot express the NaN/±Inf values a Point carries, so
+// non-finite fields map to null (with ModelSaturated keeping the +Inf
+// case lossless), and Scenario's Policy — an integer enum in memory —
+// travels by name. Marshal→Unmarshal round-trips are exact: Go's JSON
+// encoder emits the shortest float64 representation that parses back to
+// the identical bits, which is what lets a remote evaluation reproduce an
+// in-process one bit for bit.
+
+// pointWire is Point with non-finite values mapped to null.
+type pointWire struct {
+	LoadFlits      *float64 `json:"load_flits"`
+	Model          *float64 `json:"model"`
+	ModelSaturated bool     `json:"model_saturated,omitempty"`
+	Sim            *float64 `json:"sim,omitempty"`
+	SimCI          *float64 `json:"sim_ci,omitempty"`
+	SimSaturated   bool     `json:"sim_saturated,omitempty"`
+}
+
+// finite returns v boxed, or nil when v is NaN or ±Inf.
+func finite(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// unbox returns *v, or def when v is null.
+func unbox(v *float64, def float64) float64 {
+	if v == nil {
+		return def
+	}
+	return *v
+}
+
+// MarshalJSON encodes the point with non-finite values as null; the
+// saturation booleans keep the +Inf model case lossless.
+func (p Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pointWire{
+		LoadFlits:      finite(p.LoadFlits),
+		Model:          finite(p.Model),
+		ModelSaturated: p.ModelSaturated,
+		Sim:            finite(p.Sim),
+		SimCI:          finite(p.SimCI),
+		SimSaturated:   p.SimSaturated,
+	})
+}
+
+// UnmarshalJSON decodes the wire form: null fields come back as NaN,
+// except the model value of a saturated point, which comes back as +Inf
+// (what the in-process backend produced).
+func (p *Point) UnmarshalJSON(data []byte) error {
+	var w pointWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	nan := math.NaN()
+	p.LoadFlits = unbox(w.LoadFlits, nan)
+	p.Model = unbox(w.Model, nan)
+	if w.ModelSaturated && w.Model == nil {
+		p.Model = math.Inf(1)
+	}
+	p.ModelSaturated = w.ModelSaturated
+	p.Sim = unbox(w.Sim, nan)
+	p.SimCI = unbox(w.SimCI, nan)
+	p.SimSaturated = w.SimSaturated
+	return nil
+}
+
+// curveWire is CurveDesc with non-finite values mapped to null.
+type curveWire struct {
+	Model          string   `json:"model"`
+	AvgDist        *float64 `json:"avg_dist"`
+	SaturationLoad *float64 `json:"saturation_load"`
+}
+
+// MarshalJSON encodes the curve description with non-finite values as
+// null (a failed Eq. 26 search leaves SaturationLoad NaN).
+func (c CurveDesc) MarshalJSON() ([]byte, error) {
+	return json.Marshal(curveWire{
+		Model:          c.Model,
+		AvgDist:        finite(c.AvgDist),
+		SaturationLoad: finite(c.SaturationLoad),
+	})
+}
+
+// UnmarshalJSON decodes the wire form; null fields come back as NaN.
+func (c *CurveDesc) UnmarshalJSON(data []byte) error {
+	var w curveWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	nan := math.NaN()
+	c.Model = w.Model
+	c.AvgDist = unbox(w.AvgDist, nan)
+	c.SaturationLoad = unbox(w.SaturationLoad, nan)
+	return nil
+}
+
+// scenarioWire is Scenario with the policy enum travelling by name.
+type scenarioWire struct {
+	Index     int      `json:"index"`
+	Topology  Topology `json:"topology"`
+	MsgFlits  int      `json:"msg_flits"`
+	Policy    string   `json:"policy,omitempty"`
+	Load      Load     `json:"load"`
+	Variant   *Variant `json:"variant,omitempty"`
+	LoadIndex int      `json:"load_index"`
+	WithSim   bool     `json:"with_sim,omitempty"`
+	Budget    *Budget  `json:"budget,omitempty"`
+}
+
+// MarshalJSON encodes the scenario for the wire, policy by name.
+func (s Scenario) MarshalJSON() ([]byte, error) {
+	w := scenarioWire{
+		Index:     s.Index,
+		Topology:  s.Topology,
+		MsgFlits:  s.MsgFlits,
+		Policy:    s.Policy.String(),
+		Load:      s.Load,
+		LoadIndex: s.LoadIndex,
+		WithSim:   s.WithSim,
+	}
+	if s.Variant != (Variant{}) {
+		v := s.Variant
+		w.Variant = &v
+	}
+	if s.Budget != (Budget{}) {
+		b := s.Budget
+		w.Budget = &b
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form; an absent policy means the
+// default (pairqueue), an unknown one is an error.
+func (s *Scenario) UnmarshalJSON(data []byte) error {
+	var w scenarioWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("eval: decoding scenario: %w", err)
+	}
+	pol, err := sim.ParsePolicy(w.Policy)
+	if err != nil {
+		return fmt.Errorf("eval: decoding scenario: %w", err)
+	}
+	*s = Scenario{
+		Index:     w.Index,
+		Topology:  w.Topology,
+		MsgFlits:  w.MsgFlits,
+		Policy:    pol,
+		Load:      w.Load,
+		LoadIndex: w.LoadIndex,
+		WithSim:   w.WithSim,
+	}
+	if w.Variant != nil {
+		s.Variant = *w.Variant
+	}
+	if w.Budget != nil {
+		s.Budget = *w.Budget
+	}
+	return nil
+}

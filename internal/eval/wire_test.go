@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPointJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   Point
+	}{
+		{"empty", NewPoint()},
+		{"model-only", Point{LoadFlits: 0.0123456789012345, Model: 97.25, Sim: math.NaN(), SimCI: math.NaN()}},
+		{"saturated-model", Point{LoadFlits: 1.5, Model: math.Inf(1), ModelSaturated: true, Sim: math.NaN(), SimCI: math.NaN()}},
+		{"full", Point{LoadFlits: 0.04, Model: 88.125, Sim: 91.0625, SimCI: 1.75, SimSaturated: true}},
+	}
+	for _, tc := range cases {
+		data, err := json.Marshal(tc.pt)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		if strings.Contains(string(data), "NaN") || strings.Contains(string(data), "Inf") {
+			t.Errorf("%s: JSON leaked a non-finite literal: %s", tc.name, data)
+		}
+		var got Point
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", tc.name, err)
+		}
+		if !pointsIdentical(tc.pt, got) {
+			t.Errorf("%s: round trip changed the point:\n  in  %+v\n  out %+v\n  via %s",
+				tc.name, tc.pt, got, data)
+		}
+	}
+}
+
+// pointsIdentical compares bit for bit, treating NaN as equal to NaN.
+func pointsIdentical(a, b Point) bool {
+	eq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y) || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return eq(a.LoadFlits, b.LoadFlits) && eq(a.Model, b.Model) && eq(a.Sim, b.Sim) &&
+		eq(a.SimCI, b.SimCI) && a.ModelSaturated == b.ModelSaturated && a.SimSaturated == b.SimSaturated
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	scs := []Scenario{
+		{
+			Index:    3,
+			Topology: Topology{Family: FamilyBFT, Size: 1024},
+			MsgFlits: 16,
+			Policy:   sim.RandomFixed,
+			Load:     Load{Frac: true, Value: 0.95},
+			Variant:  Variant{Name: "no-blocking", NoBlockingCorrection: true, WithSim: true},
+			WithSim:  true, LoadIndex: 9,
+			Budget: Budget{Warmup: 4000, Measure: 20000, Seed: 1, DrainLimit: 7},
+		},
+		{
+			Topology: Topology{Family: FamilyTorus, Size: 3, K: 4},
+			MsgFlits: 32,
+			Load:     Load{Value: 0.0625},
+		},
+	}
+	for i, sc := range scs {
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("scenario %d: marshal: %v", i, err)
+		}
+		var got Scenario
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("scenario %d: unmarshal: %v\n%s", i, err, data)
+		}
+		if got != sc {
+			t.Errorf("scenario %d: round trip changed it:\n  in  %+v\n  out %+v\n  via %s", i, sc, got, data)
+		}
+		if got.Key() != sc.Key() {
+			t.Errorf("scenario %d: cache key changed across the wire", i)
+		}
+	}
+}
+
+func TestScenarioJSONPolicyByName(t *testing.T) {
+	data, err := json.Marshal(Scenario{Topology: Topology{Family: FamilyBFT, Size: 64}, Policy: sim.RandomFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"policy":"randomfixed"`) {
+		t.Errorf("policy does not travel by name: %s", data)
+	}
+	var sc Scenario
+	if err := json.Unmarshal([]byte(`{"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"value":0.01}}`), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Policy != sim.PairQueue {
+		t.Errorf("absent policy should default to pairqueue, got %v", sc.Policy)
+	}
+	if err := json.Unmarshal([]byte(`{"policy":"lifo"}`), &sc); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestCurveDescJSONRoundTrip(t *testing.T) {
+	for _, cd := range []CurveDesc{
+		{Model: "bft-1024/s=16", AvgDist: 7.5, SaturationLoad: 0.0859375},
+		{Model: "x", AvgDist: math.NaN(), SaturationLoad: math.NaN()},
+	} {
+		data, err := json.Marshal(cd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got CurveDesc
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("unmarshal: %v\n%s", err, data)
+		}
+		same := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+		if got.Model != cd.Model || !same(got.AvgDist, cd.AvgDist) || !same(got.SaturationLoad, cd.SaturationLoad) {
+			t.Errorf("round trip changed the curve: in %+v out %+v", cd, got)
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -48,12 +50,18 @@ type HopWaitRow struct {
 	ModelWait float64
 }
 
-// HopWaits runs experiment V1 on a butterfly fat-tree: it instruments
-// every channel grant, aggregates waits per channel class, and compares
-// them with the model's blended blocking-corrected waits. The injection
-// class is excluded (its simulator-side wait spans the source queue,
-// which the model accounts separately as W̄₀₁).
+// HopWaits runs experiment V1 with no cancellation; see HopWaitsContext.
 func HopWaits(numProc, msgFlits int, load float64, b Budget) ([]HopWaitRow, error) {
+	return HopWaitsContext(context.Background(), numProc, msgFlits, load, b)
+}
+
+// HopWaitsContext runs experiment V1 on a butterfly fat-tree: it
+// instruments every channel grant, aggregates waits per channel class,
+// and compares them with the model's blended blocking-corrected waits.
+// The injection class is excluded (its simulator-side wait spans the
+// source queue, which the model accounts separately as W̄₀₁). Cancelling
+// ctx aborts the instrumented simulation inside its cycle loop.
+func HopWaitsContext(ctx context.Context, numProc, msgFlits int, load float64, b Budget) ([]HopWaitRow, error) {
 	model, err := analytic.NewFatTreeModel(numProc, float64(msgFlits), core.Options{})
 	if err != nil {
 		return nil, err
@@ -83,7 +91,7 @@ func HopWaits(numProc, msgFlits int, load float64, b Budget) ([]HopWaitRow, erro
 			s.Add(float64(wait))
 		},
 	}.FlitLoad(load)
-	if _, err := sim.Run(cfg); err != nil {
+	if _, err := sim.RunContext(ctx, cfg); err != nil {
 		return nil, err
 	}
 
@@ -135,6 +143,23 @@ func HopWaits(numProc, msgFlits int, load float64, b Budget) ([]HopWaitRow, erro
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// MarshalJSON encodes the row with non-finite waits as null (a class
+// can lack a model-side blend or simulator samples).
+func (r HopWaitRow) MarshalJSON() ([]byte, error) {
+	finite := func(v float64) *float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		return &v
+	}
+	return json.Marshal(struct {
+		Class      string   `json:"class"`
+		ModelWait  *float64 `json:"model_wait"`
+		SimWait    *float64 `json:"sim_wait"`
+		SimSamples int64    `json:"sim_samples"`
+	}{r.Class, finite(r.ModelWait), finite(r.SimWait), r.SimSamples})
 }
 
 // HopWaitTable renders V1 rows.

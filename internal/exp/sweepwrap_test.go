@@ -94,7 +94,7 @@ func TestSharedRunnerCachesAcrossExperiments(t *testing.T) {
 	if _, err := Figure3Run(context.Background(), cfg, r); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses := r.Cache.Stats()
+	hits, misses := r.Cache.(*sweep.Cache).Stats()
 	if hits != 2 || misses != 2 {
 		t.Errorf("hits=%d misses=%d, want 2/2", hits, misses)
 	}

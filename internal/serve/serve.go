@@ -1,0 +1,300 @@
+// Package serve is the HTTP front-end over the sweep engine: a long-lived
+// server process (cmd/sweepd) owns the memoized Evaluator backends and —
+// optionally — a persistent result store, while thin clients submit work
+// over HTTP. It exposes:
+//
+//	POST /v1/sweep     full sweep.Spec in → NDJSON stream of rows out,
+//	                   one line per cell the moment it completes
+//	                   (sweep.Row wire format), flushed per cell; the
+//	                   request context cancels the sweep on disconnect
+//	POST /v1/eval      one eval.Scenario in → one eval.Point out; the
+//	                   endpoint behind eval.RemoteBackend
+//	POST /v1/curve     one eval.Scenario in → its eval.CurveDesc (model
+//	                   name, D̄, saturation anchor)
+//	GET  /v1/builtins  the built-in spec registry (name + description)
+//	GET  /healthz      liveness plus cache statistics
+//
+// A failing sweep delivers its error as the final NDJSON line,
+// {"error": …} — clients distinguish it from rows by the "error" key. The
+// server shares one Runner (and therefore one backend set and one cache)
+// across all requests, so repeated and overlapping work is served from
+// cache; with a persistent store attached, across restarts too.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/sweep"
+)
+
+// describer resolves per-curve metadata; the analytic backend implements
+// it.
+type describer interface {
+	Curve(context.Context, eval.Scenario) (eval.CurveDesc, error)
+}
+
+// Server handles the sweep-service HTTP API. Construct with New; it
+// implements http.Handler.
+type Server struct {
+	mux     *http.ServeMux
+	runner  *sweep.Runner
+	curves  describer
+	cache   sweep.CacheStore
+	workers int
+	started time.Time
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithCache attaches a result cache (an in-memory sweep.Cache, a
+// persistent store.Store, …) shared by every request.
+func WithCache(c sweep.CacheStore) Option { return func(s *Server) { s.cache = c } }
+
+// WithWorkers bounds the worker pool of every sweep the server runs.
+func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
+
+// WithRunner replaces the server's runner wholesale (custom backends,
+// progress hooks); WithCache and WithWorkers are ignored when set.
+func WithRunner(r *sweep.Runner) Option { return func(s *Server) { s.runner = r } }
+
+// New builds the server. Unless WithRunner overrides it, the runner
+// evaluates with one memoized AnalyticBackend plus the simulator
+// anchored on it — shared across requests, so models, saturation
+// searches and simulator networks are built once per server instance,
+// not once per request.
+func New(opts ...Option) *Server {
+	s := &Server{mux: http.NewServeMux(), started: time.Now()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.runner == nil {
+		ab := eval.NewAnalyticBackend()
+		s.runner = sweep.NewRunner(
+			sweep.WithWorkers(s.workers),
+			sweep.WithBackends(ab, eval.NewSimBackend(ab)),
+			sweep.WithCache(s.cache),
+		)
+	}
+	// /v1/curve answers from the runner's own describer when it has one
+	// (the default analytic backend), else from a server-lifetime
+	// fallback, so memoized saturation searches persist across requests
+	// either way.
+	for _, be := range s.runner.Backends {
+		if d, ok := be.(describer); ok {
+			s.curves = d
+			break
+		}
+	}
+	if s.curves == nil {
+		s.curves = eval.NewAnalyticBackend()
+	}
+	s.mux.HandleFunc("/v1/sweep", post(s.handleSweep))
+	s.mux.HandleFunc("/v1/eval", post(s.handleEval))
+	s.mux.HandleFunc("/v1/curve", post(s.handleCurve))
+	s.mux.HandleFunc("/v1/builtins", get(s.handleBuiltins))
+	s.mux.HandleFunc("/healthz", get(s.handleHealthz))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// post and get gate a handler on the request method.
+func post(h http.HandlerFunc) http.HandlerFunc { return methodGate(http.MethodPost, h) }
+func get(h http.HandlerFunc) http.HandlerFunc  { return methodGate(http.MethodGet, h) }
+
+func methodGate(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed (want %s)", r.Method, method))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// httpError writes a JSON error payload.
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readBody reads a bounded request body.
+func readBody(r *http.Request) ([]byte, error) {
+	body := http.MaxBytesReader(nil, r.Body, 1<<20)
+	defer body.Close()
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	return data, nil
+}
+
+// handleSweep streams a sweep: spec in, NDJSON rows out as they
+// complete. Closing the connection cancels the sweep through the request
+// context — in-flight simulations abort inside their cycle loops and the
+// worker pool unwinds; cells completed before the disconnect stay in the
+// server's cache.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := sweep.ParseSpec(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for pr := range s.runner.Stream(r.Context(), spec) {
+		if pr.Err != nil {
+			// Headers are long gone; the error travels in-band as the
+			// final line, mirroring Stream's contract.
+			enc.Encode(map[string]string{"error": pr.Err.Error()})
+			return
+		}
+		if err := enc.Encode(pr.Row); err != nil {
+			return // client gone; request-ctx cancellation drains the pool
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleEval answers one scenario: the endpoint behind RemoteBackend.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var sc eval.Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cell, cached, err := s.runner.Evaluate(r.Context(), sc)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	}
+	json.NewEncoder(w).Encode(cell)
+}
+
+// handleCurve describes one scenario's curve (model name, D̄, saturation
+// anchor) so remote sweeps carry the same metadata as in-process ones.
+func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var sc eval.Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cd, err := s.curves.Curve(r.Context(), sc)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(cd)
+}
+
+// handleBuiltins lists the built-in spec registry.
+func (s *Server) handleBuiltins(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	out := make([]entry, 0, 8)
+	for _, name := range sweep.Builtins() {
+		spec, err := sweep.Builtin(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, entry{Name: name, Description: spec.Description})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// cacheStats is the optional statistics surface of a cache (both
+// sweep.Cache and store.Store provide it).
+type cacheStats interface {
+	Len() int
+	Stats() (hits, misses int64)
+}
+
+// handleHealthz reports liveness and cache statistics.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	payload := map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+	}
+	if cs, ok := s.cache.(cacheStats); ok {
+		hits, misses := cs.Stats()
+		payload["cache_cells"] = cs.Len()
+		payload["cache_hits"] = hits
+		payload["cache_misses"] = misses
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(payload)
+}
+
+// ListenAndServe serves the API on addr until ctx is cancelled, then
+// shuts down gracefully: in-flight requests get grace to finish (their
+// streams keep draining), new connections are refused. A zero grace
+// defaults to 5 s.
+func ListenAndServe(ctx context.Context, addr string, grace time.Duration, opts ...Option) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           New(opts...),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			// Grace expired with streams still open: force-close the
+			// connections, which cancels their request contexts and
+			// unwinds the sweeps.
+			srv.Close()
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/sweep"
+)
+
+func newTestServer(t *testing.T, opts ...Option) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(opts...))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func remoteRunner(t *testing.T, srv *httptest.Server) (*sweep.Runner, *eval.RemoteBackend) {
+	t.Helper()
+	rb, err := eval.NewRemoteBackend([]string{srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep.NewRunner(sweep.WithBackends(rb)), rb
+}
+
+func postJSON(t *testing.T, url string, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRemoteParityFigure3 is the serving subsystem's central pin: the
+// paper's Figure 3 grid evaluated through a RemoteBackend against a live
+// server matches the in-process run — models to 1e-9, simulator cells
+// bit for bit, curve metadata included.
+func TestRemoteParityFigure3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure3 grid in -short mode")
+	}
+	spec, err := sweep.Builtin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local, err := sweep.NewRunner().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := newTestServer(t, WithCache(sweep.NewCache()))
+	runner, _ := remoteRunner(t, srv)
+	remote, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(remote.Rows) != len(local.Rows) {
+		t.Fatalf("row counts differ: remote %d, local %d", len(remote.Rows), len(local.Rows))
+	}
+	for i := range local.Rows {
+		lr, rr := local.Rows[i], remote.Rows[i]
+		if math.Abs(lr.Model-rr.Model) > 1e-9 {
+			t.Errorf("row %d: model drifted across the wire: %v vs %v", i, lr.Model, rr.Model)
+		}
+		if math.Float64bits(lr.Sim) != math.Float64bits(rr.Sim) ||
+			math.Float64bits(lr.SimCI) != math.Float64bits(rr.SimCI) {
+			t.Errorf("row %d: sim not bit-identical: %v±%v vs %v±%v", i, lr.Sim, lr.SimCI, rr.Sim, rr.SimCI)
+		}
+		if math.Float64bits(lr.LoadFlits) != math.Float64bits(rr.LoadFlits) ||
+			lr.ModelSaturated != rr.ModelSaturated || lr.SimSaturated != rr.SimSaturated {
+			t.Errorf("row %d: cell metadata drifted:\n  local  %+v\n  remote %+v", i, lr.Cell, rr.Cell)
+		}
+	}
+	if len(remote.Curves) != len(local.Curves) {
+		t.Fatalf("curve counts differ: remote %d, local %d", len(remote.Curves), len(local.Curves))
+	}
+	for i := range local.Curves {
+		lc, rc := local.Curves[i], remote.Curves[i]
+		if lc.Model != rc.Model || math.Float64bits(lc.SaturationLoad) != math.Float64bits(rc.SaturationLoad) ||
+			math.Float64bits(lc.AvgDist) != math.Float64bits(rc.AvgDist) {
+			t.Errorf("curve %d drifted: %+v vs %+v", i, lc, rc)
+		}
+	}
+}
+
+// modelOnlySpec is a small grid that needs no simulator.
+func modelOnlySpec() sweep.Spec {
+	return sweep.Spec{
+		Name:       "model-only",
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16}}},
+		MsgFlits:   []int{4, 8},
+		Loads:      sweep.LoadSpec{Flits: []float64{0.01, 0.02}},
+	}
+}
+
+// TestTwoRemotesNeverShareCells is the salting regression: a cache
+// shared between runners whose RemoteBackends point at different
+// addresses must keep their cells apart — the servers could be
+// configured differently.
+func TestTwoRemotesNeverShareCells(t *testing.T) {
+	srvA := newTestServer(t)
+	srvB := newTestServer(t)
+	shared := sweep.NewCache()
+	spec := modelOnlySpec()
+
+	rbA, err := eval.NewRemoteBackend([]string{srvA.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := sweep.NewRunner(sweep.WithCache(shared), sweep.WithBackends(rbA)).
+		Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.CacheMisses != len(resA.Rows) {
+		t.Fatalf("first run should miss everywhere: %+v", resA)
+	}
+
+	rbB, err := eval.NewRemoteBackend([]string{srvB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sweep.NewRunner(sweep.WithCache(shared), sweep.WithBackends(rbB)).
+		Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB.CacheHits != 0 {
+		t.Errorf("a remote at %s served cells cached from %s (%d hits)",
+			srvB.URL, srvA.URL, resB.CacheHits)
+	}
+
+	// The same shard set again — in any order — must hit.
+	rbA2, err := eval.NewRemoteBackend([]string{srvA.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA2, err := sweep.NewRunner(sweep.WithCache(shared), sweep.WithBackends(rbA2)).
+		Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA2.CacheHits != len(resA2.Rows) {
+		t.Errorf("identical shard set should be fully cached: %d/%d hits",
+			resA2.CacheHits, len(resA2.Rows))
+	}
+}
+
+// TestSweepStreamsNDJSON pins the /v1/sweep framing: one row per line as
+// cells complete, decodable with sweep.Row's wire format.
+func TestSweepStreamsNDJSON(t *testing.T) {
+	srv := newTestServer(t)
+	spec, _ := json.Marshal(modelOnlySpec())
+	resp := postJSON(t, srv.URL+"/v1/sweep", string(spec))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	var rows []sweep.Row
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row sweep.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("streamed %d rows, want 4", len(rows))
+	}
+	for _, row := range rows {
+		if math.IsNaN(row.Model) || row.Model <= 0 {
+			t.Errorf("streamed row without model value: %+v", row.Cell)
+		}
+	}
+}
+
+func TestSweepRejectsBadSpec(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/sweep", `{"topologies":[]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: status %s", resp.Status)
+	}
+	resp = postJSON(t, srv.URL+"/v1/sweep", `{"no_such_field":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %s", resp.Status)
+	}
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil || payload.Error == "" {
+		t.Errorf("error payload missing: %v %+v", err, payload)
+	}
+}
+
+// TestSweepMidStreamFailure pins the in-band error contract: a scenario
+// that fails after streaming began arrives as a final {"error": …} line.
+func TestSweepMidStreamFailure(t *testing.T) {
+	srv := newTestServer(t)
+	spec := modelOnlySpec()
+	spec.Topologies[0].Sizes = []int{16, 5} // 5 is not a power of four
+	body, _ := json.Marshal(spec)
+	resp := postJSON(t, srv.URL+"/v1/sweep", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s (mid-stream failures cannot change it)", resp.Status)
+	}
+	var sawError bool
+	sc := bufio.NewScanner(resp.Body)
+	var last string
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	if strings.Contains(last, `"error"`) {
+		sawError = true
+	}
+	if !sawError {
+		t.Errorf("stream ended without an error line; last = %s", last)
+	}
+}
+
+func TestEvalEndpointAndCacheHit(t *testing.T) {
+	srv := newTestServer(t, WithCache(sweep.NewCache()))
+	sc := `{"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"value":0.01}}`
+	resp := postJSON(t, srv.URL+"/v1/eval", sc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var pt eval.Point
+	if err := json.NewDecoder(resp.Body).Decode(&pt); err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pt.Model) || pt.LoadFlits != 0.01 {
+		t.Errorf("bad point: %+v", pt)
+	}
+	if resp.Header.Get("X-Cache") == "hit" {
+		t.Error("first evaluation claims a cache hit")
+	}
+	resp2 := postJSON(t, srv.URL+"/v1/eval", sc)
+	if resp2.Header.Get("X-Cache") != "hit" {
+		t.Error("second evaluation missed the cache")
+	}
+	var pt2 eval.Point
+	if err := json.NewDecoder(resp2.Body).Decode(&pt2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(pt.Model) != math.Float64bits(pt2.Model) {
+		t.Errorf("cached point drifted: %v vs %v", pt.Model, pt2.Model)
+	}
+}
+
+func TestEvalRejectsBadScenarios(t *testing.T) {
+	srv := newTestServer(t)
+	if resp := postJSON(t, srv.URL+"/v1/eval", `{"policy":"lifo"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown policy: status %s", resp.Status)
+	}
+	bad := `{"topology":{"family":"mesh","size":64},"msg_flits":8,"load":{"value":0.01}}`
+	if resp := postJSON(t, srv.URL+"/v1/eval", bad); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown family: status %s", resp.Status)
+	}
+}
+
+func TestCurveEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/curve",
+		`{"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"frac":true,"value":0.5}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var cd eval.CurveDesc
+	if err := json.NewDecoder(resp.Body).Decode(&cd); err != nil {
+		t.Fatal(err)
+	}
+	if cd.Model == "" || math.IsNaN(cd.SaturationLoad) || cd.SaturationLoad <= 0 {
+		t.Errorf("bad curve description: %+v", cd)
+	}
+}
+
+func TestBuiltinsAndHealthz(t *testing.T) {
+	srv := newTestServer(t, WithCache(sweep.NewCache()))
+	resp, err := http.Get(srv.URL + "/v1/builtins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []struct{ Name, Description string }
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+	}
+	if !names["figure3"] || !names["table2"] {
+		t.Errorf("builtins incomplete: %+v", entries)
+	}
+
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var health map[string]any
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz: %+v", health)
+	}
+	if _, ok := health["cache_cells"]; !ok {
+		t.Errorf("healthz missing cache stats: %+v", health)
+	}
+}
+
+func TestMethodGate(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/sweep: status %s", resp.Status)
+	}
+}
+
+// TestSweepClientDisconnectLeaksNoGoroutines pins the acceptance
+// criterion: a client that walks away mid-stream leaves the server with
+// no goroutines behind — the request context cancels the sweep, the
+// worker pool unwinds, in-flight simulations abort in their cycle loops.
+func TestSweepClientDisconnectLeaksNoGoroutines(t *testing.T) {
+	srv := newTestServer(t)
+	// Big enough that the sweep is mid-flight when the client leaves.
+	spec := sweep.Spec{
+		Name:       "slow",
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{64}}},
+		MsgFlits:   []int{8, 16},
+		Loads:      sweep.LoadSpec{Fracs: []float64{0.2, 0.4, 0.6, 0.8}},
+		WithSim:    true,
+		Budget:     sweep.Budget{Warmup: 10000, Measure: 150000, Seed: 5},
+	}
+	body, _ := json.Marshal(spec)
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/sweep", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take the first streamed row, then vanish.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first row: %v", sc.Err())
+	}
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server leaked goroutines after client disconnect: %d before, %d now",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

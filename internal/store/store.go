@@ -1,0 +1,340 @@
+// Package store persists sweep results across process restarts: a
+// content-addressed result store holding one eval.Point per backend-salted
+// cache key, implementing the sweep engine's CacheStore contract so a
+// Runner opened with WithCache(store) transparently serves cells computed
+// by earlier processes (or other machines sharing the directory).
+//
+// # Layout
+//
+// A store is a directory of append-only NDJSON segment files,
+// seg-000001.ndjson, seg-000002.ndjson, …; each line is one record
+// {"key": <salted cache key>, "point": <eval.Point wire JSON>}. Every
+// process appends to a fresh segment (existing segments are never
+// rewritten), so the format needs no locking beyond "one writer per
+// segment"; the in-memory index is rebuilt at Open by replaying every
+// segment in name order, later records winning. Results are
+// content-addressed — the key hashes every result-affecting input of a
+// scenario plus the runner's backend salt — so replaying is insensitive
+// to which process or sweep produced a record.
+//
+// # Durability and recovery
+//
+// Puts are appended with a single write syscall each (no fsync: an OS
+// crash may cost the tail, never correctness). Recovery is
+// corruption-tolerant: a line that does not parse — the truncated tail of
+// a crashed writer, a torn write — is dropped and counted, not fatal;
+// everything before and after it is kept. Compact folds all live cells
+// into one fresh segment and deletes the rest.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/eval"
+)
+
+// segPattern matches segment files; the numeric component orders replay.
+const segPattern = "seg-*.ndjson"
+
+// record is one NDJSON line.
+type record struct {
+	Key   string     `json:"key"`
+	Point eval.Point `json:"point"`
+}
+
+// Store is a persistent result cache. It implements sweep.CacheStore
+// (Get/Put) and is safe for concurrent use by one process; concurrent
+// processes may share a directory as long as each uses its own Store
+// (each writes a distinct segment).
+type Store struct {
+	mu           sync.Mutex
+	dir          string
+	index        map[string]eval.Point
+	seg          *os.File // active segment, opened lazily on first Put
+	segName      string
+	nextSeg      int // numeric suffix the active segment will take
+	buf          []byte
+	writeErr     error
+	hits, misses int64
+	appended     int64
+	dropped      int
+	recovered    int
+}
+
+// Open opens (creating if needed) the store directory and replays its
+// segments into memory. Unparseable lines — truncated tails of crashed
+// writers — are dropped, not fatal; Dropped reports how many.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, index: make(map[string]eval.Point), nextSeg: 1}
+	segs, err := filepath.Glob(filepath.Join(dir, segPattern))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	for _, path := range segs {
+		if err := s.replay(path); err != nil {
+			return nil, err
+		}
+		var n int
+		if _, err := fmt.Sscanf(filepath.Base(path), "seg-%d.ndjson", &n); err == nil && n >= s.nextSeg {
+			s.nextSeg = n + 1
+		}
+	}
+	s.recovered = len(s.index)
+	return s, nil
+}
+
+// replay loads one segment into the index, dropping corrupt lines —
+// including arbitrarily long garbage runs, which must not abandon the
+// valid records after them. Only a real read error fails the open.
+func (s *Store) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			var rec record
+			if jerr := json.Unmarshal(line, &rec); jerr != nil || rec.Key == "" {
+				s.dropped++
+			} else {
+				s.index[rec.Key] = rec.Point
+			}
+		}
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("store: reading %s: %w", path, err)
+		}
+	}
+}
+
+// Get returns the cell stored under key, counting a hit or miss.
+func (s *Store) Get(key string) (eval.Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pt, ok := s.index[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return pt, ok
+}
+
+// Put stores a cell under key and appends it to the active segment. A
+// key already holding the identical point is not re-appended (reopening
+// a store under a warm runner must not grow segments). Write failures
+// are remembered and surfaced by Close/Flush — Put itself never fails,
+// matching the CacheStore contract; the in-memory cell stays valid
+// either way.
+func (s *Store) Put(key string, pt eval.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.index[key]; ok && samePoint(old, pt) {
+		return
+	}
+	s.index[key] = pt
+	s.append(record{Key: key, Point: pt})
+}
+
+// append writes one record line to the active segment, opening it first
+// if needed. Caller holds mu.
+func (s *Store) append(rec record) {
+	if s.writeErr != nil {
+		return
+	}
+	if s.seg == nil {
+		if err := s.openSegment(); err != nil {
+			s.writeErr = err
+			return
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		s.writeErr = fmt.Errorf("store: encoding record: %w", err)
+		return
+	}
+	s.buf = append(s.buf[:0], line...)
+	s.buf = append(s.buf, '\n')
+	if _, err := s.seg.Write(s.buf); err != nil {
+		s.writeErr = fmt.Errorf("store: appending to %s: %w", s.segName, err)
+		return
+	}
+	s.appended++
+}
+
+// openSegment creates the next segment file. Caller holds mu.
+func (s *Store) openSegment() error {
+	for {
+		name := filepath.Join(s.dir, fmt.Sprintf("seg-%06d.ndjson", s.nextSeg))
+		s.nextSeg++
+		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if os.IsExist(err) {
+			continue // another store on this dir claimed the number
+		}
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.seg, s.segName = f, name
+		return nil
+	}
+}
+
+// Len returns the number of live cells.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns the lifetime hit and miss counts of this Store instance.
+func (s *Store) Stats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Recovered returns how many cells Open replayed from disk.
+func (s *Store) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Dropped returns how many corrupt or truncated lines recovery skipped.
+func (s *Store) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Compact folds every live cell into one fresh segment and removes all
+// older segments, reclaiming the space of superseded and duplicate
+// records. The store remains usable afterwards; subsequent Puts open a
+// new segment.
+//
+// Compact requires exclusive ownership of the directory: unlike
+// appending (where concurrent Store sessions are safe, each on its own
+// segment), compaction deletes every other segment — a concurrent
+// writer's active segment included, silently discarding its future
+// appends. Run it as offline maintenance (`sweepd -compact`) with no
+// daemon on the directory.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.closeSegment(); err != nil {
+		return err
+	}
+	old, err := filepath.Glob(filepath.Join(s.dir, segPattern))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The compacted data is written straight to the next segment number
+	// (O_EXCL, so a number claimed by someone else is never clobbered).
+	// Old segments are deleted only after a successful sync+close; a
+	// crash in between leaves a truncated or duplicate segment, both of
+	// which replay resolves (corrupt tails drop, later records win).
+	if err := s.openSegment(); err != nil {
+		return err
+	}
+	name := s.segName
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w := bufio.NewWriter(s.seg)
+	enc := json.NewEncoder(w)
+	for _, k := range keys {
+		if err := enc.Encode(record{Key: k, Point: s.index[k]}); err != nil {
+			s.closeSegment()
+			return fmt.Errorf("store: compacting: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		s.closeSegment()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.closeSegment()
+		return fmt.Errorf("store: compacting: %w", err)
+	}
+	if err := s.closeSegment(); err != nil {
+		return err
+	}
+	for _, path := range old {
+		if path == name {
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("store: removing %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// closeSegment closes the active segment if open. Caller holds mu.
+func (s *Store) closeSegment() error {
+	if s.seg == nil {
+		return s.writeErr
+	}
+	err := s.seg.Close()
+	s.seg, s.segName = nil, ""
+	if s.writeErr != nil {
+		return s.writeErr
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Flush surfaces any deferred write error without closing the store.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.writeErr != nil {
+		return s.writeErr
+	}
+	if s.seg != nil {
+		if err := s.seg.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close closes the active segment and surfaces any deferred write
+// error. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeSegment()
+}
+
+// samePoint compares two points bit for bit (NaN equal to NaN), so
+// re-Put of an identical cell can skip the disk append.
+func samePoint(a, b eval.Point) bool {
+	return floatSame(a.LoadFlits, b.LoadFlits) && floatSame(a.Model, b.Model) &&
+		floatSame(a.Sim, b.Sim) && floatSame(a.SimCI, b.SimCI) &&
+		a.ModelSaturated == b.ModelSaturated && a.SimSaturated == b.SimSaturated
+}
+
+func floatSame(a, b float64) bool {
+	return a == b || (a != a && b != b)
+}

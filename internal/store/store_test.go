@@ -1,0 +1,305 @@
+package store
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/sweep"
+)
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func pt(load, model, sim float64) eval.Point {
+	p := eval.NewPoint()
+	p.LoadFlits, p.Model, p.Sim = load, model, sim
+	return p
+}
+
+func TestStoreRoundTripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	sat := eval.NewPoint()
+	sat.LoadFlits, sat.Model, sat.ModelSaturated = 1.5, math.Inf(1), true
+	cells := map[string]eval.Point{
+		"k1": pt(0.01, 42.5, math.NaN()),
+		"k2": pt(0.02, 50.25, 51.125),
+		"k3": sat,
+	}
+	for k, p := range cells {
+		s.Put(k, p)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir)
+	defer re.Close()
+	if re.Recovered() != 3 || re.Dropped() != 0 {
+		t.Fatalf("recovered %d (dropped %d), want 3/0", re.Recovered(), re.Dropped())
+	}
+	for k, want := range cells {
+		got, ok := re.Get(k)
+		if !ok {
+			t.Fatalf("key %s lost across reopen", k)
+		}
+		if !samePoint(got, want) {
+			t.Errorf("key %s changed across reopen:\n  in  %+v\n  out %+v", k, want, got)
+		}
+	}
+	if _, ok := re.Get("absent"); ok {
+		t.Error("phantom cell")
+	}
+	if hits, misses := re.Stats(); hits != 3 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+func TestStoreLastWriteWinsAndCompact(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.Put("k", pt(0.01, 1, math.NaN()))
+	s.Put("k", pt(0.01, 2, math.NaN())) // supersedes
+	s.Put("j", pt(0.02, 3, math.NaN()))
+	s.Put("j", pt(0.02, 3, math.NaN())) // identical: no extra record
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir)
+	if got, _ := re.Get("k"); got.Model != 2 {
+		t.Errorf("last write did not win: %+v", got)
+	}
+	if err := re.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments: %v", len(segs), segs)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n != 2 {
+		t.Errorf("compacted segment has %d records, want 2:\n%s", n, data)
+	}
+	// The store stays usable after compaction.
+	re.Put("new", pt(0.03, 4, math.NaN()))
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2 := mustOpen(t, dir)
+	defer re2.Close()
+	if re2.Recovered() != 3 {
+		t.Errorf("post-compaction reopen recovered %d, want 3", re2.Recovered())
+	}
+}
+
+func TestStoreDropsTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.Put("whole", pt(0.01, 9, math.NaN()))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed writer: append half a record with no newline.
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	f, err := os.OpenFile(segs[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","point":{"load_fl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := mustOpen(t, dir)
+	defer re.Close()
+	if re.Dropped() != 1 {
+		t.Errorf("dropped %d lines, want 1", re.Dropped())
+	}
+	if re.Recovered() != 1 {
+		t.Errorf("recovered %d cells, want 1", re.Recovered())
+	}
+	if _, ok := re.Get("whole"); !ok {
+		t.Error("intact record lost to its torn neighbour")
+	}
+	if _, ok := re.Get("torn"); ok {
+		t.Error("torn record resurrected")
+	}
+}
+
+func TestStoreDropsCorruptMiddleLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000001.ndjson")
+	content := `{"key":"a","point":{"load_flits":0.01,"model":1}}
+this line is not JSON at all
+{"key":"b","point":{"load_flits":0.02,"model":2}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir)
+	defer s.Close()
+	if s.Recovered() != 2 || s.Dropped() != 1 {
+		t.Fatalf("recovered %d dropped %d, want 2/1", s.Recovered(), s.Dropped())
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Error("record after the corrupt line lost")
+	}
+}
+
+// TestStoreSurvivesHugeGarbageLine pins the recovery contract for
+// corruption larger than any line buffer: records after a multi-MiB
+// garbage run must still replay.
+func TestStoreSurvivesHugeGarbageLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg-000001.ndjson")
+	var b strings.Builder
+	b.WriteString(`{"key":"before","point":{"load_flits":0.01,"model":1}}` + "\n")
+	b.WriteString(strings.Repeat("x", 2<<20) + "\n")
+	b.WriteString(`{"key":"after","point":{"load_flits":0.02,"model":2}}` + "\n")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir)
+	defer s.Close()
+	if s.Recovered() != 2 || s.Dropped() != 1 {
+		t.Fatalf("recovered %d dropped %d, want 2/1", s.Recovered(), s.Dropped())
+	}
+	if _, ok := s.Get("after"); !ok {
+		t.Error("record after the garbage run lost")
+	}
+}
+
+func TestStoreSegmentsAccumulatePerSession(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		s := mustOpen(t, dir)
+		s.Put("shared", pt(0.01, 1, math.NaN()))
+		s.Put(string(rune('a'+i)), pt(0.02, float64(i), math.NaN()))
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, segPattern))
+	// Session 1 writes "shared"+"a"; later sessions re-Put an identical
+	// "shared" (skipped) plus one new key each.
+	if len(segs) != 3 {
+		t.Fatalf("want 3 segments, got %v", segs)
+	}
+	s := mustOpen(t, dir)
+	defer s.Close()
+	if s.Recovered() != 4 {
+		t.Errorf("recovered %d cells, want 4", s.Recovered())
+	}
+}
+
+func TestStoreConcurrentPuts(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := string(rune('a'+w)) + string(rune('0'+i%10))
+				s.Put(key, pt(float64(i), float64(w), math.NaN()))
+				s.Get(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, dir)
+	defer re.Close()
+	if re.Recovered() != 80 || re.Dropped() != 0 {
+		t.Errorf("recovered %d dropped %d, want 80/0", re.Recovered(), re.Dropped())
+	}
+}
+
+// countingBackend wraps the analytic backend, counting evaluations — the
+// instrument behind the restart-persistence pin.
+type countingBackend struct {
+	*eval.AnalyticBackend
+	calls atomic.Int64
+}
+
+func (b *countingBackend) Evaluate(ctx context.Context, sc eval.Scenario) (eval.Point, error) {
+	b.calls.Add(1)
+	return b.AnalyticBackend.Evaluate(ctx, sc)
+}
+
+// Name keeps both runner generations on the same cache salt.
+func (b *countingBackend) Name() string { return "analytic" }
+
+// TestRunnerServesFullGridFromStoreAfterRestart pins the cross-restart
+// contract: a second Runner opened on the same directory serves the full
+// grid from store hits, with zero backend evaluations.
+func TestRunnerServesFullGridFromStoreAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	spec := sweep.Spec{
+		Name:       "persist",
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16, 64}}},
+		MsgFlits:   []int{4, 8},
+		Loads:      sweep.LoadSpec{Points: 3, MaxFrac: 0.9},
+	}
+
+	first := mustOpen(t, dir)
+	be1 := &countingBackend{AnalyticBackend: eval.NewAnalyticBackend()}
+	res1, err := sweep.NewRunner(sweep.WithCache(first), sweep.WithBackends(be1)).
+		Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be1.calls.Load() == 0 || res1.CacheHits != 0 {
+		t.Fatalf("first run: %d calls, %d hits", be1.calls.Load(), res1.CacheHits)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store on the same directory, a fresh runner, a
+	// fresh backend. Everything must come from disk.
+	second := mustOpen(t, dir)
+	defer second.Close()
+	be2 := &countingBackend{AnalyticBackend: eval.NewAnalyticBackend()}
+	res2, err := sweep.NewRunner(sweep.WithCache(second), sweep.WithBackends(be2)).
+		Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := be2.calls.Load(); got != 0 {
+		t.Errorf("restarted runner evaluated %d cells; want 0 (all from store)", got)
+	}
+	if res2.CacheHits != len(res2.Rows) || res2.CacheMisses != 0 {
+		t.Errorf("restarted run: hits=%d misses=%d over %d rows",
+			res2.CacheHits, res2.CacheMisses, len(res2.Rows))
+	}
+	for i := range res1.Rows {
+		if !samePoint(res1.Rows[i].Cell, res2.Rows[i].Cell) {
+			t.Errorf("row %d drifted across restart:\n  %+v\n  %+v",
+				i, res1.Rows[i].Cell, res2.Rows[i].Cell)
+		}
+	}
+}

@@ -10,6 +10,17 @@ import (
 // backend, independent of the scenario's position in a particular sweep.
 type Cell = eval.Point
 
+// CacheStore is the result-cache contract a Runner consults: Get the
+// cell stored under a (salted) scenario key, Put a freshly computed one.
+// Implementations must be safe for concurrent use; both methods may be
+// called from every worker of a pool. Cache is the in-memory
+// implementation; store.Store (internal/store) persists cells across
+// process restarts behind the same interface.
+type CacheStore interface {
+	Get(key string) (Cell, bool)
+	Put(key string, cell Cell)
+}
+
 // Cache is a concurrency-safe in-memory result cache keyed by
 // Scenario.Key (prefixed with a backend salt for runners using
 // WithBackends — see Runner.cacheSalt). A cache can be shared across

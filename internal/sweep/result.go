@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/series"
+	"repro/internal/sim"
 )
 
 // CurveInfo summarises one curve (topology × message length × policy ×
@@ -239,7 +240,58 @@ func (r Row) jsonRow() jsonRow {
 
 // MarshalJSON serialises one row in the same flattened shape the Result
 // uses, with non-finite values mapped to null. It is the line format of
-// cmd/sweep's NDJSON streaming output.
+// cmd/sweep's NDJSON streaming output and of the serving layer's
+// POST /v1/sweep response.
 func (r Row) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.jsonRow())
+}
+
+// UnmarshalJSON decodes a row from the flattened NDJSON line format, so
+// clients of a streamed sweep (cmd/sweep -addr, consumers of sweepd's
+// /v1/sweep) recover typed rows. The line carries the identity and
+// outcome of a cell, not its full execution recipe: the scenario's
+// topology, message length, policy, variant name, derived seed and every
+// measured value round-trip exactly (null ↔ NaN, saturation markers ↔
+// +Inf), while the load form (fraction vs absolute) and budget windows —
+// absent from the wire — come back zero, with the derived seed parked in
+// Budget.Seed. Marshal∘Unmarshal is therefore the identity on the wire
+// bytes, not on the in-memory Row.
+func (r *Row) UnmarshalJSON(data []byte) error {
+	var jr jsonRow
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return fmt.Errorf("sweep: decoding row: %w", err)
+	}
+	pol, err := sim.ParsePolicy(jr.Policy)
+	if err != nil {
+		return fmt.Errorf("sweep: decoding row: %w", err)
+	}
+	nan := math.NaN()
+	fromPtr := func(v *float64) float64 {
+		if v == nil {
+			return nan
+		}
+		return *v
+	}
+	*r = Row{
+		Scenario: Scenario{
+			Topology: Topology{Family: jr.Family, Size: jr.Size, K: jr.K},
+			MsgFlits: jr.MsgFlits,
+			Policy:   pol,
+			Variant:  Variant{Name: jr.Variant},
+			Budget:   Budget{Seed: jr.Seed},
+		},
+		Cell: Cell{
+			LoadFlits:      fromPtr(jr.LoadFlits),
+			Model:          fromPtr(jr.ModelLatency),
+			ModelSaturated: jr.ModelSaturated,
+			Sim:            fromPtr(jr.SimLatency),
+			SimCI:          fromPtr(jr.SimCI95),
+			SimSaturated:   jr.SimSaturated,
+		},
+		Cached: jr.Cached,
+	}
+	if jr.ModelSaturated && jr.ModelLatency == nil {
+		r.Model = math.Inf(1)
+	}
+	return nil
 }

@@ -34,8 +34,9 @@ type Runner struct {
 	Workers int
 	// Cache, when non-nil, is consulted before and filled after every
 	// scenario. Scenario keys capture every result-affecting input, so a
-	// cache may safely outlive any one spec.
-	Cache *Cache
+	// cache may safely outlive any one spec — or, with a persistent
+	// CacheStore such as internal/store's, the process itself.
+	Cache CacheStore
 	// Progress, when non-nil, receives an Event per completed cell. It is
 	// called from a single goroutine (events arrive in completion order,
 	// never concurrently).
@@ -62,8 +63,9 @@ func NewRunner(opts ...Option) *Runner {
 // WithWorkers bounds the worker pool.
 func WithWorkers(n int) Option { return func(r *Runner) { r.Workers = n } }
 
-// WithCache attaches a (shareable) result cache.
-func WithCache(c *Cache) Option { return func(r *Runner) { r.Cache = c } }
+// WithCache attaches a (shareable) result cache: an in-memory Cache, a
+// persistent store (internal/store), or any other CacheStore.
+func WithCache(c CacheStore) Option { return func(r *Runner) { r.Cache = c } }
 
 // WithBackends replaces the default evaluator list.
 func WithBackends(b ...eval.Evaluator) Option { return func(r *Runner) { r.Backends = b } }
@@ -121,14 +123,21 @@ func (r *Runner) cacheSalt() string {
 	return "backends=" + strings.Join(names, ",") + "|"
 }
 
-func (r *Runner) workers(spec Spec) int {
+// workers returns the pool size for a grid of n scenarios. The bound is
+// capped at n: a spec cannot demand more goroutines than it has cells —
+// specs can arrive from untrusted clients (the serving layer), and a
+// pool wider than the grid is waste even from trusted ones.
+func (r *Runner) workers(spec Spec, n int) int {
+	w := runtime.GOMAXPROCS(0)
 	if r.Workers > 0 {
-		return r.Workers
+		w = r.Workers
+	} else if spec.Workers > 0 {
+		w = spec.Workers
 	}
-	if spec.Workers > 0 {
-		return spec.Workers
+	if w > n {
+		w = n
 	}
-	return runtime.GOMAXPROCS(0)
+	return w
 }
 
 // completion is one finished cell travelling from the pool to the
@@ -149,7 +158,7 @@ func (r *Runner) launch(ctx context.Context, spec Spec, scens []Scenario, backen
 	jobs := make(chan int)
 	salt := r.cacheSalt()
 	var wg sync.WaitGroup
-	for w := 0; w < r.workers(spec); w++ {
+	for w := 0; w < r.workers(spec, len(scens)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -206,6 +215,41 @@ func evaluate(ctx context.Context, sc Scenario, backends []eval.Evaluator) (Cell
 	return cell, nil
 }
 
+// CacheKey returns the cache line a scenario occupies for this runner:
+// the scenario's own key prefixed with the runner's backend salt. It is
+// the key Evaluate, Run and Stream use, exposed so external cache
+// consumers (the serving layer, diagnostics) address the same lines.
+func (r *Runner) CacheKey(sc Scenario) string {
+	return r.cacheSalt() + sc.Key()
+}
+
+// Evaluate answers one scenario through the runner's cache and backends:
+// the single-cell form of Run, used by the serving layer's /v1/eval. It
+// reports whether the cell was served from cache; fresh cells are stored
+// before returning. The spec-dependent default backend list cannot be
+// inferred from a lone scenario, so a runner without explicit Backends
+// evaluates with the analytic model plus — when the scenario asks for
+// simulation — the simulator anchored on it.
+func (r *Runner) Evaluate(ctx context.Context, sc Scenario) (Cell, bool, error) {
+	key := r.CacheKey(sc)
+	if r.Cache != nil {
+		if cell, ok := r.Cache.Get(key); ok {
+			return cell, true, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Cell{}, false, err
+	}
+	cell, err := evaluate(ctx, sc, r.backends(Spec{WithSim: sc.WithSim}))
+	if err != nil {
+		return Cell{}, false, err
+	}
+	if r.Cache != nil {
+		r.Cache.Put(key, cell)
+	}
+	return cell, false, nil
+}
+
 // Run expands the spec and executes every scenario, returning rows in
 // expansion order. Results are independent of the worker count: each
 // scenario derives its seed from the spec seed and its own curve
@@ -219,7 +263,7 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 		return nil, err
 	}
 	backends := r.backends(spec)
-	curves, order, err := resolveCurves(scens, backends)
+	curves, order, err := resolveCurves(ctx, scens, backends)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +328,7 @@ func (r *Runner) Stream(ctx context.Context, spec Spec) <-chan PointResult {
 			return
 		}
 		backends := r.backends(spec)
-		if _, _, err := resolveCurves(scens, backends); err != nil {
+		if _, _, err := resolveCurves(ctx, scens, backends); err != nil {
 			emit(ctx, out, PointResult{Err: err})
 			return
 		}
@@ -342,10 +386,12 @@ func emit(ctx context.Context, out chan<- PointResult, pr PointResult) bool {
 
 // resolveCurves builds the per-curve metadata of the grid in order of
 // first appearance, asking the first backend that can describe curves
-// (the analytic backend, in the default list).
-func resolveCurves(scens []Scenario, backends []eval.Evaluator) (map[string]CurveInfo, []string, error) {
+// (the analytic backend, in the default list; the remote backend over
+// /v1/curve). ctx bounds remote describers so a cancelled sweep does
+// not stall in setup.
+func resolveCurves(ctx context.Context, scens []Scenario, backends []eval.Evaluator) (map[string]CurveInfo, []string, error) {
 	type describer interface {
-		Curve(eval.Scenario) (eval.CurveDesc, error)
+		Curve(context.Context, eval.Scenario) (eval.CurveDesc, error)
 	}
 	var desc describer
 	for _, be := range backends {
@@ -367,7 +413,7 @@ func resolveCurves(scens []Scenario, backends []eval.Evaluator) (map[string]Curv
 			AvgDist: math.NaN(), SaturationLoad: math.NaN(),
 		}
 		if desc != nil {
-			cd, err := desc.Curve(sc)
+			cd, err := desc.Curve(ctx, sc)
 			if err != nil {
 				return nil, nil, fmt.Errorf("sweep: %s: %w", key, err)
 			}

@@ -95,9 +95,29 @@ func TestRunCacheHits(t *testing.T) {
 		t.Errorf("widened spec: hits=%d misses=%d, want 4/2",
 			wideRes.CacheHits, wideRes.CacheMisses)
 	}
-	if hits, misses := r.Cache.Stats(); hits != int64(second.CacheHits+subRes.CacheHits+wideRes.CacheHits) ||
+	if hits, misses := r.Cache.(*Cache).Stats(); hits != int64(second.CacheHits+subRes.CacheHits+wideRes.CacheHits) ||
 		misses != int64(first.CacheMisses+wideRes.CacheMisses) {
 		t.Errorf("cache stats hits=%d misses=%d inconsistent with runs", hits, misses)
+	}
+}
+
+// TestWorkersCappedAtGridSize pins the pool bound: a spec cannot demand
+// more goroutines than it has cells — specs can arrive from untrusted
+// clients via the serving layer.
+func TestWorkersCappedAtGridSize(t *testing.T) {
+	r := &Runner{}
+	if got := r.workers(Spec{Workers: 1 << 30}, 4); got != 4 {
+		t.Errorf("workers(1<<30, 4) = %d, want 4", got)
+	}
+	if got := (&Runner{Workers: 1 << 30}).workers(Spec{}, 2); got != 2 {
+		t.Errorf("runner-level workers(1<<30, 2) = %d, want 2", got)
+	}
+	spec := tinySpec()
+	spec.WithSim = false
+	spec.Workers = 1 << 30
+	res := mustRun(t, &Runner{}, spec)
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
 	}
 }
 

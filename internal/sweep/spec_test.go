@@ -74,6 +74,26 @@ func TestValidateErrors(t *testing.T) {
 		{"points without max_frac", func(s *Spec) { s.Loads = LoadSpec{Points: 4} }, "max_frac"},
 		{"negative load", func(s *Spec) { s.Loads = LoadSpec{Flits: []float64{-0.1}} }, "bad load"},
 		{"sim without measure", func(s *Spec) { s.Budget.Measure = 0 }, "budget.measure"},
+		{"negative warmup", func(s *Spec) { s.Budget.Warmup = -1 }, "bad budget window"},
+		{"negative measure model-only", func(s *Spec) {
+			s.WithSim = false
+			s.Budget = Budget{Measure: -5}
+		}, "bad budget window"},
+		{"negative drain limit", func(s *Spec) { s.Budget.DrainLimit = -1 }, "drain limit"},
+		{"unnamed variant", func(s *Spec) {
+			s.Variants = []Variant{{NoBlockingCorrection: true}}
+		}, "no name"},
+		{"duplicate variant names", func(s *Spec) {
+			s.Variants = []Variant{{Name: "a"}, {Name: "a", SingleServerGroups: true}}
+		}, "duplicate"},
+		{"colliding variant options", func(s *Spec) {
+			s.Variants = []Variant{{Name: "a"}, {Name: "b"}}
+		}, "identical options"},
+		{"variant sim without spec sim", func(s *Spec) {
+			s.WithSim = false
+			s.Budget = Budget{}
+			s.Variants = []Variant{{Name: "a", WithSim: true}}
+		}, "with_sim"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

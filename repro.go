@@ -19,7 +19,12 @@
 //     context-aware interface (AnalyticBackend, SimBackend); and
 //   - a declarative scenario-sweep engine on top of it, with streaming,
 //     caching and cancellation, plus an experiment harness regenerating
-//     every figure and table of the evaluation.
+//     every figure and table of the evaluation; and
+//   - a sweep service: a persistent, content-addressed result store
+//     (OpenStore), an HTTP serving front-end (ListenAndServe, cmd/sweepd)
+//     streaming NDJSON cells over Runner.Stream, and a RemoteBackend that
+//     fans grids out to a server fleet behind the same Evaluator
+//     interface (see docs/serve.md).
 //
 // This facade re-exports the main entry points; the implementation lives
 // under internal/ (core, analytic, sim, topology, eval, sweep, …).
@@ -54,12 +59,15 @@ package repro
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/analytic"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/exp"
+	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/topology"
 )
@@ -123,8 +131,23 @@ type (
 	SweepRunner = sweep.Runner
 	SweepResult = sweep.Result
 	SweepCache  = sweep.Cache
+	// SweepCacheStore is the result-cache contract a SweepRunner
+	// consults; SweepCache and ResultStore both implement it.
+	SweepCacheStore = sweep.CacheStore
 	// SweepPoint is one streamed sweep cell (row or error).
 	SweepPoint = sweep.PointResult
+
+	// RemoteBackend is the client-side Evaluator of the sweep service:
+	// scenarios are answered by sweepd servers over HTTP, sharded
+	// round-robin with retry/backoff (see docs/serve.md).
+	RemoteBackend = eval.RemoteBackend
+	// RemoteOption configures a RemoteBackend.
+	RemoteOption = eval.RemoteOption
+	// ResultStore is the persistent, content-addressed sweep result
+	// store: NDJSON segments on disk, a SweepCacheStore to runners.
+	ResultStore = store.Store
+	// ServeOption configures the sweep service (ListenAndServe).
+	ServeOption = serve.Option
 )
 
 // Simulator policies.
@@ -221,6 +244,35 @@ func SweepBuiltin(name string) (SweepSpec, error) { return sweep.Builtin(name) }
 // NewSweepCache returns an empty sweep result cache for sharing across
 // runners and specs.
 func NewSweepCache() *SweepCache { return sweep.NewCache() }
+
+// OpenStore opens (creating if needed) a persistent sweep result store.
+// Pass it to a SweepRunner via sweep.WithCache — or to ListenAndServe
+// via serve.WithCache — and every computed cell survives process
+// restarts; see docs/serve.md for the on-disk layout.
+func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// NewRemoteBackend returns an Evaluator that answers scenarios by
+// calling sweepd servers at the given addresses ("host:port" or full
+// URLs), sharded round-robin with retry and backoff. Plug it into a
+// SweepRunner via sweep.WithBackends to fan a local grid out to a fleet.
+func NewRemoteBackend(addrs []string, opts ...RemoteOption) (*RemoteBackend, error) {
+	return eval.NewRemoteBackend(addrs, opts...)
+}
+
+// ListenAndServe runs the sweep service (the library form of cmd/sweepd)
+// on addr until ctx is cancelled, then shuts down gracefully within
+// grace (0 picks a default). See docs/serve.md for the HTTP API.
+func ListenAndServe(ctx context.Context, addr string, grace time.Duration, opts ...ServeOption) error {
+	return serve.ListenAndServe(ctx, addr, grace, opts...)
+}
+
+// ServeWithCache attaches a result cache — a SweepCache or a persistent
+// ResultStore — to the sweep service.
+func ServeWithCache(c SweepCacheStore) ServeOption { return serve.WithCache(c) }
+
+// ServeWithWorkers bounds the worker pool of every sweep the service
+// runs.
+func ServeWithWorkers(n int) ServeOption { return serve.WithWorkers(n) }
 
 // QuickBudget and FullBudget are the standard experiment efforts.
 var (

@@ -3,7 +3,9 @@ package repro_test
 import (
 	"context"
 	"math"
+	"net"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -159,6 +161,83 @@ func TestFacadeSweep(t *testing.T) {
 	if streamed != len(res.Rows) {
 		t.Errorf("streamed %d cells, want %d", streamed, len(res.Rows))
 	}
+}
+
+// TestFacadeSweepService exercises the serving surface end to end: a
+// server on a loopback port with a persistent store, a RemoteBackend
+// evaluating a grid against it, and a restarted store serving the same
+// grid from disk.
+func TestFacadeSweepService(t *testing.T) {
+	dir := t.TempDir()
+	st, err := repro.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- repro.ListenAndServe(ctx, addr, time.Second, repro.ServeWithCache(st))
+	}()
+
+	rb, err := repro.NewRemoteBackend([]string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := repro.SweepBuiltin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Topologies[0].Sizes = []int{16}
+	spec.MsgFlits = []int{8}
+	spec.WithSim = false
+	runner := repro.SweepRunner{Backends: []repro.Evaluator{rb}}
+	var res *repro.SweepResult
+	// The server needs a moment to bind; the backend's retry/backoff
+	// absorbs it.
+	res, err = runner.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	local, err := repro.Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Rows {
+		if math.Abs(res.Rows[i].Model-local.Rows[i].Model) > 1e-9 {
+			t.Errorf("row %d drifted across the wire: %v vs %v",
+				i, res.Rows[i].Model, local.Rows[i].Model)
+		}
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The store reopens with every cell intact.
+	re, err := repro.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Recovered() != len(res.Rows) {
+		t.Errorf("store recovered %d cells, want %d", re.Recovered(), len(res.Rows))
+	}
+	var _ repro.SweepCacheStore = re
 }
 
 // TestFacadeEvaluator exercises the Evaluator backend surface directly:

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# serve-smoke: start a sweepd daemon, run the paper's Figure 3 grid
+# through it remotely (cmd/sweep -addr), diff the JSON result against
+# the in-process run, and emit BENCH_serve.json (points/sec over HTTP).
+# CI runs this via `make serve-smoke`.
+set -eu
+
+PORT="${SERVE_SMOKE_PORT:-18765}"
+WORK="$(mktemp -d)"
+trap 'kill "$DPID" 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/sweepd" ./cmd/sweepd
+go build -o "$WORK/sweep" ./cmd/sweep
+
+"$WORK/sweepd" -addr "127.0.0.1:$PORT" -cache-dir "$WORK/cache" &
+DPID=$!
+
+# Wait for the daemon to answer /healthz.
+i=0
+until curl -sf "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: sweepd did not come up on :$PORT" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+"$WORK/sweep" -spec builtin:figure3 -quiet -json >"$WORK/local.json"
+"$WORK/sweep" -spec builtin:figure3 -quiet -json \
+    -addr "127.0.0.1:$PORT" -bench-out BENCH_serve.json >"$WORK/remote.json"
+
+# Remote and in-process runs must agree cell for cell; only the wall
+# clock may differ.
+if ! diff \
+    <(grep -v elapsed_ms "$WORK/local.json") \
+    <(grep -v elapsed_ms "$WORK/remote.json"); then
+    echo "serve-smoke: remote run diverged from in-process run" >&2
+    exit 1
+fi
+echo "serve-smoke: remote == in-process (figure3, $(grep -c '"seed"' "$WORK/local.json") rows)"
+
+# A rerun against the warm server must be answered entirely from its
+# store: healthz's cache_hits counter has to cover the full grid.
+"$WORK/sweep" -spec builtin:figure3 -quiet -json -addr "127.0.0.1:$PORT" >/dev/null
+HEALTH="$(curl -sf "http://127.0.0.1:$PORT/healthz")"
+echo "$HEALTH"
+HITS="$(printf '%s' "$HEALTH" | sed -n 's/.*"cache_hits":\([0-9]*\).*/\1/p')"
+ROWS="$(grep -c '"seed"' "$WORK/local.json")"
+if [ -z "$HITS" ] || [ "$HITS" -lt "$ROWS" ]; then
+    echo "serve-smoke: warm rerun not served from the store (hits=$HITS, want >= $ROWS)" >&2
+    exit 1
+fi
+echo "serve-smoke: warm rerun fully served from the store ($HITS hits)"
+
+kill "$DPID"
+wait "$DPID" 2>/dev/null || true
