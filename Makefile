@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sweep serve-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sweep serve-smoke dispatch-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -31,6 +31,14 @@ bench-sweep:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 	@cat BENCH_serve.json
+
+# Smoke-test the distributed dispatcher: 3 sweepd shards, figure3
+# through cmd/sweep -shards with one shard killed mid-run (diffed
+# against in-process), plus a batched-vs-per-cell throughput gate
+# emitting BENCH_dispatch.json.
+dispatch-smoke:
+	bash scripts/dispatch_smoke.sh
+	@cat BENCH_dispatch.json
 
 lint:
 	$(GO) vet ./...

@@ -16,6 +16,8 @@
 //	sweep -list                                  # show built-in specs
 //	sweep -dump builtin:table2                   # print a spec as JSON
 //	sweep -spec builtin:figure3 -addr :8713      # evaluate on a sweepd server
+//	sweep -spec builtin:figure3 -addr :8713 -batch 32   # batched transport
+//	sweep -spec builtin:figure3 -shards :8713,:8714,:8715   # dispatch ranges
 //	sweep -spec builtin:figure3 -cache-dir d     # persistent result store
 //
 // Progress streams to stderr; results go to stdout. With -stream each
@@ -26,9 +28,16 @@
 //
 // With -addr the grid is still expanded (and cached) locally, but every
 // cell is evaluated by the named sweepd server(s) — comma-separate
-// addresses to shard round-robin across a fleet. With -cache-dir the
-// result cache is a persistent store: a rerun in a fresh process serves
-// every previously computed cell from disk.
+// addresses to shard round-robin across a fleet; adding -batch switches
+// to the batched transport, coalescing concurrent cells into one
+// request per flush window. With -shards the distributed scheduler
+// takes over instead: the grid is partitioned into contiguous ranges,
+// each range dispatched whole to a shard (specs cross the wire, cells
+// do not), failed or slow shards' remainders are stolen by the
+// survivors, and the merged rows come back in grid order (see
+// docs/dispatch.md; -batch then bounds the range size). With -cache-dir
+// the result cache is a persistent store: a rerun in a fresh process
+// serves every previously computed cell from disk.
 package main
 
 import (
@@ -42,10 +51,18 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
+
+// executor is what both execution engines — the local/remote-backed
+// sweep.Runner and the distributed dispatch.Dispatcher — offer the CLI.
+type executor interface {
+	Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, error)
+	Stream(ctx context.Context, spec sweep.Spec) <-chan sweep.PointResult
+}
 
 // specList collects repeated -spec flags.
 type specList []string
@@ -73,9 +90,20 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		benchOut = flag.String("bench-out", "", "write a points/sec benchmark summary JSON to this file")
 		addr     = flag.String("addr", "", "evaluate scenarios on these sweepd server(s), comma-separated (empty = in-process)")
+		shards   = flag.String("shards", "", "dispatch grid ranges across these sweepd shard(s), comma-separated (distributed scheduler)")
+		batch    = flag.Int("batch", 0, "with -addr: coalesce cells into batches of this size; with -shards: cells per dispatched range (0 = auto)")
 		cacheDir = flag.String("cache-dir", "", "persist the result cache to this directory (empty = in-memory)")
 	)
 	flag.Parse()
+	if *addr != "" && *shards != "" {
+		log.Fatal("-addr and -shards are mutually exclusive: per-cell/batched evaluation vs range dispatch")
+	}
+	if *batch != 0 && *addr == "" && *shards == "" {
+		log.Fatal("-batch needs -addr (batched transport) or -shards (range size); in-process runs do not batch")
+	}
+	if *workers != 0 && *shards != "" {
+		log.Fatal("-workers does not apply with -shards: dispatch concurrency is one range stream per shard (bound range size with -batch)")
+	}
 
 	if *list {
 		for _, name := range sweep.Builtins() {
@@ -101,7 +129,7 @@ func main() {
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
 
-	opts := []sweep.Option{sweep.WithWorkers(*workers)}
+	var cache sweep.CacheStore
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
@@ -116,31 +144,53 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: store: %d cell(s) recovered from %s\n",
 				st.Recovered(), *cacheDir)
 		}
-		opts = append(opts, sweep.WithCache(st))
+		cache = st
 	} else {
-		opts = append(opts, sweep.WithCache(sweep.NewCache()))
+		cache = sweep.NewCache()
 	}
-	if *addr != "" {
-		addrs, err := cliutil.ParseStrings(*addr)
+
+	var exec executor
+	var disp *dispatch.Dispatcher
+	if *shards != "" {
+		addrs, err := cliutil.ParseStrings(*shards)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rb, err := eval.NewRemoteBackend(addrs)
+		disp, err = dispatch.New(addrs, dispatch.WithBatch(*batch), dispatch.WithCache(cache))
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts = append(opts, sweep.WithBackends(rb))
-	}
-	runner := sweep.NewRunner(opts...)
-	if !*quiet && !*stream {
-		runner.Progress = func(ev sweep.Event) {
-			tag := ""
-			if ev.Cached {
-				tag = " [cached]"
+		exec = disp
+	} else {
+		opts := []sweep.Option{sweep.WithWorkers(*workers), sweep.WithCache(cache)}
+		if *addr != "" {
+			addrs, err := cliutil.ParseStrings(*addr)
+			if err != nil {
+				log.Fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "sweep: %d/%d %s load=%.6g%s\n",
-				ev.Done, ev.Total, ev.Scenario.CurveKey(), ev.Scenario.Load.Value, tag)
+			var be eval.Evaluator
+			if *batch > 0 {
+				be, err = eval.NewBatchBackend(addrs, eval.WithBatchSize(*batch))
+			} else {
+				be, err = eval.NewRemoteBackend(addrs)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, sweep.WithBackends(be))
 		}
+		runner := sweep.NewRunner(opts...)
+		if !*quiet && !*stream {
+			runner.Progress = func(ev sweep.Event) {
+				tag := ""
+				if ev.Cached {
+					tag = " [cached]"
+				}
+				fmt.Fprintf(os.Stderr, "sweep: %d/%d %s load=%.6g%s\n",
+					ev.Done, ev.Total, ev.Scenario.CurveKey(), ev.Scenario.Load.Value, tag)
+			}
+		}
+		exec = runner
 	}
 
 	start := time.Now()
@@ -159,7 +209,7 @@ func main() {
 			spec.Budget.Seed = *seed
 		}
 		if *stream {
-			n, fresh, err := streamSpec(ctx, runner, spec)
+			n, fresh, err := streamSpec(ctx, exec, spec)
 			cells += n
 			computed += fresh
 			if err != nil {
@@ -167,7 +217,7 @@ func main() {
 			}
 			continue
 		}
-		res, err := runner.Run(ctx, spec)
+		res, err := exec.Run(ctx, spec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -178,6 +228,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sweep: %s done: %d computed, %d cache hits\n",
 				displayName(spec), res.CacheMisses, res.CacheHits)
 		}
+	}
+	if disp != nil && !*quiet {
+		st := disp.Stats()
+		fmt.Fprintf(os.Stderr,
+			"sweep: dispatch: %d cell(s) over %d range(s), %d cached, %d requeue(s), %d shard failure(s), %d ejected\n",
+			st.Cells, st.Batches, st.CacheHits, st.Requeues, st.ShardFailures, st.EjectedShards)
 	}
 	if *benchOut != "" {
 		if err := writeBench(*benchOut, specs, cells, computed, time.Since(start)); err != nil {
@@ -205,12 +261,14 @@ func main() {
 	}
 }
 
-// streamSpec runs one spec through Runner.Stream, printing each cell as
-// a JSON line the moment it completes. It returns the number of emitted
-// cells and how many of those were freshly computed (not cache hits).
-func streamSpec(ctx context.Context, runner *sweep.Runner, spec sweep.Spec) (cells, fresh int, err error) {
+// streamSpec runs one spec through the executor's Stream, printing each
+// cell as a JSON line the moment it completes (grid order under the
+// dispatcher, completion order in-process). It returns the number of
+// emitted cells and how many of those were freshly computed (not cache
+// hits).
+func streamSpec(ctx context.Context, exec executor, spec sweep.Spec) (cells, fresh int, err error) {
 	enc := json.NewEncoder(os.Stdout)
-	for pr := range runner.Stream(ctx, spec) {
+	for pr := range exec.Stream(ctx, spec) {
 		if pr.Err != nil {
 			return cells, fresh, pr.Err
 		}

@@ -11,10 +11,20 @@
 //	sweepd                                  # serve on :8713
 //	sweepd -addr :9000 -workers 8           # custom port and pool bound
 //	sweepd -cache-dir /var/lib/sweepd       # persistent result store
+//	sweepd -cache-dir d -cache-max-bytes 64000000   # prune the store at startup
 //	sweepd -compact -cache-dir d            # compact the store and exit
+//	sweepd -shards :8714,:8715,:8716        # front-end: dispatch sweeps
 //
 // Endpoints (see docs/serve.md): POST /v1/sweep (NDJSON stream),
-// POST /v1/eval, POST /v1/curve, GET /v1/builtins, GET /healthz.
+// POST /v1/batch and POST /v1/sweep/part (batched wire protocol),
+// POST /v1/eval, POST /v1/curve, GET /v1/builtins, GET /healthz,
+// GET /metrics (Prometheus text).
+//
+// With -shards the daemon becomes a fleet front-end: POST /v1/sweep
+// requests are scheduled across the named downstream sweepd shards by
+// the dispatch coordinator (contiguous grid ranges out, merged NDJSON
+// back — see docs/dispatch.md; -batch bounds the range size), while the
+// other endpoints keep answering locally.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new connections are
 // refused, in-flight streams get -grace to finish, then connections are
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/dispatch"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -38,11 +49,14 @@ import (
 func main() {
 	cliutil.Setup("sweepd")
 	var (
-		addr     = flag.String("addr", ":8713", "listen address")
-		cacheDir = flag.String("cache-dir", "", "persist results to this directory (empty = in-memory only)")
-		workers  = flag.Int("workers", 0, "worker pool bound per sweep (0 = GOMAXPROCS)")
-		grace    = flag.Duration("grace", 5*time.Second, "graceful-shutdown window for in-flight requests")
-		compact  = flag.Bool("compact", false, "compact -cache-dir into one segment and exit")
+		addr      = flag.String("addr", ":8713", "listen address")
+		cacheDir  = flag.String("cache-dir", "", "persist results to this directory (empty = in-memory only)")
+		maxBytes  = flag.Int64("cache-max-bytes", 0, "prune -cache-dir to this many bytes at startup, oldest cells first (0 = unbounded)")
+		workers   = flag.Int("workers", 0, "worker pool bound per sweep (0 = GOMAXPROCS)")
+		grace     = flag.Duration("grace", 5*time.Second, "graceful-shutdown window for in-flight requests")
+		compact   = flag.Bool("compact", false, "compact -cache-dir into one segment and exit")
+		shardList = flag.String("shards", "", "front-end mode: dispatch /v1/sweep across these downstream sweepd shard(s), comma-separated")
+		batch     = flag.Int("batch", 0, "front-end mode: cells per dispatched range (0 = auto)")
 	)
 	flag.Parse()
 
@@ -61,6 +75,17 @@ func main() {
 			log.Printf("store recovery dropped %d corrupt line(s)", dropped)
 		}
 		log.Printf("store: %d cell(s) recovered from %s", st.Recovered(), *cacheDir)
+		if *maxBytes > 0 {
+			// The daemon has not started serving yet, so it still owns the
+			// directory exclusively — the window Prune needs.
+			evicted, err := st.Prune(*maxBytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			size, _ := st.DiskBytes()
+			log.Printf("store pruned to %d byte(s) (bound %d): %d cell(s) evicted, %d live",
+				size, *maxBytes, evicted, st.Len())
+		}
 		if *compact {
 			if err := st.Compact(); err != nil {
 				log.Fatal(err)
@@ -71,14 +96,29 @@ func main() {
 		cache = st
 	} else if *compact {
 		log.Fatal("-compact needs -cache-dir")
+	} else if *maxBytes > 0 {
+		log.Fatal("-cache-max-bytes needs -cache-dir")
+	}
+
+	opts := []serve.Option{serve.WithCache(cache), serve.WithWorkers(*workers)}
+	if *shardList != "" {
+		shards, err := cliutil.ParseStrings(*shardList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := dispatch.New(shards, dispatch.WithBatch(*batch), dispatch.WithCache(cache))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("front-end: dispatching sweeps across %d shard(s)", len(d.Addrs()))
+		opts = append(opts, serve.WithSweeper(d))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
 	log.Printf("listening on %s", *addr)
-	err := serve.ListenAndServe(ctx, *addr, *grace,
-		serve.WithCache(cache), serve.WithWorkers(*workers))
+	err := serve.ListenAndServe(ctx, *addr, *grace, opts...)
 	if err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}

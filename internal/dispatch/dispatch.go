@@ -1,0 +1,645 @@
+// Package dispatch is the distributed sweep scheduler: a coordinator
+// that partitions a sweep.Spec's deterministic grid into contiguous
+// index ranges, dispatches each range to a worker shard over the batched
+// wire protocol (POST /v1/sweep/part — spec plus range in, NDJSON cells
+// out), and merges the per-shard streams back into one grid-ordered,
+// Stream-compatible result channel.
+//
+// Scheduling is static range partitioning with work stealing on top: the
+// cold cells of the grid (the shared cache is consulted first, so warm
+// cells never cross the wire) are split into contiguous spans that sit
+// in a shared queue; every shard runs one puller. A shard that fails —
+// connection error, 5xx, torn or short NDJSON stream, or a stream idle
+// past the watchdog — has the undelivered remainder of its span split
+// back into the queue, where any healthy shard steals it; the failing
+// shard sits out an exponential backoff and is ejected after too many
+// consecutive failures. The sweep survives any shard dying mid-run as
+// long as one shard remains; cells already streamed before the failure
+// are kept (and cached), never recomputed.
+//
+// Because the grid expansion, per-scenario seeds and the shards' own
+// evaluation path are all deterministic, a dispatched sweep is
+// cell-for-cell identical to an in-process run: models to the last bit
+// modulo float formatting (pinned at 1e-9 by test), simulator cells bit
+// for bit — including when a shard is killed mid-sweep.
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/sweep"
+)
+
+// Dispatcher schedules sweeps across a shard fleet. Construct with New;
+// it is safe for concurrent use and reusable across sweeps (statistics
+// accumulate over its lifetime). It satisfies the serving layer's
+// Sweeper contract and mirrors sweep.Runner's Run/Stream API, so it
+// drops in anywhere a Runner does.
+type Dispatcher struct {
+	addrs    []string
+	salt     string
+	batch    int
+	cache    sweep.CacheStore
+	client   *http.Client
+	rb       *eval.RemoteBackend // curve metadata via /v1/curve, with failover
+	backoff  time.Duration
+	maxFails int
+	idle     time.Duration
+
+	cacheHits, cells, batches, requeues, failures, ejected atomic.Int64
+}
+
+// Option configures a Dispatcher.
+type Option func(*Dispatcher)
+
+// WithBatch bounds how many cells one dispatched range may carry; 0 (the
+// default) auto-sizes to roughly four ranges per shard, so work stealing
+// has granularity without per-range overhead dominating.
+func WithBatch(n int) Option { return func(d *Dispatcher) { d.batch = n } }
+
+// WithCache attaches the shared result cache consulted before
+// scheduling: warm cells are served locally and only cold cells are
+// dispatched; every streamed cell is written back. The cache lines are
+// salted with the fleet tag, shared with RemoteBackend and BatchBackend
+// clients of the same shard set.
+func WithCache(c sweep.CacheStore) Option { return func(d *Dispatcher) { d.cache = c } }
+
+// WithHTTPClient replaces the default HTTP client (no timeout — range
+// streams run as long as their cells take; deadlines belong to the
+// caller's context and the idle watchdog).
+func WithHTTPClient(c *http.Client) Option { return func(d *Dispatcher) { d.client = c } }
+
+// WithShardBackoff sets the base delay a failing shard sits out before
+// its next attempt (doubled per consecutive failure, capped at 5s;
+// default 100ms).
+func WithShardBackoff(b time.Duration) Option {
+	return func(d *Dispatcher) {
+		if b > 0 {
+			d.backoff = b
+		}
+	}
+}
+
+// WithMaxShardFailures sets how many consecutive failures eject a shard
+// from the fleet for the rest of the sweep (default 3). An ejected
+// shard's unfinished ranges redistribute to the survivors; the sweep
+// fails only when every shard is ejected with cells outstanding.
+func WithMaxShardFailures(n int) Option {
+	return func(d *Dispatcher) {
+		if n > 0 {
+			d.maxFails = n
+		}
+	}
+}
+
+// WithIdleTimeout sets the per-range progress watchdog: a shard whose
+// stream delivers no cell for this long is treated as failed and its
+// remainder is stolen (default 60s; 0 disables).
+func WithIdleTimeout(t time.Duration) Option { return func(d *Dispatcher) { d.idle = t } }
+
+// New builds a dispatcher over the given shard addresses ("host:port" or
+// full URLs); at least one is required.
+func New(addrs []string, opts ...Option) (*Dispatcher, error) {
+	rb, err := eval.NewRemoteBackend(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	d := &Dispatcher{
+		addrs: rb.Addrs(),
+		// The same salt a Runner derives for a backend list holding one
+		// fleet client, so dispatched, per-cell remote and batched sweeps
+		// over the same shard set share cache lines.
+		salt:     "backends=" + rb.CacheTag() + "|",
+		client:   &http.Client{},
+		rb:       rb,
+		backoff:  100 * time.Millisecond,
+		maxFails: 3,
+		idle:     60 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d, nil
+}
+
+// Addrs returns the normalized shard addresses.
+func (d *Dispatcher) Addrs() []string { return append([]string(nil), d.addrs...) }
+
+// Stats is a snapshot of the dispatcher's lifetime counters.
+type Stats struct {
+	// CacheHits counts cells served from the shared cache without being
+	// dispatched.
+	CacheHits int64
+	// Cells counts cells received from shards.
+	Cells int64
+	// Batches counts dispatched range requests (attempts included).
+	Batches int64
+	// Requeues counts ranges returned to the queue after a shard failure.
+	Requeues int64
+	// ShardFailures counts failed range dispatches.
+	ShardFailures int64
+	// EjectedShards counts shards dropped for the rest of a sweep.
+	EjectedShards int64
+}
+
+// Stats returns the dispatcher's lifetime counters.
+func (d *Dispatcher) Stats() Stats {
+	return Stats{
+		CacheHits:     d.cacheHits.Load(),
+		Cells:         d.cells.Load(),
+		Batches:       d.batches.Load(),
+		Requeues:      d.requeues.Load(),
+		ShardFailures: d.failures.Load(),
+		EjectedShards: d.ejected.Load(),
+	}
+}
+
+// StatsMap renders the counters under stable snake_case names; the
+// serving layer's /metrics endpoint exports them with a sweep_dispatch_
+// prefix.
+func (d *Dispatcher) StatsMap() map[string]int64 {
+	return map[string]int64{
+		"cache_hits_total":     d.cacheHits.Load(),
+		"cells_total":          d.cells.Load(),
+		"batches_total":        d.batches.Load(),
+		"requeues_total":       d.requeues.Load(),
+		"shard_failures_total": d.failures.Load(),
+		"ejected_shards_total": d.ejected.Load(),
+	}
+}
+
+// spanSize returns the range bound for a cold set of n cells.
+func (d *Dispatcher) spanSize(n int) int {
+	if d.batch > 0 {
+		return d.batch
+	}
+	per := (n + 4*len(d.addrs) - 1) / (4 * len(d.addrs))
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// Run dispatches the spec across the fleet and returns the assembled
+// result, rows in expansion order, curve metadata resolved through the
+// shards' /v1/curve — the drop-in distributed form of Runner.Run.
+func (d *Dispatcher) Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, error) {
+	start := time.Now()
+	scens, err := sweep.Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	curves, err := d.resolveCurves(ctx, scens)
+	if err != nil {
+		return nil, err
+	}
+	res := &sweep.Result{Spec: spec, Rows: make([]sweep.Row, len(scens)), Curves: curves}
+	// Rows land directly at their grid index — no per-row channel
+	// handoff, no reorder buffer; the deliver callback runs on the
+	// merger goroutine alone.
+	err = d.dispatch(ctx, spec, scens, func(idx int, row sweep.Row) bool {
+		res.Rows[idx] = row
+		if row.Cached {
+			res.CacheHits++
+		} else {
+			res.CacheMisses++
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Stream dispatches the spec and delivers cells on the returned channel
+// in grid order (a reorder buffer holds back later cells until their
+// predecessors arrive, so consumers see the exact sequence an in-process
+// Run would report). The channel closes when the sweep finishes, fails
+// — the error arrives as the final element, mirroring Runner.Stream —
+// or ctx is cancelled.
+func (d *Dispatcher) Stream(ctx context.Context, spec sweep.Spec) <-chan sweep.PointResult {
+	out := make(chan sweep.PointResult)
+	go func() {
+		defer close(out)
+		scens, err := sweep.Expand(spec)
+		if err != nil {
+			emit(ctx, out, sweep.PointResult{Err: err})
+			return
+		}
+		// The reorder buffer: rows delivered out of grid order wait for
+		// their predecessors.
+		next := 0
+		pending := make(map[int]sweep.Row)
+		err = d.dispatch(ctx, spec, scens, func(idx int, row sweep.Row) bool {
+			pending[idx] = row
+			for {
+				r, ok := pending[next]
+				if !ok {
+					return true
+				}
+				delete(pending, next)
+				if !emit(ctx, out, sweep.PointResult{Row: r}) {
+					return false
+				}
+				next++
+			}
+		})
+		if err != nil && ctx.Err() == nil {
+			emit(ctx, out, sweep.PointResult{Err: err})
+		}
+	}()
+	return out
+}
+
+// span is a half-open range [start, end) of grid indices.
+type span struct{ start, end int }
+
+// indexedRow is one received cell travelling to the merger.
+type indexedRow struct {
+	idx int
+	row sweep.Row
+}
+
+// run is the per-sweep state shared by the shard workers and the merger.
+type run struct {
+	d      *Dispatcher
+	spec   sweep.Spec
+	scens  []sweep.Scenario
+	keys   []string // salted cache keys, nil without a cache
+	ctx    context.Context
+	cancel context.CancelFunc
+	spanc  chan span // cold ranges; capacity = cold cells, so requeue never blocks
+	resc   chan indexedRow
+
+	failMu  sync.Mutex
+	failErr error
+}
+
+// fail records the sweep's terminal error (first one wins) and cancels
+// the run.
+func (r *run) fail(err error) {
+	r.failMu.Lock()
+	if r.failErr == nil {
+		r.failErr = err
+	}
+	r.failMu.Unlock()
+	r.cancel()
+}
+
+func (r *run) err() error {
+	r.failMu.Lock()
+	defer r.failMu.Unlock()
+	return r.failErr
+}
+
+// dispatch runs one sweep: cache pass, shard workers, merge. Rows reach
+// the caller through deliver — always from this goroutine, in arrival
+// order (warm cells first); deliver returning false abandons the sweep
+// (the consumer is gone). The returned error is the sweep's terminal
+// failure, nil on completion, cancellation or abandonment.
+func (d *Dispatcher) dispatch(ctx context.Context, spec sweep.Spec, scens []sweep.Scenario, deliver func(int, sweep.Row) bool) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Cache pass: warm cells deliver immediately, cold indices become
+	// the work list. Keys are computed once here and reused when
+	// received cells are written back.
+	var keys []string
+	var cold []int
+	if d.cache != nil {
+		keys = make([]string, len(scens))
+		for i, sc := range scens {
+			keys[i] = d.salt + sc.Key()
+		}
+	}
+	for i, sc := range scens {
+		if d.cache != nil {
+			if cell, ok := d.cache.Get(keys[i]); ok {
+				d.cacheHits.Add(1)
+				if !deliver(i, sweep.Row{Scenario: sc, Cell: cell, Cached: true}) {
+					return nil
+				}
+				continue
+			}
+		}
+		cold = append(cold, i)
+	}
+	if len(cold) == 0 {
+		return nil // fully warm: nothing to dispatch
+	}
+
+	r := &run{
+		d: d, spec: spec, scens: scens, keys: keys,
+		ctx: runCtx, cancel: cancel,
+		spanc: make(chan span, len(cold)),
+		resc:  make(chan indexedRow, len(cold)),
+	}
+	for _, sp := range partition(cold, d.spanSize(len(cold))) {
+		r.spanc <- sp
+	}
+
+	var wg sync.WaitGroup
+	for _, addr := range d.addrs {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			r.worker(addr)
+		}(addr)
+	}
+	allDead := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDead)
+	}()
+	defer func() {
+		cancel()
+		<-allDead // no worker outlives the sweep
+	}()
+
+	remaining := len(cold)
+	for remaining > 0 && runCtx.Err() == nil {
+		select {
+		case ir := <-r.resc:
+			remaining--
+			if !deliver(ir.idx, ir.row) {
+				return nil // consumer gone; deferred cancel unwinds the workers
+			}
+		case <-runCtx.Done():
+		case <-allDead:
+			// Workers send their rows before exiting, so everything
+			// delivered before the fleet died is already buffered in
+			// resc — drain it with priority before concluding; the last
+			// shard may have streamed every remaining cell and only then
+			// died short of a clean EOF.
+			for remaining > 0 {
+				select {
+				case ir := <-r.resc:
+					remaining--
+					if !deliver(ir.idx, ir.row) {
+						return nil
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if remaining > 0 {
+				r.fail(fmt.Errorf("dispatch: all %d shard(s) ejected with %d cell(s) outstanding", len(d.addrs), remaining))
+			}
+		}
+	}
+	return r.err()
+}
+
+// worker pulls ranges off the queue and dispatches them to one shard
+// until the run ends or the shard is ejected.
+func (r *run) worker(addr string) {
+	fails := 0
+	for {
+		var sp span
+		select {
+		case sp = <-r.spanc:
+		case <-r.ctx.Done():
+			return
+		}
+		got, err := r.dispatchSpan(addr, sp)
+		if err == nil {
+			fails = 0
+			continue
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			// A scenario-level verdict (or protocol breach): no shard
+			// will answer differently, so the sweep fails.
+			r.fail(perm.err)
+			return
+		}
+		rest := remainder(sp, got)
+		for _, s := range rest {
+			r.spanc <- s // capacity covers every cold cell; never blocks
+		}
+		r.d.requeues.Add(int64(len(rest)))
+		if r.ctx.Err() != nil {
+			return
+		}
+		fails++
+		r.d.failures.Add(1)
+		if fails >= r.d.maxFails {
+			r.d.ejected.Add(1)
+			return
+		}
+		delay := r.d.backoff << (fails - 1)
+		if delay > 5*time.Second {
+			delay = 5 * time.Second
+		}
+		if sleep(r.ctx, delay) != nil {
+			return
+		}
+	}
+}
+
+// partRequest is the wire form of POST /v1/sweep/part.
+type partRequest struct {
+	Spec  sweep.Spec `json:"spec"`
+	Start int        `json:"start"`
+	End   int        `json:"end"`
+}
+
+// permanentError marks failures no retry or steal can fix.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// dispatchSpan sends one range to addr and forwards its cells. It
+// returns the set of delivered indices alongside any error, so the
+// caller requeues exactly the remainder. Transient failures (connection
+// errors, 5xx, torn/short streams, watchdog expiry) come back as plain
+// errors; scenario verdicts and protocol breaches as permanentError.
+func (r *run) dispatchSpan(addr string, sp span) (map[int]bool, error) {
+	r.d.batches.Add(1)
+	body, err := json.Marshal(partRequest{Spec: r.spec, Start: sp.start, End: sp.end})
+	if err != nil {
+		return nil, &permanentError{fmt.Errorf("dispatch: encoding part request: %w", err)}
+	}
+	// The watchdog steals from shards that stall without dying: a stream
+	// idle past the bound has its request cancelled, which surfaces as a
+	// read error below and requeues the remainder.
+	reqCtx, cancelReq := context.WithCancel(r.ctx)
+	defer cancelReq()
+	var watchdog *time.Timer
+	if r.d.idle > 0 {
+		watchdog = time.AfterFunc(r.d.idle, cancelReq)
+		defer watchdog.Stop()
+	}
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, addr+"/v1/sweep/part", bytes.NewReader(body))
+	if err != nil {
+		return nil, &permanentError{fmt.Errorf("dispatch: %s: %w", addr, err)}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.d.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("dispatch: %s: %s: %s", addr, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests {
+			return nil, err
+		}
+		// The shard rejected a request the coordinator validated
+		// locally: version or configuration skew, not load.
+		return nil, &permanentError{err}
+	}
+	want := sp.end - sp.start
+	got := make(map[int]bool, want)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var it eval.BatchItem
+		if derr := dec.Decode(&it); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return got, fmt.Errorf("dispatch: %s: torn stream after %d of %d cell(s): %w", addr, len(got), want, derr)
+		}
+		if watchdog != nil {
+			watchdog.Reset(r.d.idle)
+		}
+		if it.Index < 0 {
+			if it.Error == "" {
+				continue // heartbeat: the shard is alive, a cell is just slow
+			}
+			return got, fmt.Errorf("dispatch: %s: shard failed mid-stream: %s", addr, it.Error)
+		}
+		if it.Index < sp.start || it.Index >= sp.end {
+			return got, &permanentError{fmt.Errorf("dispatch: %s: cell %d outside range [%d, %d)", addr, it.Index, sp.start, sp.end)}
+		}
+		if it.Error != "" {
+			sc := r.scens[it.Index]
+			return got, &permanentError{fmt.Errorf("dispatch: scenario %d (%s, load %v): %s",
+				sc.Index, sc.CurveKey(), sc.Load.Value, it.Error)}
+		}
+		if it.Point == nil {
+			return got, &permanentError{fmt.Errorf("dispatch: %s: cell %d carries neither point nor error", addr, it.Index)}
+		}
+		if got[it.Index] {
+			continue
+		}
+		got[it.Index] = true
+		sc := r.scens[it.Index]
+		if r.d.cache != nil {
+			r.d.cache.Put(r.keys[it.Index], *it.Point)
+		}
+		r.d.cells.Add(1)
+		r.resc <- indexedRow{idx: it.Index, row: sweep.Row{Scenario: sc, Cell: *it.Point}}
+	}
+	if len(got) < want {
+		return got, fmt.Errorf("dispatch: %s: short stream: %d of %d cell(s)", addr, len(got), want)
+	}
+	return got, nil
+}
+
+// resolveCurves builds the grid's per-curve metadata in order of first
+// appearance through the fleet's /v1/curve, with the RemoteBackend's
+// shard rotation and retry behind it — the same values an in-process
+// run resolves from its analytic backend.
+func (d *Dispatcher) resolveCurves(ctx context.Context, scens []sweep.Scenario) ([]sweep.CurveInfo, error) {
+	seen := make(map[string]bool)
+	var out []sweep.CurveInfo
+	for _, sc := range scens {
+		key := sc.CurveKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cd, err := d.rb.Curve(ctx, sc)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: %s: %w", key, err)
+		}
+		out = append(out, sweep.CurveInfo{
+			Topology: sc.Topology, MsgFlits: sc.MsgFlits,
+			Policy: sc.Policy.String(), Variant: sc.Variant.Name,
+			Model: cd.Model, AvgDist: cd.AvgDist, SaturationLoad: cd.SaturationLoad,
+		})
+	}
+	return out, nil
+}
+
+// partition splits the cold grid indices into contiguous spans of at
+// most size cells each: consecutive indices group into runs (cache hits
+// punch holes in the grid), runs split at the size bound.
+func partition(cold []int, size int) []span {
+	var spans []span
+	for i := 0; i < len(cold); {
+		j := i
+		for j+1 < len(cold) && cold[j+1] == cold[j]+1 && j+1-i < size {
+			j++
+		}
+		spans = append(spans, span{cold[i], cold[j] + 1})
+		i = j + 1
+	}
+	return spans
+}
+
+// remainder returns the undelivered sub-spans of sp.
+func remainder(sp span, got map[int]bool) []span {
+	var out []span
+	start := -1
+	for i := sp.start; i < sp.end; i++ {
+		if got[i] {
+			if start >= 0 {
+				out = append(out, span{start, i})
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, span{start, sp.end})
+	}
+	return out
+}
+
+// emit sends pr unless ctx has ended; it reports whether the consumer is
+// still listening.
+func emit(ctx context.Context, out chan<- sweep.PointResult, pr sweep.PointResult) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	select {
+	case out <- pr:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sleep waits for d or until ctx ends, whichever comes first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

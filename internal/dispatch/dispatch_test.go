@@ -1,0 +1,461 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/serve"
+	"repro/internal/sweep"
+)
+
+// newFleet starts n sweep servers and returns their addresses plus the
+// test servers (for mid-run kills).
+func newFleet(t testing.TB, n int) ([]string, []*httptest.Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(serve.New(serve.WithCache(sweep.NewCache())))
+		t.Cleanup(srv.Close)
+		srvs[i] = srv
+		addrs[i] = srv.URL
+	}
+	return addrs, srvs
+}
+
+func newDispatcher(t testing.TB, addrs []string, opts ...Option) *Dispatcher {
+	t.Helper()
+	d, err := New(addrs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// localFigure3 computes the in-process figure3 reference once per test
+// binary; both parity tests diff against it.
+var (
+	figure3Once  sync.Once
+	figure3Local *sweep.Result
+	figure3Err   error
+)
+
+func localFigure3(t *testing.T) *sweep.Result {
+	t.Helper()
+	figure3Once.Do(func() {
+		var spec sweep.Spec
+		spec, figure3Err = sweep.Builtin("figure3")
+		if figure3Err != nil {
+			return
+		}
+		figure3Local, figure3Err = sweep.NewRunner().Run(context.Background(), spec)
+	})
+	if figure3Err != nil {
+		t.Fatal(figure3Err)
+	}
+	return figure3Local
+}
+
+// diffRows asserts the dispatched rows match the in-process reference:
+// models to 1e-9, simulator cells bit for bit.
+func diffRows(t *testing.T, local, got []sweep.Row) {
+	t.Helper()
+	if len(got) != len(local) {
+		t.Fatalf("row counts differ: dispatched %d, local %d", len(got), len(local))
+	}
+	for i := range local {
+		lr, rr := local[i], got[i]
+		if lr.Scenario.Key() != rr.Scenario.Key() {
+			t.Errorf("row %d answers a different scenario: %s vs %s", i, rr.Scenario.CurveKey(), lr.Scenario.CurveKey())
+		}
+		if math.Abs(lr.Model-rr.Model) > 1e-9 {
+			t.Errorf("row %d: model drifted through the dispatcher: %v vs %v", i, lr.Model, rr.Model)
+		}
+		if math.Float64bits(lr.Sim) != math.Float64bits(rr.Sim) ||
+			math.Float64bits(lr.SimCI) != math.Float64bits(rr.SimCI) {
+			t.Errorf("row %d: sim not bit-identical: %v±%v vs %v±%v", i, lr.Sim, lr.SimCI, rr.Sim, rr.SimCI)
+		}
+		if math.Float64bits(lr.LoadFlits) != math.Float64bits(rr.LoadFlits) ||
+			lr.ModelSaturated != rr.ModelSaturated || lr.SimSaturated != rr.SimSaturated {
+			t.Errorf("row %d: cell metadata drifted:\n  local      %+v\n  dispatched %+v", i, lr.Cell, rr.Cell)
+		}
+	}
+}
+
+// TestDispatchedFigure3MatchesInProcess is the subsystem's central pin:
+// the paper's Figure 3 grid scheduled across a 3-shard fleet matches the
+// in-process run — models to 1e-9, simulator cells bit for bit, curve
+// metadata included.
+func TestDispatchedFigure3MatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure3 grid in -short mode")
+	}
+	local := localFigure3(t)
+	addrs, _ := newFleet(t, 3)
+	d := newDispatcher(t, addrs, WithCache(sweep.NewCache()))
+
+	spec, err := sweep.Builtin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRows(t, local.Rows, res.Rows)
+	if len(res.Curves) != len(local.Curves) {
+		t.Fatalf("curve counts differ: dispatched %d, local %d", len(res.Curves), len(local.Curves))
+	}
+	for i := range local.Curves {
+		lc, rc := local.Curves[i], res.Curves[i]
+		if lc.Model != rc.Model || math.Float64bits(lc.SaturationLoad) != math.Float64bits(rc.SaturationLoad) ||
+			math.Float64bits(lc.AvgDist) != math.Float64bits(rc.AvgDist) {
+			t.Errorf("curve %d drifted: %+v vs %+v", i, lc, rc)
+		}
+	}
+	if st := d.Stats(); st.Cells != int64(len(res.Rows)) || st.Batches == 0 {
+		t.Errorf("stats do not account for the sweep: %+v", st)
+	}
+}
+
+// TestDispatchedFigure3SurvivesShardKill pins the failover guarantee: a
+// shard killed mid-sweep (its in-flight connections torn down, its port
+// then refusing) costs nothing but requeues — the merged result is still
+// identical to the in-process run.
+func TestDispatchedFigure3SurvivesShardKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure3 grid in -short mode")
+	}
+	local := localFigure3(t)
+	addrs, srvs := newFleet(t, 3)
+	d := newDispatcher(t, addrs,
+		WithBatch(2),
+		WithCache(sweep.NewCache()),
+		WithShardBackoff(5*time.Millisecond),
+		WithMaxShardFailures(2),
+	)
+
+	spec, err := sweep.Builtin("figure3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []sweep.Row
+	killed := false
+	for pr := range d.Stream(context.Background(), spec) {
+		if pr.Err != nil {
+			t.Fatal(pr.Err)
+		}
+		if pr.Row.Scenario.Index != len(rows) {
+			t.Fatalf("stream out of grid order: got index %d at position %d", pr.Row.Scenario.Index, len(rows))
+		}
+		rows = append(rows, pr.Row)
+		if !killed && len(rows) == 3 {
+			killed = true
+			srvs[2].CloseClientConnections()
+			srvs[2].Close()
+		}
+	}
+	diffRows(t, local.Rows, rows)
+	st := d.Stats()
+	if st.ShardFailures == 0 || st.EjectedShards != 1 {
+		t.Errorf("the killed shard left no trace in the stats: %+v", st)
+	}
+	if st.Requeues == 0 {
+		t.Errorf("no range was requeued after the kill: %+v", st)
+	}
+}
+
+// modelOnlySpec is a cheap grid needing no simulator.
+func modelOnlySpec() sweep.Spec {
+	return sweep.Spec{
+		Name:       "model-only",
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16, 64}}},
+		MsgFlits:   []int{4, 8},
+		Loads:      sweep.LoadSpec{Flits: []float64{0.005, 0.01, 0.02}},
+	}
+}
+
+// TestCacheAwareScheduling pins the cold-cells-only contract: a rerun
+// against a warm shared cache dispatches nothing and serves every cell
+// locally, flagged cached.
+func TestCacheAwareScheduling(t *testing.T) {
+	addrs, _ := newFleet(t, 2)
+	cache := sweep.NewCache()
+	d := newDispatcher(t, addrs, WithCache(cache))
+	spec := modelOnlySpec()
+
+	first, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheMisses != len(first.Rows) || first.CacheHits != 0 {
+		t.Fatalf("cold run miscounted: %d misses, %d hits", first.CacheMisses, first.CacheHits)
+	}
+	cells := d.Stats().Cells
+
+	second, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != len(second.Rows) || second.CacheMisses != 0 {
+		t.Errorf("warm run not served from cache: %d hits, %d misses", second.CacheHits, second.CacheMisses)
+	}
+	for i, row := range second.Rows {
+		if !row.Cached {
+			t.Errorf("warm row %d not flagged cached", i)
+		}
+	}
+	if got := d.Stats(); got.Cells != cells {
+		t.Errorf("warm run dispatched cells anyway: %d -> %d", cells, got.Cells)
+	}
+	if got := d.Stats(); got.CacheHits != int64(len(second.Rows)) {
+		t.Errorf("cache hits uncounted: %+v", got)
+	}
+}
+
+// TestStreamDeliversGridOrder pins the reorder buffer: dispatched cells
+// arrive on the stream in exact expansion order even though shards
+// complete them out of order.
+func TestStreamDeliversGridOrder(t *testing.T) {
+	addrs, _ := newFleet(t, 3)
+	d := newDispatcher(t, addrs, WithBatch(1)) // maximal interleaving
+	want := 0
+	for pr := range d.Stream(context.Background(), modelOnlySpec()) {
+		if pr.Err != nil {
+			t.Fatal(pr.Err)
+		}
+		if pr.Row.Scenario.Index != want {
+			t.Fatalf("position %d delivered index %d", want, pr.Row.Scenario.Index)
+		}
+		want++
+	}
+	if want != 12 {
+		t.Fatalf("streamed %d rows, want 12", want)
+	}
+}
+
+// streamErr drains a dispatched stream and returns its terminal error
+// (nil when the sweep completed).
+func streamErr(t *testing.T, d *Dispatcher, spec sweep.Spec) error {
+	t.Helper()
+	var last error
+	for pr := range d.Stream(context.Background(), spec) {
+		last = pr.Err
+	}
+	return last
+}
+
+// TestAllShardsDeadFailsTheSweep: with every shard ejected and cells
+// outstanding, the sweep reports a terminal error instead of hanging.
+// (Run would already fail in curve resolution; Stream exercises the
+// scheduler's own all-dead detection.)
+func TestAllShardsDeadFailsTheSweep(t *testing.T) {
+	d := newDispatcher(t, []string{"127.0.0.1:1"},
+		WithShardBackoff(time.Millisecond), WithMaxShardFailures(2))
+	err := streamErr(t, d, modelOnlySpec())
+	if err == nil || !strings.Contains(err.Error(), "ejected") {
+		t.Fatalf("want an all-shards-ejected error, got %v", err)
+	}
+	if st := d.Stats(); st.EjectedShards != 1 || st.ShardFailures < 2 {
+		t.Errorf("stats do not reflect the dead fleet: %+v", st)
+	}
+}
+
+// TestScenarioErrorFailsTheSweep: a per-cell verdict from a shard (an
+// unbuildable topology) is permanent — no amount of stealing retries it.
+func TestScenarioErrorFailsTheSweep(t *testing.T) {
+	addrs, _ := newFleet(t, 2)
+	d := newDispatcher(t, addrs, WithShardBackoff(time.Millisecond))
+	spec := modelOnlySpec()
+	spec.Topologies[0].Sizes = []int{16, 5} // 5 is not a power of four
+	err := streamErr(t, d, spec)
+	if err == nil || !strings.Contains(err.Error(), "scenario") {
+		t.Fatalf("want a scenario-level failure, got %v", err)
+	}
+}
+
+// tornShard answers /v1/sweep/part with one valid cell and then a torn
+// NDJSON line, whatever the requested range; every other path answers
+// 503 so clients fail over to the healthy shard.
+func tornShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep/part" {
+			http.Error(w, "torn shard", http.StatusServiceUnavailable)
+			return
+		}
+		var req struct {
+			Start int `json:"start"`
+			End   int `json:"end"`
+		}
+		// A deliberately hostile shard: it answers the first cell of the
+		// range with garbage-free JSON, then tears the line mid-float.
+		json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintf(w, "{\"index\":%d,\"point\":{\"load_flits\":0.005,\"model\":1", req.Start)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestTornStreamStolenByHealthyShard: a shard that tears its NDJSON
+// stream mid-line loses its range to the healthy shard; the sweep
+// completes with correct cells.
+func TestTornStreamStolenByHealthyShard(t *testing.T) {
+	healthyAddrs, _ := newFleet(t, 1)
+	torn := tornShard(t)
+	d := newDispatcher(t, []string{torn.URL, healthyAddrs[0]},
+		WithBatch(4), WithShardBackoff(time.Millisecond), WithMaxShardFailures(1))
+	res, err := d.Run(context.Background(), modelOnlySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range res.Rows {
+		if math.IsNaN(row.Model) || row.Model <= 0 {
+			t.Errorf("row %d carries no model value: %+v", i, row.Cell)
+		}
+	}
+	if st := d.Stats(); st.Requeues == 0 {
+		t.Errorf("the torn stream was never requeued: %+v", st)
+	}
+}
+
+// heartbeatShard answers /v1/sweep/part with keepalive lines woven
+// between dummy cells, covering whatever range is requested.
+func heartbeatShard(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/sweep/part" {
+			http.Error(w, "heartbeat shard", http.StatusServiceUnavailable)
+			return
+		}
+		var req struct {
+			Start int `json:"start"`
+			End   int `json:"end"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for i := req.Start; i < req.End; i++ {
+			enc.Encode(eval.BatchItem{Index: -1}) // heartbeat before every cell
+			pt := eval.NewPoint()
+			pt.LoadFlits, pt.Model = 0.005, float64(i+1)
+			enc.Encode(eval.BatchItem{Index: i, Point: &pt})
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestDispatcherSkipsHeartbeats: keepalive lines in a part stream are
+// transparent — every cell still arrives, nothing is requeued.
+func TestDispatcherSkipsHeartbeats(t *testing.T) {
+	shard := heartbeatShard(t)
+	d := newDispatcher(t, []string{shard.URL}, WithShardBackoff(time.Millisecond))
+	got := 0
+	for pr := range d.Stream(context.Background(), modelOnlySpec()) {
+		if pr.Err != nil {
+			t.Fatalf("heartbeats broke the sweep: %v", pr.Err)
+		}
+		if pr.Row.Model != float64(pr.Row.Scenario.Index+1) {
+			t.Errorf("cell %d mangled around heartbeats: %+v", pr.Row.Scenario.Index, pr.Row.Cell)
+		}
+		got++
+	}
+	if got != 12 {
+		t.Fatalf("streamed %d rows, want 12", got)
+	}
+	if st := d.Stats(); st.Requeues != 0 || st.ShardFailures != 0 {
+		t.Errorf("heartbeats counted as failures: %+v", st)
+	}
+}
+
+// TestDispatcherStreamCancellation: cancelling the consumer's context
+// closes the stream promptly without a terminal error element.
+func TestDispatcherStreamCancellation(t *testing.T) {
+	addrs, _ := newFleet(t, 2)
+	d := newDispatcher(t, addrs, WithBatch(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := 0
+	for pr := range d.Stream(ctx, modelOnlySpec()) {
+		if pr.Err != nil {
+			t.Fatalf("cancellation must close, not error: %v", pr.Err)
+		}
+		got++
+		if got == 2 {
+			cancel()
+		}
+	}
+	if got >= 12 {
+		t.Errorf("stream ran to completion despite cancellation")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		cold []int
+		size int
+		want []span
+	}{
+		{nil, 4, nil},
+		{[]int{0, 1, 2, 3, 4, 5}, 3, []span{{0, 3}, {3, 6}}},
+		{[]int{0, 1, 2, 3, 4}, 2, []span{{0, 2}, {2, 4}, {4, 5}}},
+		{[]int{0, 2, 3, 7}, 4, []span{{0, 1}, {2, 4}, {7, 8}}}, // cache holes split runs
+		{[]int{5}, 1, []span{{5, 6}}},
+	}
+	for _, c := range cases {
+		got := partition(c.cold, c.size)
+		if len(got) != len(c.want) {
+			t.Errorf("partition(%v, %d) = %v, want %v", c.cold, c.size, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("partition(%v, %d) = %v, want %v", c.cold, c.size, got, c.want)
+				break
+			}
+		}
+	}
+	for _, sp := range partition([]int{0, 1, 2, 3, 4, 5, 6}, 3) {
+		if sp.end-sp.start > 3 {
+			t.Errorf("span %v exceeds the size bound", sp)
+		}
+	}
+}
+
+func TestRemainder(t *testing.T) {
+	sp := span{10, 16}
+	got := map[int]bool{11: true, 12: true, 15: true}
+	rest := remainder(sp, got)
+	want := []span{{10, 11}, {13, 15}}
+	if len(rest) != len(want) {
+		t.Fatalf("remainder = %v, want %v", rest, want)
+	}
+	for i := range rest {
+		if rest[i] != want[i] {
+			t.Fatalf("remainder = %v, want %v", rest, want)
+		}
+	}
+	if r := remainder(span{0, 3}, map[int]bool{0: true, 1: true, 2: true}); len(r) != 0 {
+		t.Errorf("fully delivered span has remainder %v", r)
+	}
+	if r := remainder(span{0, 2}, nil); len(r) != 1 || r[0] != (span{0, 2}) {
+		t.Errorf("untouched span remainder = %v", r)
+	}
+}
+
+func TestNewRejectsEmptyFleet(t *testing.T) {
+	if _, err := New([]string{" ", ""}); err == nil {
+		t.Error("empty address list accepted")
+	}
+}

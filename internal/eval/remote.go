@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,30 @@ func NewRemoteBackend(addrs []string, opts ...RemoteOption) (*RemoteBackend, err
 		client:  &http.Client{Timeout: 30 * time.Second},
 		backoff: 100 * time.Millisecond,
 	}
+	b.addrs = normalizeAddrs(addrs)
+	if len(b.addrs) == 0 {
+		return nil, fmt.Errorf("eval: remote backend needs at least one server address")
+	}
+	b.tag = fleetTag(b.addrs)
+	for _, opt := range opts {
+		opt(b)
+	}
+	if b.retries <= 0 {
+		b.retries = 2 * len(b.addrs)
+		if b.retries < 3 {
+			b.retries = 3
+		}
+	}
+	return b, nil
+}
+
+// normalizeAddrs cleans a server address list: entries are trimmed,
+// given an http:// scheme when they carry none, stripped of trailing
+// slashes, and deduplicated; empties are dropped. Every fleet client
+// (RemoteBackend, BatchBackend, the dispatch coordinator) normalizes the
+// same way, so equal fleets compare equal.
+func normalizeAddrs(addrs []string) []string {
+	var out []string
 	seen := make(map[string]bool)
 	for _, a := range addrs {
 		a = strings.TrimSpace(a)
@@ -70,25 +95,21 @@ func NewRemoteBackend(addrs []string, opts ...RemoteOption) (*RemoteBackend, err
 		a = strings.TrimRight(a, "/")
 		if !seen[a] {
 			seen[a] = true
-			b.addrs = append(b.addrs, a)
+			out = append(out, a)
 		}
 	}
-	if len(b.addrs) == 0 {
-		return nil, fmt.Errorf("eval: remote backend needs at least one server address")
-	}
-	sorted := append([]string(nil), b.addrs...)
+	return out
+}
+
+// fleetTag is the cache salt shared by every client of one server fleet:
+// the sorted shard set. Cells are keyed by which servers computed them,
+// not by which transport fetched them, so a per-cell RemoteBackend, a
+// coalescing BatchBackend and the dispatch coordinator pointed at the
+// same fleet all warm each other's cache lines.
+func fleetTag(normalized []string) string {
+	sorted := append([]string(nil), normalized...)
 	sort.Strings(sorted)
-	b.tag = "remote(" + strings.Join(sorted, ",") + ")"
-	for _, opt := range opts {
-		opt(b)
-	}
-	if b.retries <= 0 {
-		b.retries = 2 * len(b.addrs)
-		if b.retries < 3 {
-			b.retries = 3
-		}
-	}
-	return b, nil
+	return "remote(" + strings.Join(sorted, ",") + ")"
 }
 
 // Name implements Evaluator.
@@ -125,23 +146,37 @@ func (b *RemoteBackend) Curve(ctx context.Context, sc Scenario) (CurveDesc, erro
 }
 
 // call POSTs the scenario to path on the next shard, decoding the JSON
-// response into out. Connection errors and 5xx responses rotate to the
-// next shard and retry with exponential backoff; any other non-200
-// response is a permanent error carrying the server's message.
+// response into out. Connection errors, 5xx responses and 429s rotate to
+// the next shard and retry with exponential backoff — stretched to the
+// server's Retry-After when one is sent — and the retry budget is capped
+// by the request context as well as the attempt count: a delay that
+// cannot complete before the context's deadline is not slept at all. Any
+// other non-200 response is a permanent error carrying the server's
+// message.
 func (b *RemoteBackend) call(ctx context.Context, path string, sc Scenario, out any) error {
 	body, err := json.Marshal(sc)
 	if err != nil {
 		return fmt.Errorf("eval: remote: encoding scenario: %w", err)
 	}
 	var lastErr error
+	var retryAfter time.Duration
 	for attempt := 0; attempt < b.retries; attempt++ {
 		if attempt > 0 {
-			if err := sleep(ctx, b.backoff<<(attempt-1)); err != nil {
+			delay := b.backoff << (attempt - 1)
+			if retryAfter > delay {
+				delay = retryAfter
+			}
+			if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) < delay {
+				return fmt.Errorf("eval: remote: giving up after %d attempt(s): next retry in %v outlives the context: %w",
+					attempt, delay, lastErr)
+			}
+			if err := sleep(ctx, delay); err != nil {
 				return err
 			}
 		}
 		addr := b.addrs[int(b.next.Add(1)-1)%len(b.addrs)]
-		retryable, err := b.post(ctx, addr+path, body, out)
+		var retryable bool
+		retryable, retryAfter, err = b.post(ctx, addr+path, body, out)
 		if err == nil {
 			return nil
 		}
@@ -157,27 +192,55 @@ func (b *RemoteBackend) call(ctx context.Context, path string, sc Scenario, out 
 		b.retries, len(b.addrs), lastErr)
 }
 
-// post performs one request; it reports whether a failure is retryable.
-func (b *RemoteBackend) post(ctx context.Context, url string, body []byte, out any) (retryable bool, err error) {
+// post performs one request; it reports whether a failure is retryable
+// and, for 429/503 responses, how long the server asked us to hold off.
+func (b *RemoteBackend) post(ctx context.Context, url string, body []byte, out any) (retryable bool, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return false, fmt.Errorf("eval: remote: %w", err)
+		return false, 0, fmt.Errorf("eval: remote: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return true, fmt.Errorf("eval: remote: %s: %w", url, err)
+		return true, 0, fmt.Errorf("eval: remote: %s: %w", url, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg := serverError(resp.Body)
 		err := fmt.Errorf("eval: remote: %s: %s%s", url, resp.Status, msg)
-		return resp.StatusCode >= 500, err
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		return retryable, parseRetryAfter(resp), err
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return true, fmt.Errorf("eval: remote: %s: decoding response: %w", url, err)
+		return true, 0, fmt.Errorf("eval: remote: %s: decoding response: %w", url, err)
 	}
-	return false, nil
+	return false, 0, nil
+}
+
+// parseRetryAfter extracts the Retry-After header of a 429 or 503
+// response, in either of its RFC 9110 forms (delay seconds or HTTP
+// date); anything else — other statuses, absent or malformed headers —
+// is a zero hold-off.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return 0
+	}
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(h); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // serverError extracts the {"error": …} message of an error response.

@@ -143,6 +143,81 @@ func TestRemoteBackendFailsOverToHealthyShard(t *testing.T) {
 	}
 }
 
+// TestRemoteBackend429IsRetried: a rate-limited shard is retried, and a
+// Retry-After of zero means an immediate next attempt.
+func TestRemoteBackend429IsRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		pt := NewPoint()
+		pt.LoadFlits, pt.Model = 0.01, 11
+		json.NewEncoder(w).Encode(pt)
+	}))
+	defer srv.Close()
+
+	rb := newRemote(t, []string{srv.URL}, WithRetry(3, time.Millisecond))
+	pt, err := rb.Evaluate(context.Background(), bftScenario(false))
+	if err != nil {
+		t.Fatalf("429 not retried: %v", err)
+	}
+	if pt.Model != 11 || hits.Load() != 2 {
+		t.Errorf("model=%v hits=%d, want 11/2", pt.Model, hits.Load())
+	}
+}
+
+// TestRemoteBackendHonoursRetryAfter: the server's Retry-After stretches
+// the backoff beyond the exponential schedule.
+func TestRemoteBackendHonoursRetryAfter(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		pt := NewPoint()
+		pt.LoadFlits, pt.Model = 0.01, 12
+		json.NewEncoder(w).Encode(pt)
+	}))
+	defer srv.Close()
+
+	rb := newRemote(t, []string{srv.URL}, WithRetry(3, time.Millisecond))
+	start := time.Now()
+	if _, err := rb.Evaluate(context.Background(), bftScenario(false)); err != nil {
+		t.Fatalf("503 with Retry-After not retried: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retried after %v, want >= the server's 1s Retry-After", elapsed)
+	}
+}
+
+// TestRemoteBackendRetryBudgetCappedByContext: a Retry-After the request
+// context cannot afford aborts the retry loop immediately instead of
+// sleeping into a guaranteed deadline miss.
+func TestRemoteBackendRetryBudgetCappedByContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	rb := newRemote(t, []string{srv.URL}, WithRetry(5, time.Millisecond))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := rb.Evaluate(ctx, bftScenario(false))
+	if err == nil || !strings.Contains(err.Error(), "outlives the context") {
+		t.Fatalf("want the early-abort error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("early abort took %v; it must not sleep out the Retry-After", elapsed)
+	}
+}
+
 func TestRemoteBackendExhaustsRetries(t *testing.T) {
 	rb := newRemote(t, []string{"http://127.0.0.1:1"}, WithRetry(2, time.Millisecond))
 	_, err := rb.Evaluate(context.Background(), bftScenario(false))

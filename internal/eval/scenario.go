@@ -40,9 +40,9 @@ type Topology struct {
 // String names the instance, e.g. "bft-1024" or "torus-4x3".
 func (t Topology) String() string {
 	if t.Family == FamilyTorus {
-		return fmt.Sprintf("torus-%dx%d", t.K, t.Size)
+		return "torus-" + strconv.Itoa(t.K) + "x" + strconv.Itoa(t.Size)
 	}
-	return fmt.Sprintf("%s-%d", t.Family, t.Size)
+	return t.Family + "-" + strconv.Itoa(t.Size)
 }
 
 // NewModel builds the analytical model for the instance with the given
@@ -172,9 +172,10 @@ func (s Scenario) Seed() uint64 {
 }
 
 // CurveKey identifies the curve (topology × message length × policy ×
-// variant) the scenario belongs to.
+// variant) the scenario belongs to. Like Key, it runs once per cell in
+// curve resolution, so it avoids fmt.
 func (s Scenario) CurveKey() string {
-	key := fmt.Sprintf("%s/s=%d/%s", s.Topology, s.MsgFlits, s.Policy)
+	key := s.Topology.String() + "/s=" + strconv.Itoa(s.MsgFlits) + "/" + s.Policy.String()
 	if s.Variant != (Variant{}) {
 		key += "/v=" + s.Variant.Name
 	}
@@ -184,21 +185,46 @@ func (s Scenario) CurveKey() string {
 // Key returns the scenario's cache key: a hash over every field that
 // influences its result (and nothing else — Index and the variant's
 // cosmetic name are excluded, so the same cell reached from different
-// specs hits the same cache line).
+// specs hits the same cache line). It sits on every hot path — grid
+// expansion dedup, runner cache lookups, the dispatch coordinator's
+// cache pass — so the preimage is assembled with strconv appends rather
+// than fmt (byte-identical to the historical fmt layout, preserving
+// persisted stores).
 func (s Scenario) Key() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "family=%s size=%d k=%d flits=%d policy=%s",
-		s.Topology.Family, s.Topology.Size, s.Topology.K, s.MsgFlits, s.Policy)
-	fmt.Fprintf(&b, " frac=%v load=%s", s.Load.Frac, strconv.FormatFloat(s.Load.Value, 'x', -1, 64))
+	b.Grow(128)
+	b.WriteString("family=")
+	b.WriteString(s.Topology.Family)
+	b.WriteString(" size=")
+	b.WriteString(strconv.Itoa(s.Topology.Size))
+	b.WriteString(" k=")
+	b.WriteString(strconv.Itoa(s.Topology.K))
+	b.WriteString(" flits=")
+	b.WriteString(strconv.Itoa(s.MsgFlits))
+	b.WriteString(" policy=")
+	b.WriteString(s.Policy.String())
+	b.WriteString(" frac=")
+	b.WriteString(strconv.FormatBool(s.Load.Frac))
+	b.WriteString(" load=")
+	b.WriteString(strconv.FormatFloat(s.Load.Value, 'x', -1, 64))
 	if !s.Variant.IsBase() {
-		fmt.Fprintf(&b, " variant=%v%v%v", s.Variant.NoBlockingCorrection,
-			s.Variant.SingleServerGroups, s.Variant.NoPairRateCorrection)
+		b.WriteString(" variant=")
+		b.WriteString(strconv.FormatBool(s.Variant.NoBlockingCorrection))
+		b.WriteString(strconv.FormatBool(s.Variant.SingleServerGroups))
+		b.WriteString(strconv.FormatBool(s.Variant.NoPairRateCorrection))
 	}
-	fmt.Fprintf(&b, " sim=%v", s.WithSim)
+	b.WriteString(" sim=")
+	b.WriteString(strconv.FormatBool(s.WithSim))
 	if s.WithSim {
-		fmt.Fprintf(&b, " warmup=%d measure=%d seed=%d", s.Budget.Warmup, s.Budget.Measure, s.Seed())
+		b.WriteString(" warmup=")
+		b.WriteString(strconv.Itoa(s.Budget.Warmup))
+		b.WriteString(" measure=")
+		b.WriteString(strconv.Itoa(s.Budget.Measure))
+		b.WriteString(" seed=")
+		b.WriteString(strconv.FormatUint(s.Seed(), 10))
 		if s.Budget.DrainLimit != 0 {
-			fmt.Fprintf(&b, " drain=%d", s.Budget.DrainLimit)
+			b.WriteString(" drain=")
+			b.WriteString(strconv.Itoa(s.Budget.DrainLimit))
 		}
 	}
 	sum := sha256.Sum256([]byte(b.String()))

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the observability surface of the sweep service: a
+// stdlib-only metrics registry rendered in the Prometheus text
+// exposition format on GET /metrics. Every registered endpoint gets a
+// request counter, an error counter (status >= 400) and a latency
+// histogram; the batched endpoints additionally count cells and streamed
+// rows, and a front-end running the dispatch coordinator contributes its
+// scheduler counters (see statsSource).
+
+// latencyBuckets are the histogram's cumulative upper bounds, in
+// seconds; +Inf is implicit.
+var latencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// endpointStats aggregates one endpoint's traffic. Guarded by the
+// registry's mutex.
+type endpointStats struct {
+	requests int64
+	errors   int64
+	buckets  []int64 // one per latencyBuckets entry; cumulative on render
+	sum      float64 // total latency, seconds
+}
+
+// metricsRegistry collects per-endpoint traffic statistics plus named
+// scalar counters (batch cells, streamed rows, …).
+type metricsRegistry struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	counters  map[string]int64
+}
+
+func newMetricsRegistry() *metricsRegistry {
+	return &metricsRegistry{
+		endpoints: make(map[string]*endpointStats),
+		counters:  make(map[string]int64),
+	}
+}
+
+// observe records one finished request.
+func (m *metricsRegistry) observe(path string, status int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ep := m.endpoints[path]
+	if ep == nil {
+		ep = &endpointStats{buckets: make([]int64, len(latencyBuckets))}
+		m.endpoints[path] = ep
+	}
+	ep.requests++
+	if status >= 400 {
+		ep.errors++
+	}
+	secs := elapsed.Seconds()
+	ep.sum += secs
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			ep.buckets[i]++
+			break
+		}
+	}
+}
+
+// add bumps a named scalar counter.
+func (m *metricsRegistry) add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// render writes the registry in the Prometheus text format, endpoints
+// and counters in sorted order so the output is deterministic.
+func (m *metricsRegistry) render(w *strings.Builder, extra map[string]int64) {
+	m.mu.Lock()
+	paths := make([]string, 0, len(m.endpoints))
+	for p := range m.endpoints {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	fmt.Fprintf(w, "# HELP sweep_http_requests_total Requests served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE sweep_http_requests_total counter\n")
+	for _, p := range paths {
+		fmt.Fprintf(w, "sweep_http_requests_total{path=%q} %d\n", p, m.endpoints[p].requests)
+	}
+	fmt.Fprintf(w, "# HELP sweep_http_errors_total Requests answered with status >= 400, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE sweep_http_errors_total counter\n")
+	for _, p := range paths {
+		fmt.Fprintf(w, "sweep_http_errors_total{path=%q} %d\n", p, m.endpoints[p].errors)
+	}
+	fmt.Fprintf(w, "# HELP sweep_http_request_duration_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE sweep_http_request_duration_seconds histogram\n")
+	for _, p := range paths {
+		ep := m.endpoints[p]
+		var cum int64
+		for i, ub := range latencyBuckets {
+			cum += ep.buckets[i]
+			fmt.Fprintf(w, "sweep_http_request_duration_seconds_bucket{path=%q,le=%q} %d\n",
+				p, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "sweep_http_request_duration_seconds_bucket{path=%q,le=\"+Inf\"} %d\n", p, ep.requests)
+		fmt.Fprintf(w, "sweep_http_request_duration_seconds_sum{path=%q} %g\n", p, ep.sum)
+		fmt.Fprintf(w, "sweep_http_request_duration_seconds_count{path=%q} %d\n", p, ep.requests)
+	}
+
+	names := make([]string, 0, len(m.counters)+len(extra))
+	merged := make(map[string]int64, len(m.counters)+len(extra))
+	for n, v := range m.counters {
+		merged[n] = v
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	for n, v := range extra {
+		if _, dup := merged[n]; !dup {
+			names = append(names, n)
+		}
+		merged[n] = v
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, merged[n])
+	}
+}
+
+// statusRecorder captures the status code a handler writes, delegating
+// Flush so streaming endpoints keep their per-row flush behaviour
+// through the instrumentation layer.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with per-endpoint accounting under the
+// given path label.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.metrics.observe(path, status, time.Since(start))
+	}
+}
+
+// statsSource is the optional counter surface of a sweeper: the dispatch
+// coordinator implements it, so a front-end server exports scheduler
+// counters (batches, requeues, ejections, …) alongside its own.
+type statsSource interface {
+	StatsMap() map[string]int64
+}
+
+// handleMetrics renders the registry in the Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var extra map[string]int64
+	if src, ok := s.sweeper.(statsSource); ok {
+		extra = make(map[string]int64)
+		for name, v := range src.StatsMap() {
+			extra["sweep_dispatch_"+name] = v
+		}
+	}
+	var b strings.Builder
+	s.metrics.render(&b, extra)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

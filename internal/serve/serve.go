@@ -3,16 +3,26 @@
 // optionally — a persistent result store, while thin clients submit work
 // over HTTP. It exposes:
 //
-//	POST /v1/sweep     full sweep.Spec in → NDJSON stream of rows out,
-//	                   one line per cell the moment it completes
-//	                   (sweep.Row wire format), flushed per cell; the
-//	                   request context cancels the sweep on disconnect
-//	POST /v1/eval      one eval.Scenario in → one eval.Point out; the
-//	                   endpoint behind eval.RemoteBackend
-//	POST /v1/curve     one eval.Scenario in → its eval.CurveDesc (model
-//	                   name, D̄, saturation anchor)
-//	GET  /v1/builtins  the built-in spec registry (name + description)
-//	GET  /healthz      liveness plus cache statistics
+//	POST /v1/sweep      full sweep.Spec in → NDJSON stream of rows out,
+//	                    one line per cell as it completes (sweep.Row
+//	                    wire format), flushed within flushTick of
+//	                    completion; the request context cancels the
+//	                    sweep on disconnect
+//	POST /v1/batch      JSON array of scenarios in → NDJSON BatchItem
+//	                    stream out (batched form of /v1/eval; see
+//	                    batch.go)
+//	POST /v1/sweep/part spec + grid index range in → that slice's cells
+//	                    out as NDJSON BatchItems; the shard re-derives
+//	                    the slice locally (dispatch coordinator protocol)
+//	POST /v1/eval       one eval.Scenario in → one eval.Point out; the
+//	                    endpoint behind eval.RemoteBackend
+//	POST /v1/curve      one eval.Scenario in → its eval.CurveDesc (model
+//	                    name, D̄, saturation anchor)
+//	GET  /v1/builtins   the built-in spec registry (name + description)
+//	GET  /healthz       liveness plus cache statistics
+//	GET  /metrics       Prometheus text metrics: per-endpoint request,
+//	                    error and latency histograms plus batch/dispatch
+//	                    counters (see metrics.go)
 //
 // A failing sweep delivers its error as the final NDJSON line,
 // {"error": …} — clients distinguish it from rows by the "error" key. The
@@ -28,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/eval"
@@ -40,15 +51,28 @@ type describer interface {
 	Curve(context.Context, eval.Scenario) (eval.CurveDesc, error)
 }
 
+// Sweeper executes full sweep specs for /v1/sweep: the local Runner by
+// default, or — on a front-end server built with WithSweeper — the
+// dispatch coordinator, which schedules the grid across a shard fleet
+// and merges the streams back (internal/dispatch implements it).
+type Sweeper interface {
+	Stream(ctx context.Context, spec sweep.Spec) <-chan sweep.PointResult
+}
+
 // Server handles the sweep-service HTTP API. Construct with New; it
 // implements http.Handler.
 type Server struct {
 	mux     *http.ServeMux
 	runner  *sweep.Runner
+	sweeper Sweeper
 	curves  describer
 	cache   sweep.CacheStore
 	workers int
 	started time.Time
+	metrics *metricsRegistry
+	// expansions memoizes grid expansions across a dispatched sweep's
+	// /v1/sweep/part range requests.
+	expansions expansions
 }
 
 // Option configures a Server.
@@ -65,13 +89,19 @@ func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
 // progress hooks); WithCache and WithWorkers are ignored when set.
 func WithRunner(r *sweep.Runner) Option { return func(s *Server) { s.runner = r } }
 
+// WithSweeper routes /v1/sweep through the given scheduler instead of
+// the local runner: a front-end sweepd built over the dispatch
+// coordinator accepts whole specs and fans them out to its shard fleet,
+// while /v1/eval, /v1/batch and /v1/sweep/part keep answering locally.
+func WithSweeper(sw Sweeper) Option { return func(s *Server) { s.sweeper = sw } }
+
 // New builds the server. Unless WithRunner overrides it, the runner
 // evaluates with one memoized AnalyticBackend plus the simulator
 // anchored on it — shared across requests, so models, saturation
 // searches and simulator networks are built once per server instance,
 // not once per request.
 func New(opts ...Option) *Server {
-	s := &Server{mux: http.NewServeMux(), started: time.Now()}
+	s := &Server{mux: http.NewServeMux(), started: time.Now(), metrics: newMetricsRegistry()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -96,12 +126,23 @@ func New(opts ...Option) *Server {
 	if s.curves == nil {
 		s.curves = eval.NewAnalyticBackend()
 	}
-	s.mux.HandleFunc("/v1/sweep", post(s.handleSweep))
-	s.mux.HandleFunc("/v1/eval", post(s.handleEval))
-	s.mux.HandleFunc("/v1/curve", post(s.handleCurve))
-	s.mux.HandleFunc("/v1/builtins", get(s.handleBuiltins))
-	s.mux.HandleFunc("/healthz", get(s.handleHealthz))
+	if s.sweeper == nil {
+		s.sweeper = s.runner
+	}
+	s.handle("/v1/sweep", post(s.handleSweep))
+	s.handle("/v1/batch", post(s.handleBatch))
+	s.handle("/v1/sweep/part", post(s.handlePart))
+	s.handle("/v1/eval", post(s.handleEval))
+	s.handle("/v1/curve", post(s.handleCurve))
+	s.handle("/v1/builtins", get(s.handleBuiltins))
+	s.handle("/healthz", get(s.handleHealthz))
+	s.handle("/metrics", get(s.handleMetrics))
 	return s
+}
+
+// handle registers a route with per-endpoint metrics instrumentation.
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(path, s.instrument(path, h))
 }
 
 // ServeHTTP implements http.Handler.
@@ -130,8 +171,11 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 // readBody reads a bounded request body.
-func readBody(r *http.Request) ([]byte, error) {
-	body := http.MaxBytesReader(nil, r.Body, 1<<20)
+func readBody(r *http.Request) ([]byte, error) { return readBodyN(r, 1<<20) }
+
+// readBodyN reads a request body bounded at n bytes.
+func readBodyN(r *http.Request, n int64) ([]byte, error) {
+	body := http.MaxBytesReader(nil, r.Body, n)
 	defer body.Close()
 	data, err := io.ReadAll(body)
 	if err != nil {
@@ -159,19 +203,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
 	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
 	enc := json.NewEncoder(w)
-	for pr := range s.runner.Stream(r.Context(), spec) {
+	var rows int64
+	dirty := false
+	defer func() { s.metrics.add("sweep_stream_rows_total", rows) }()
+	// Bounded-staleness flush (tickFlusher, shared with streamItems):
+	// rows reach the client within flushTick of completing; no
+	// heartbeats here — /v1/sweep consumers parse Row lines, not
+	// BatchItems.
+	if flusher != nil {
+		defer tickFlusher(flusher, &wmu, &dirty, nil)()
+	}
+	for pr := range s.sweeper.Stream(r.Context(), spec) {
+		wmu.Lock()
 		if pr.Err != nil {
 			// Headers are long gone; the error travels in-band as the
 			// final line, mirroring Stream's contract.
 			enc.Encode(map[string]string{"error": pr.Err.Error()})
+			wmu.Unlock()
 			return
 		}
-		if err := enc.Encode(pr.Row); err != nil {
-			return // client gone; request-ctx cancellation drains the pool
+		err := enc.Encode(pr.Row)
+		if err == nil {
+			rows++
+			dirty = true
 		}
-		if flusher != nil {
-			flusher.Flush()
+		wmu.Unlock()
+		if err != nil {
+			return // client gone; request-ctx cancellation drains the pool
 		}
 	}
 }

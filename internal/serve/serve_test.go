@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/sweep"
 )
@@ -335,6 +337,244 @@ func TestMethodGate(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/sweep: status %s", resp.Status)
+	}
+}
+
+// decodeItems reads a batched NDJSON response into items keyed by index.
+func decodeItems(t *testing.T, resp *http.Response) map[int]eval.BatchItem {
+	t.Helper()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	items := make(map[int]eval.BatchItem)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var it eval.BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &it); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		items[it.Index] = it
+	}
+	return items
+}
+
+// TestBatchEndpoint pins the /v1/batch framing: scenarios in as a JSON
+// array, one BatchItem per cell out, indexed by request position, with
+// values identical to /v1/eval's.
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, WithCache(sweep.NewCache()))
+	batch := `[{"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"value":0.01}},
+	           {"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"value":0.02}}]`
+	items := decodeItems(t, postJSON(t, srv.URL+"/v1/batch", batch))
+	if len(items) != 2 {
+		t.Fatalf("batch of 2 answered %d item(s)", len(items))
+	}
+	for i := 0; i < 2; i++ {
+		it, ok := items[i]
+		if !ok || it.Point == nil || it.Error != "" {
+			t.Fatalf("item %d missing or failed: %+v", i, it)
+		}
+	}
+	// The batched cell equals the per-cell endpoint's answer bit for bit.
+	resp := postJSON(t, srv.URL+"/v1/eval", `{"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"value":0.01}}`)
+	var single eval.Point
+	if err := json.NewDecoder(resp.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(items[0].Point.Model) != math.Float64bits(single.Model) {
+		t.Errorf("batched cell drifted from /v1/eval: %v vs %v", items[0].Point.Model, single.Model)
+	}
+}
+
+// TestBatchEndpointEmptyAndSingle pins the degenerate batches: an empty
+// array is a valid request with an empty stream, a single-cell batch
+// answers exactly one line.
+func TestBatchEndpointEmptyAndSingle(t *testing.T) {
+	srv := newTestServer(t)
+	if items := decodeItems(t, postJSON(t, srv.URL+"/v1/batch", `[]`)); len(items) != 0 {
+		t.Errorf("empty batch answered %d item(s)", len(items))
+	}
+	one := `[{"topology":{"family":"bft","size":16},"msg_flits":4,"load":{"value":0.01}}]`
+	items := decodeItems(t, postJSON(t, srv.URL+"/v1/batch", one))
+	if len(items) != 1 || items[0].Point == nil {
+		t.Fatalf("single-cell batch: %+v", items)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/batch", `{"not":"an array"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-array batch: status %s", resp.Status)
+	}
+}
+
+// TestBatchEndpointUnstablePoint pins the NaN/Inf → null rule through
+// the batched wire: a cell whose model saturates (+Inf) crosses as null
+// plus the saturation marker, never as a bare Inf token.
+func TestBatchEndpointUnstablePoint(t *testing.T) {
+	srv := newTestServer(t)
+	// A fractional load beyond saturation forces model = +Inf.
+	batch := `[{"topology":{"family":"bft","size":16},"msg_flits":4,"load":{"frac":true,"value":1.5}}]`
+	resp := postJSON(t, srv.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no line: %v", sc.Err())
+	}
+	line := sc.Text()
+	if strings.Contains(line, "Inf") || strings.Contains(line, "NaN") {
+		t.Fatalf("non-finite token leaked onto the wire: %s", line)
+	}
+	var it eval.BatchItem
+	if err := json.Unmarshal([]byte(line), &it); err != nil {
+		t.Fatal(err)
+	}
+	if it.Point == nil || !it.Point.ModelSaturated || !math.IsInf(it.Point.Model, 1) {
+		t.Errorf("saturated cell not recovered: %s -> %+v", line, it.Point)
+	}
+}
+
+// TestBatchEndpointPerItemError: one bad scenario inside a batch fails
+// as its own indexed item; the rest still answer.
+func TestBatchEndpointPerItemError(t *testing.T) {
+	srv := newTestServer(t)
+	batch := `[{"topology":{"family":"bft","size":64},"msg_flits":8,"load":{"value":0.01}},
+	           {"topology":{"family":"mesh","size":64},"msg_flits":8,"load":{"value":0.01}}]`
+	items := decodeItems(t, postJSON(t, srv.URL+"/v1/batch", batch))
+	if it := items[0]; it.Point == nil || it.Error != "" {
+		t.Errorf("healthy cell caught the neighbour's failure: %+v", it)
+	}
+	if it := items[1]; it.Error == "" || it.Point != nil {
+		t.Errorf("bad cell did not fail: %+v", it)
+	}
+}
+
+// TestPartEndpoint pins the grid-slice protocol: the shard re-expands
+// the spec locally and streams exactly [start, end) with grid indices,
+// values identical to a full in-process run.
+func TestPartEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	spec := modelOnlySpec()
+	local, err := sweep.NewRunner().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, _ := json.Marshal(spec)
+	body := `{"spec":` + string(specJSON) + `,"start":1,"end":3}`
+	items := decodeItems(t, postJSON(t, srv.URL+"/v1/sweep/part", body))
+	if len(items) != 2 {
+		t.Fatalf("part [1,3) answered %d item(s)", len(items))
+	}
+	for idx := 1; idx < 3; idx++ {
+		it, ok := items[idx]
+		if !ok || it.Point == nil {
+			t.Fatalf("grid index %d missing: %+v", idx, items)
+		}
+		if math.Float64bits(it.Point.Model) != math.Float64bits(local.Rows[idx].Model) {
+			t.Errorf("index %d drifted from in-process: %v vs %v", idx, it.Point.Model, local.Rows[idx].Model)
+		}
+	}
+}
+
+// TestPartEndpointRejectsBadRanges: ranges outside the expanded grid are
+// a client error, not a truncated stream.
+func TestPartEndpointRejectsBadRanges(t *testing.T) {
+	srv := newTestServer(t)
+	specJSON, _ := json.Marshal(modelOnlySpec())
+	for _, r := range []string{`"start":-1,"end":2`, `"start":2,"end":1`, `"start":0,"end":99`} {
+		body := `{"spec":` + string(specJSON) + `,` + r + `}`
+		if resp := postJSON(t, srv.URL+"/v1/sweep/part", body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("range %s: status %s", r, resp.Status)
+		}
+	}
+	if resp := postJSON(t, srv.URL+"/v1/sweep/part", `{"spec":{"topologies":[]},"start":0,"end":0}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: status %s", resp.Status)
+	}
+}
+
+// TestMetricsEndpoint pins the Prometheus text surface: per-endpoint
+// request/error counters, latency histograms, and the batch counters.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	postJSON(t, srv.URL+"/v1/eval", `{"topology":{"family":"bft","size":16},"msg_flits":4,"load":{"value":0.01}}`)
+	postJSON(t, srv.URL+"/v1/eval", `{"policy":"lifo"}`) // a 400
+	postJSON(t, srv.URL+"/v1/batch", `[]`)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type %q", ct)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	text := string(data)
+	for _, want := range []string{
+		`sweep_http_requests_total{path="/v1/eval"} 2`,
+		`sweep_http_errors_total{path="/v1/eval"} 1`,
+		`sweep_http_request_duration_seconds_bucket{path="/v1/eval",le="+Inf"} 2`,
+		`sweep_http_request_duration_seconds_count{path="/v1/eval"} 2`,
+		`sweep_batch_requests_total 1`,
+		`sweep_batch_cells_total 0`,
+		`# TYPE sweep_http_request_duration_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFrontEndSweeperFansOut: a server built with WithSweeper routes
+// /v1/sweep through the dispatch coordinator — whole specs in, shard
+// fleet behind — and the streamed rows match a local run; /metrics
+// exports the scheduler's counters.
+func TestFrontEndSweeperFansOut(t *testing.T) {
+	shardA := newTestServer(t)
+	shardB := newTestServer(t)
+	d, err := dispatch.New([]string{shardA.URL, shardB.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := newTestServer(t, WithSweeper(d))
+
+	spec := modelOnlySpec()
+	local, err := sweep.NewRunner().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(spec)
+	resp := postJSON(t, front.URL+"/v1/sweep", string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var rows []sweep.Row
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row sweep.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != len(local.Rows) {
+		t.Fatalf("front-end streamed %d rows, want %d", len(rows), len(local.Rows))
+	}
+	for i := range rows {
+		if math.Float64bits(rows[i].Model) != math.Float64bits(local.Rows[i].Model) {
+			t.Errorf("row %d drifted through the front end: %v vs %v", i, rows[i].Model, local.Rows[i].Model)
+		}
+	}
+
+	mresp, err := http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	data, _ := io.ReadAll(mresp.Body)
+	if !strings.Contains(string(data), "sweep_dispatch_cells_total") {
+		t.Errorf("front-end /metrics missing dispatcher counters:\n%s", data)
 	}
 }
 

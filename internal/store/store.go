@@ -288,6 +288,159 @@ func (s *Store) Compact() error {
 	return nil
 }
 
+// Prune bounds the store's on-disk footprint at maxBytes, evicting the
+// oldest records first. It reads every segment in replay order (each
+// key's size charged at its newest record — pruning always compacts
+// superseded duplicates away), then, while still over the bound, drops
+// live records oldest-write-first; survivors are folded into one fresh
+// segment and every older segment is removed. Evicted keys disappear
+// from the in-memory index too, so a pruned store keeps serving exactly
+// its surviving cells and recomputed ones are simply re-appended.
+//
+// Prune returns how many live cells were evicted (0 when the store
+// already fit, in which case the segments are left untouched). Like
+// Compact, it requires exclusive ownership of the directory: run it at
+// startup (`sweepd -cache-max-bytes`) or as offline maintenance, never
+// with another writer on the directory.
+func (s *Store) Prune(maxBytes int64) (evicted int, err error) {
+	if maxBytes <= 0 {
+		return 0, fmt.Errorf("store: prune bound must be positive, got %d", maxBytes)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.closeSegment(); err != nil {
+		return 0, err
+	}
+	segs, err := filepath.Glob(filepath.Join(s.dir, segPattern))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(segs)
+	var total int64
+	for _, path := range segs {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		total += fi.Size()
+	}
+	if total <= maxBytes {
+		return 0, nil
+	}
+
+	// Gather the newest record line of every live key, in write order
+	// (replay order; a rewritten key moves to its newest position).
+	type entry struct {
+		key  string
+		line []byte
+	}
+	var entries []entry
+	latest := make(map[string]int)
+	var liveBytes int64
+	for _, path := range segs {
+		f, err := os.Open(path)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		r := bufio.NewReaderSize(f, 64*1024)
+		for {
+			line, rerr := r.ReadBytes('\n')
+			if len(line) > 0 {
+				var rec record
+				if jerr := json.Unmarshal(line, &rec); jerr == nil && rec.Key != "" {
+					if line[len(line)-1] != '\n' {
+						line = append(line, '\n')
+					}
+					if i, dup := latest[rec.Key]; dup {
+						liveBytes -= int64(len(entries[i].line))
+						entries[i].line = nil
+					}
+					latest[rec.Key] = len(entries)
+					entries = append(entries, entry{key: rec.Key, line: line})
+					liveBytes += int64(len(line))
+				}
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				return 0, fmt.Errorf("store: reading %s: %w", path, rerr)
+			}
+		}
+		f.Close()
+	}
+
+	// Evict oldest-first until the live set fits.
+	for i := 0; liveBytes > maxBytes && i < len(entries); i++ {
+		if entries[i].line == nil {
+			continue
+		}
+		liveBytes -= int64(len(entries[i].line))
+		delete(s.index, entries[i].key)
+		entries[i].line = nil
+		evicted++
+	}
+
+	// Fold the survivors into one fresh segment, then drop every older
+	// one — the same crash-ordering Compact relies on: the new segment is
+	// synced before any deletion, and replay resolves a half-pruned
+	// directory (later records win, corrupt tails drop).
+	if err := s.openSegment(); err != nil {
+		return evicted, err
+	}
+	name := s.segName
+	w := bufio.NewWriter(s.seg)
+	for _, e := range entries {
+		if e.line == nil {
+			continue
+		}
+		if _, err := w.Write(e.line); err != nil {
+			s.closeSegment()
+			return evicted, fmt.Errorf("store: pruning: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		s.closeSegment()
+		return evicted, fmt.Errorf("store: pruning: %w", err)
+	}
+	if err := s.seg.Sync(); err != nil {
+		s.closeSegment()
+		return evicted, fmt.Errorf("store: pruning: %w", err)
+	}
+	if err := s.closeSegment(); err != nil {
+		return evicted, err
+	}
+	for _, path := range segs {
+		if path == name {
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			return evicted, fmt.Errorf("store: removing %s: %w", path, err)
+		}
+	}
+	return evicted, nil
+}
+
+// DiskBytes reports the total size of the store's segment files.
+func (s *Store) DiskBytes() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	segs, err := filepath.Glob(filepath.Join(s.dir, segPattern))
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var total int64
+	for _, path := range segs {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
 // closeSegment closes the active segment if open. Caller holds mu.
 func (s *Store) closeSegment() error {
 	if s.seg == nil {

@@ -2,6 +2,7 @@ package store
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -301,5 +302,129 @@ func TestRunnerServesFullGridFromStoreAfterRestart(t *testing.T) {
 			t.Errorf("row %d drifted across restart:\n  %+v\n  %+v",
 				i, res1.Rows[i].Cell, res2.Rows[i].Cell)
 		}
+	}
+}
+
+// TestPruneStaysWithinBoundsAndServesSurvivors pins the GC contract: a
+// pruned store's segments fit the byte bound, the oldest records are the
+// ones evicted, and every surviving key keeps serving — across a reopen
+// too.
+func TestPruneStaysWithinBoundsAndServesSurvivors(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	const n = 50
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		s.Put(keys[i], pt(float64(i)/100, float64(i), math.NaN()))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s = mustOpen(t, dir)
+	before, err := s.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := before / 2
+	evicted, err := s.Prune(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted == 0 {
+		t.Fatalf("halving the bound evicted nothing (disk %d, bound %d)", before, bound)
+	}
+	after, err := s.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > bound {
+		t.Fatalf("pruned store still over bound: %d > %d", after, bound)
+	}
+
+	// The oldest records went first: survivors are exactly a suffix.
+	for i, key := range keys {
+		got, ok := s.Get(key)
+		wantLive := i >= evicted
+		if ok != wantLive {
+			t.Errorf("key %s: live=%v, want %v (evicted %d oldest)", key, ok, wantLive, evicted)
+			continue
+		}
+		if ok && got.Model != float64(i) {
+			t.Errorf("key %s came back wrong: %+v", key, got)
+		}
+	}
+
+	// Survivors persist across a reopen; evicted keys stay gone.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir)
+	defer s.Close()
+	if s.Len() != n-evicted {
+		t.Errorf("reopened store has %d cells, want %d", s.Len(), n-evicted)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Error("evicted key resurrected on reopen")
+	}
+	if got, ok := s.Get(keys[n-1]); !ok || got.Model != float64(n-1) {
+		t.Errorf("newest key lost: %v %v", got, ok)
+	}
+}
+
+// TestPruneCompactsDuplicatesFirst: superseded records are reclaimed
+// before any live cell is evicted — a store whose live set fits needs no
+// eviction even when its segments are bloated with rewrites.
+func TestPruneCompactsDuplicatesFirst(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	// Rewrite the same 5 keys many times with distinct points so every
+	// Put appends.
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 5; i++ {
+			s.Put(fmt.Sprintf("k%d", i), pt(0.01, float64(round*10+i), math.NaN()))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir)
+	defer s.Close()
+	before, _ := s.DiskBytes()
+	evicted, err := s.Prune(before / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evicted != 0 {
+		t.Errorf("compaction alone should fit the bound, but %d cell(s) were evicted", evicted)
+	}
+	for i := 0; i < 5; i++ {
+		got, ok := s.Get(fmt.Sprintf("k%d", i))
+		if !ok || got.Model != float64(390+i) {
+			t.Errorf("k%d: want the newest rewrite, got %v %v", i, got, ok)
+		}
+	}
+}
+
+// TestPruneNoopUnderBound: a store already within bounds is untouched.
+func TestPruneNoopUnderBound(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	s.Put("k", pt(0.01, 1, math.NaN()))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s = mustOpen(t, dir)
+	defer s.Close()
+	evicted, err := s.Prune(1 << 30)
+	if err != nil || evicted != 0 {
+		t.Fatalf("prune under bound: evicted=%d err=%v", evicted, err)
+	}
+	if _, err := s.Prune(0); err == nil {
+		t.Error("non-positive bound accepted")
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Error("cell lost by a no-op prune")
 	}
 }

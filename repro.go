@@ -24,7 +24,12 @@
 //     (OpenStore), an HTTP serving front-end (ListenAndServe, cmd/sweepd)
 //     streaming NDJSON cells over Runner.Stream, and a RemoteBackend that
 //     fans grids out to a server fleet behind the same Evaluator
-//     interface (see docs/serve.md).
+//     interface (see docs/serve.md); and
+//   - a distributed sweep scheduler (NewDispatcher): grids partition
+//     into contiguous ranges dispatched across the fleet over a batched
+//     wire protocol (NewBatchBackend speaks it cell-wise), with
+//     cache-aware scheduling, work stealing and shard failover (see
+//     docs/dispatch.md).
 //
 // This facade re-exports the main entry points; the implementation lives
 // under internal/ (core, analytic, sim, topology, eval, sweep, …).
@@ -63,6 +68,7 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/serve"
@@ -143,6 +149,22 @@ type (
 	RemoteBackend = eval.RemoteBackend
 	// RemoteOption configures a RemoteBackend.
 	RemoteOption = eval.RemoteOption
+	// BatchBackend is the batched-transport Evaluator: concurrent
+	// Evaluate calls coalesce into one /v1/batch request per flush
+	// window, amortising the per-cell HTTP round trip (see
+	// docs/dispatch.md).
+	BatchBackend = eval.BatchBackend
+	// BatchOption configures a BatchBackend.
+	BatchOption = eval.BatchOption
+	// Dispatcher is the distributed sweep scheduler: grids partition
+	// into contiguous ranges dispatched across a sweepd fleet, with
+	// cache-aware scheduling, work stealing and shard failover (see
+	// docs/dispatch.md). It mirrors SweepRunner's Run/Stream API.
+	Dispatcher = dispatch.Dispatcher
+	// DispatchOption configures a Dispatcher.
+	DispatchOption = dispatch.Option
+	// DispatchStats is a snapshot of a Dispatcher's scheduling counters.
+	DispatchStats = dispatch.Stats
 	// ResultStore is the persistent, content-addressed sweep result
 	// store: NDJSON segments on disk, a SweepCacheStore to runners.
 	ResultStore = store.Store
@@ -258,6 +280,29 @@ func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
 func NewRemoteBackend(addrs []string, opts ...RemoteOption) (*RemoteBackend, error) {
 	return eval.NewRemoteBackend(addrs, opts...)
 }
+
+// NewBatchBackend returns an Evaluator speaking the batched wire
+// protocol to sweepd servers at the given addresses: concurrent
+// Evaluate calls coalesce into one request per flush window, and
+// explicit batches go through EvaluateBatch.
+func NewBatchBackend(addrs []string, opts ...BatchOption) (*BatchBackend, error) {
+	return eval.NewBatchBackend(addrs, opts...)
+}
+
+// NewDispatcher returns the distributed sweep scheduler over a sweepd
+// fleet: Run and Stream partition the grid into contiguous ranges,
+// dispatch each range whole (only cold cells, when a cache is attached
+// via dispatch.WithCache), steal work back from failed or slow shards,
+// and merge the streams in grid order. A 3-shard dispatched sweep is
+// cell-for-cell identical to an in-process run — shard deaths included.
+func NewDispatcher(addrs []string, opts ...DispatchOption) (*Dispatcher, error) {
+	return dispatch.New(addrs, opts...)
+}
+
+// ServeWithSweeper routes the service's /v1/sweep through the given
+// scheduler (normally a Dispatcher), turning the server into a fleet
+// front-end.
+func ServeWithSweeper(s serve.Sweeper) ServeOption { return serve.WithSweeper(s) }
 
 // ListenAndServe runs the sweep service (the library form of cmd/sweepd)
 // on addr until ctx is cancelled, then shuts down gracefully within

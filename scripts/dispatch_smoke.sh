@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# dispatch-smoke: end-to-end smoke of the distributed sweep scheduler.
+#
+#  1. Start three sweepd shards; run the paper's Figure 3 grid through
+#     the dispatcher (cmd/sweep -shards), killing one shard mid-sweep;
+#     diff the merged JSON against the in-process run — they must agree
+#     cell for cell (models, bit-identical sim values, curves).
+#  2. Benchmark the batched wire protocol against the per-cell
+#     RemoteBackend on the same model-only grid with identically warm
+#     shards, and emit BENCH_dispatch.json; the dispatcher must be at
+#     least 10x faster.
+#
+# CI runs this via `make dispatch-smoke`.
+set -eu
+
+BASE="${DISPATCH_SMOKE_PORT:-18770}"
+PORT1=$((BASE)); PORT2=$((BASE + 1)); PORT3=$((BASE + 2))
+SHARDS="127.0.0.1:$PORT1,127.0.0.1:$PORT2,127.0.0.1:$PORT3"
+WORK="$(mktemp -d)"
+D1=""; D2=""; D3=""
+trap 'kill $D1 $D2 $D3 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/sweepd" ./cmd/sweepd
+go build -o "$WORK/sweep" ./cmd/sweep
+
+wait_up() { # wait_up PORT
+    local i=0
+    until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "dispatch-smoke: sweepd did not come up on :$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+"$WORK/sweepd" -addr "127.0.0.1:$PORT1" & D1=$!
+"$WORK/sweepd" -addr "127.0.0.1:$PORT2" & D2=$!
+"$WORK/sweepd" -addr "127.0.0.1:$PORT3" & D3=$!
+wait_up "$PORT1"; wait_up "$PORT2"; wait_up "$PORT3"
+
+# --- 1. correctness: dispatched figure3 vs in-process, one shard killed ---
+
+"$WORK/sweep" -spec builtin:figure3 -quiet -json >"$WORK/local.json"
+
+"$WORK/sweep" -spec builtin:figure3 -quiet -json -shards "$SHARDS" \
+    >"$WORK/dispatched.json" &
+SPID=$!
+sleep 1
+kill "$D3" 2>/dev/null || true # one shard dies mid-sweep
+if wait "$SPID"; then :; else
+    echo "dispatch-smoke: dispatched sweep failed after shard kill" >&2
+    exit 1
+fi
+
+# The merged result must match the in-process run cell for cell; only
+# the wall clock may differ.
+if ! diff \
+    <(grep -v elapsed_ms "$WORK/local.json") \
+    <(grep -v elapsed_ms "$WORK/dispatched.json"); then
+    echo "dispatch-smoke: dispatched run diverged from in-process run" >&2
+    exit 1
+fi
+ROWS="$(grep -c '"seed"' "$WORK/local.json")"
+echo "dispatch-smoke: dispatched == in-process with one shard killed mid-sweep (figure3, $ROWS rows)"
+
+# Restore the killed shard for the benchmark.
+"$WORK/sweepd" -addr "127.0.0.1:$PORT3" & D3=$!
+wait_up "$PORT3"
+
+# --- 2. throughput: batched protocol vs per-cell RemoteBackend ---
+
+# A model-only grid sized so per-request overhead, not evaluation,
+# dominates: the quantity the batched protocol exists to amortise.
+cat >"$WORK/grid.json" <<'SPEC'
+{
+  "name": "dispatch-bench",
+  "topologies": [{"family": "bft", "sizes": [16, 64]}],
+  "msg_flits": [16],
+  "loads": {"points": 6000, "max_frac": 0.9}
+}
+SPEC
+
+# Warm every shard once (untimed), so every timed run below faces
+# identically warm servers and measures pure transport cost.
+"$WORK/sweep" -spec "$WORK/grid.json" -quiet -json -shards "$SHARDS" >/dev/null
+
+# Best of three per mode: the minimum is the noise-robust estimator of
+# how fast each transport can go on a shared CI box.
+best() { # best FLAG OUT — runs the grid 3x, keeps the fastest elapsed_ms
+    local flag="$1" out="$2" ms best=""
+    for _ in 1 2 3; do
+        "$WORK/sweep" -spec "$WORK/grid.json" -quiet -json "$flag" "$SHARDS" \
+            -bench-out "$out" >/dev/null
+        ms="$(sed -n 's/.*"elapsed_ms": \([0-9]*\).*/\1/p' "$out")"
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best="$ms"; fi
+    done
+    echo "$best"
+}
+
+DISPATCH_MS="$(best -shards "$WORK/bench_dispatch.json")"
+PERCELL_MS="$(best -addr "$WORK/bench_percell.json")"
+CELLS="$(sed -n 's/.*"cells": \([0-9]*\).*/\1/p' "$WORK/bench_dispatch.json")"
+
+awk -v cells="$CELLS" -v d="$DISPATCH_MS" -v p="$PERCELL_MS" 'BEGIN {
+    if (d < 1) d = 1
+    if (p < 1) p = 1
+    printf "{\n"
+    printf "  \"grid\": \"bft-16/64, s=16, 6000 loads per curve (model-only)\",\n"
+    printf "  \"cells\": %d,\n", cells
+    printf "  \"percell_elapsed_ms\": %d,\n", p
+    printf "  \"dispatch_elapsed_ms\": %d,\n", d
+    printf "  \"percell_points_per_sec\": %.1f,\n", cells * 1000 / p
+    printf "  \"dispatch_points_per_sec\": %.1f,\n", cells * 1000 / d
+    printf "  \"speedup\": %.2f\n", p / d
+    printf "}\n"
+}' >BENCH_dispatch.json
+
+SPEEDUP="$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' BENCH_dispatch.json)"
+echo "dispatch-smoke: $CELLS cells — per-cell ${PERCELL_MS}ms, dispatched ${DISPATCH_MS}ms (${SPEEDUP}x)"
+if ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 10) }'; then
+    echo "dispatch-smoke: batched throughput only ${SPEEDUP}x per-cell RemoteBackend (want >= 10x)" >&2
+    exit 1
+fi
+
+kill $D1 $D2 $D3 2>/dev/null || true
+wait $D1 $D2 $D3 2>/dev/null || true
