@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sweep serve-smoke dispatch-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sweep serve-smoke dispatch-smoke plan-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -39,6 +39,14 @@ serve-smoke:
 dispatch-smoke:
 	bash scripts/dispatch_smoke.sh
 	@cat BENCH_dispatch.json
+
+# Smoke-test the capacity planner: 2 sweepd shards, the CI-sized
+# builtin plan searched over the fleet, gated on a non-empty
+# sim-certified frontier matching the in-process run, emitting
+# BENCH_plan.json (candidates/sec, sim evals saved vs a grid).
+plan-smoke:
+	bash scripts/plan_smoke.sh
+	@cat BENCH_plan.json
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,335 @@
+// Command plan runs capacity-planner searches: a JSON plan spec (or a
+// built-in named question) describing a design space, an objective and
+// constraints is searched with the model-guided optimizer — coarse
+// analytic prune, per-candidate bisection on the load axis, Pareto
+// frontier over (cost, latency, sustainable load), simulator
+// certification of the frontier — and rendered as a table, JSON, or an
+// NDJSON update stream. See docs/plan.md.
+//
+// Usage:
+//
+//	plan -spec builtin:bft-capacity              # a built-in question
+//	plan -spec my-question.json -json            # custom spec, JSON out
+//	plan -spec builtin:bft-capacity -stream      # NDJSON updates
+//	plan -spec builtin:bft-capacity -timeout 60s # bounded wall clock
+//	plan -list                                   # show built-in plans
+//	plan -dumpspec builtin:cheapest-sla          # print a spec as JSON
+//	plan -spec builtin:bft-capacity -shards :8713,:8714
+//	                                             # search over a sweepd fleet
+//	plan -spec builtin:bft-capacity -addr :8713  # submit to a server's /v1/plan
+//	plan -spec builtin:bft-capacity -cache-dir d # persistent probe cache
+//
+// Progress streams to stderr; results go to stdout. With -shards the
+// search runs in this process but every evaluation executes on the
+// named sweepd fleet: the coarse grid is dispatched as contiguous
+// ranges (work stealing, shard failover) and the bisection probes
+// rotate per-cell with retry, all warming the fleet-tagged cache lines.
+// With -addr the whole search runs inside the named server (or
+// front-end) via POST /v1/plan and this process just consumes the
+// update stream — the thin-client form.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/dispatch"
+	"repro/internal/plan"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+func main() {
+	cliutil.Setup("plan")
+	var (
+		specRef  = flag.String("spec", "", "spec file path or builtin:<name>")
+		list     = flag.Bool("list", false, "list built-in plan specs and exit")
+		dump     = flag.String("dumpspec", "", "print the named spec (file path or builtin:<name>) as JSON and exit")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of a table")
+		stream   = flag.Bool("stream", false, "emit NDJSON: one update line per search event")
+		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = no deadline)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		addr     = flag.String("addr", "", "submit the plan to this sweepd server's /v1/plan (thin client)")
+		shards   = flag.String("shards", "", "execute the search over these sweepd shard(s), comma-separated")
+		cacheDir = flag.String("cache-dir", "", "persist the probe cache to this directory (empty = in-memory)")
+		benchOut = flag.String("bench-out", "", "write a candidates/sec benchmark summary JSON to this file")
+	)
+	flag.Parse()
+	if *addr != "" && *shards != "" {
+		log.Fatal("-addr and -shards are mutually exclusive: server-side search vs fleet-executed local search")
+	}
+
+	if *list {
+		for _, name := range plan.Builtins() {
+			s, _ := plan.Builtin(name)
+			fmt.Printf("%-20s %s\n", name, s.Description)
+		}
+		return
+	}
+	if *dump != "" {
+		spec, err := loadSpec(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cliutil.DumpJSON(spec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *specRef == "" {
+		log.Fatal("no -spec given (try -spec builtin:bft-capacity, or -list)")
+	}
+	spec, err := loadSpec(*specRef)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+
+	start := time.Now()
+	var res *plan.Result
+	if *addr != "" {
+		res, err = submit(ctx, *addr, spec, *stream, *quiet)
+	} else {
+		res, err = runLocal(ctx, spec, *shards, *cacheDir, *stream, *quiet)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, res, time.Since(start)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *stream {
+		return // updates already went to stdout
+	}
+	if *jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Print(res.Summary())
+	fmt.Print(res.Table().String())
+}
+
+// runLocal executes the search in this process, in-process or over a
+// shard fleet, consuming the update stream for progress/-stream.
+func runLocal(ctx context.Context, spec plan.Spec, shards, cacheDir string, stream, quiet bool) (*plan.Result, error) {
+	var cache sweep.CacheStore
+	if cacheDir != "" {
+		st, err := store.Open(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}()
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "plan: store: %d cell(s) recovered from %s\n", st.Recovered(), cacheDir)
+		}
+		cache = st
+	}
+
+	var planner *plan.Planner
+	if shards != "" {
+		addrs, err := cliutil.ParseStrings(shards)
+		if err != nil {
+			return nil, err
+		}
+		var dopts []dispatch.Option
+		if cache != nil {
+			dopts = append(dopts, dispatch.WithCache(cache))
+		}
+		engine, err := dispatch.New(addrs, dopts...)
+		if err != nil {
+			return nil, err
+		}
+		planner = plan.New(engine)
+	} else {
+		planner = plan.NewLocal(cache)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	var res *plan.Result
+	for u := range planner.Stream(ctx, spec) {
+		if u.Err != nil {
+			return nil, u.Err
+		}
+		if stream {
+			if err := enc.Encode(u); err != nil {
+				return nil, err
+			}
+		} else if !quiet {
+			progress(u)
+		}
+		if u.Phase == plan.PhaseDone {
+			res = u.Result
+		}
+	}
+	if res == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("plan: stream ended without a result")
+	}
+	return res, nil
+}
+
+// submit posts the spec to a server's /v1/plan and consumes the NDJSON
+// update stream.
+func submit(ctx context.Context, addr string, spec plan.Spec, stream, quiet bool) (*plan.Result, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/plan", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var payload struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&payload) == nil && payload.Error != "" {
+			return nil, fmt.Errorf("%s: %s", resp.Status, payload.Error)
+		}
+		return nil, fmt.Errorf("server returned %s", resp.Status)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	sc := bufio.NewScanner(resp.Body)
+	// The final done line carries the whole Result (every candidate),
+	// so the line cap must scale to large design spaces, not row size.
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	var res *plan.Result
+	for sc.Scan() {
+		var u plan.Update
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			return nil, fmt.Errorf("bad update line: %w", err)
+		}
+		if u.Err != nil {
+			return nil, u.Err
+		}
+		if stream {
+			if err := enc.Encode(u); err != nil {
+				return nil, err
+			}
+		} else if !quiet {
+			progress(u)
+		}
+		if u.Phase == plan.PhaseDone {
+			res = u.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("plan: server stream ended without a result")
+	}
+	return res, nil
+}
+
+// progress renders one update as a stderr progress line.
+func progress(u plan.Update) {
+	c := u.Candidate
+	switch u.Phase {
+	case plan.PhasePrune:
+		fmt.Fprintf(os.Stderr, "plan: prune   %-26s %s\n", c.Key(), c.PruneReason)
+	case plan.PhaseRefine:
+		fmt.Fprintf(os.Stderr, "plan: refine  %-26s max_load=%.6f (%d probes)\n", c.Key(), c.MaxLoad, c.Probes)
+	case plan.PhaseCertify:
+		verdict := "certified"
+		if !c.Certified {
+			verdict = "NOT certified"
+			if c.CertifyNote != "" {
+				verdict = c.CertifyNote
+			}
+		}
+		fmt.Fprintf(os.Stderr, "plan: certify %-26s sim=%.4f (%s)\n", c.Key(), c.Sim, verdict)
+	case plan.PhaseFrontier:
+		fmt.Fprintf(os.Stderr, "plan: frontier %-25s cost=%.0f latency=%.4f max_load=%.6f\n",
+			c.Key(), c.Cost, c.Latency, c.MaxLoad)
+	}
+}
+
+// writeBench records the planner's efficiency so CI can track it: how
+// fast candidates are resolved and how many simulator runs the
+// frontier-only certification saved against simulating every coarse
+// cell.
+func writeBench(path string, res *plan.Result, elapsed time.Duration) error {
+	s := res.Stats
+	summary := struct {
+		Name             string  `json:"name"`
+		Candidates       int     `json:"candidates"`
+		Frontier         int     `json:"frontier"`
+		Certified        int     `json:"certified"`
+		AnalyticEvals    int     `json:"analytic_evals"`
+		SimEvals         int     `json:"sim_evals"`
+		SimEvalsSaved    int     `json:"sim_evals_saved_vs_grid"`
+		ElapsedMS        int64   `json:"elapsed_ms"`
+		CandidatesPerSec float64 `json:"candidates_per_sec"`
+	}{
+		Name:          res.Spec.Name,
+		Candidates:    s.Candidates,
+		Frontier:      s.FrontierSize,
+		Certified:     s.Certified,
+		AnalyticEvals: s.AnalyticEvals(),
+		SimEvals:      s.SimEvals,
+		// A sweep answering the same question simulates every coarse
+		// cell; the planner simulates only the frontier.
+		SimEvalsSaved: s.CoarseCells - s.SimEvals,
+		ElapsedMS:     elapsed.Milliseconds(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		summary.CandidatesPerSec = float64(s.Candidates) / sec
+	}
+	data, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadSpec resolves a -spec argument: "builtin:<name>" or a JSON file
+// path.
+func loadSpec(ref string) (plan.Spec, error) {
+	if name, ok := strings.CutPrefix(ref, "builtin:"); ok {
+		return plan.Builtin(name)
+	}
+	data, err := os.ReadFile(ref)
+	if err != nil {
+		return plan.Spec{}, err
+	}
+	spec, err := plan.ParseSpec(data)
+	if err != nil {
+		return plan.Spec{}, fmt.Errorf("%s: %w", ref, err)
+	}
+	return spec, nil
+}

@@ -12,10 +12,13 @@
 //	sweepd -addr :9000 -workers 8           # custom port and pool bound
 //	sweepd -cache-dir /var/lib/sweepd       # persistent result store
 //	sweepd -cache-dir d -cache-max-bytes 64000000   # prune the store at startup
+//	sweepd -cache-dir d -cache-max-bytes 64000000 -prune-interval 10m
+//	                                        # …and keep it bounded while serving
 //	sweepd -compact -cache-dir d            # compact the store and exit
 //	sweepd -shards :8714,:8715,:8716        # front-end: dispatch sweeps
 //
 // Endpoints (see docs/serve.md): POST /v1/sweep (NDJSON stream),
+// POST /v1/plan (capacity-planner searches, see docs/plan.md),
 // POST /v1/batch and POST /v1/sweep/part (batched wire protocol),
 // POST /v1/eval, POST /v1/curve, GET /v1/builtins, GET /healthz,
 // GET /metrics (Prometheus text).
@@ -23,8 +26,10 @@
 // With -shards the daemon becomes a fleet front-end: POST /v1/sweep
 // requests are scheduled across the named downstream sweepd shards by
 // the dispatch coordinator (contiguous grid ranges out, merged NDJSON
-// back — see docs/dispatch.md; -batch bounds the range size), while the
-// other endpoints keep answering locally.
+// back — see docs/dispatch.md; -batch bounds the range size) and
+// POST /v1/plan searches run over the same fleet (coarse grids
+// dispatched, refinement probes rotated per-cell), while the other
+// endpoints keep answering locally.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new connections are
 // refused, in-flight streams get -grace to finish, then connections are
@@ -52,6 +57,7 @@ func main() {
 		addr      = flag.String("addr", ":8713", "listen address")
 		cacheDir  = flag.String("cache-dir", "", "persist results to this directory (empty = in-memory only)")
 		maxBytes  = flag.Int64("cache-max-bytes", 0, "prune -cache-dir to this many bytes at startup, oldest cells first (0 = unbounded)")
+		pruneTick = flag.Duration("prune-interval", 0, "also re-prune -cache-dir to -cache-max-bytes this often while serving (0 = startup only)")
 		workers   = flag.Int("workers", 0, "worker pool bound per sweep (0 = GOMAXPROCS)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful-shutdown window for in-flight requests")
 		compact   = flag.Bool("compact", false, "compact -cache-dir into one segment and exit")
@@ -76,8 +82,9 @@ func main() {
 		}
 		log.Printf("store: %d cell(s) recovered from %s", st.Recovered(), *cacheDir)
 		if *maxBytes > 0 {
-			// The daemon has not started serving yet, so it still owns the
-			// directory exclusively — the window Prune needs.
+			// Startup prune: the daemon owns the directory exclusively for
+			// its whole lifetime, so pruning here — and periodically below —
+			// is safe alongside its own serving traffic.
 			evicted, err := st.Prune(*maxBytes)
 			if err != nil {
 				log.Fatal(err)
@@ -85,6 +92,15 @@ func main() {
 			size, _ := st.DiskBytes()
 			log.Printf("store pruned to %d byte(s) (bound %d): %d cell(s) evicted, %d live",
 				size, *maxBytes, evicted, st.Len())
+			if *pruneTick > 0 {
+				stop := st.StartAutoPrune(*maxBytes, *pruneTick, func(err error) {
+					log.Printf("auto-prune: %v", err)
+				})
+				defer stop()
+				log.Printf("store auto-prune: every %s to %d byte(s)", *pruneTick, *maxBytes)
+			}
+		} else if *pruneTick > 0 {
+			log.Fatal("-prune-interval needs -cache-max-bytes")
 		}
 		if *compact {
 			if err := st.Compact(); err != nil {
@@ -98,6 +114,8 @@ func main() {
 		log.Fatal("-compact needs -cache-dir")
 	} else if *maxBytes > 0 {
 		log.Fatal("-cache-max-bytes needs -cache-dir")
+	} else if *pruneTick > 0 {
+		log.Fatal("-prune-interval needs -cache-dir")
 	}
 
 	opts := []serve.Option{serve.WithCache(cache), serve.WithWorkers(*workers)}
@@ -106,11 +124,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// One dispatcher backs both fronts — /v1/sweep via its Stream,
+		// /v1/plan via its Run/Evaluate engine surface (the server
+		// detects it): one shard-health and backoff state, one counter
+		// set, one cache salt.
 		d, err := dispatch.New(shards, dispatch.WithBatch(*batch), dispatch.WithCache(cache))
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("front-end: dispatching sweeps across %d shard(s)", len(d.Addrs()))
+		log.Printf("front-end: dispatching sweeps and plans across %d shard(s)", len(d.Addrs()))
 		opts = append(opts, serve.WithSweeper(d))
 	}
 

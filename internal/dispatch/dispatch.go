@@ -43,8 +43,10 @@ import (
 // Dispatcher schedules sweeps across a shard fleet. Construct with New;
 // it is safe for concurrent use and reusable across sweeps (statistics
 // accumulate over its lifetime). It satisfies the serving layer's
-// Sweeper contract and mirrors sweep.Runner's Run/Stream API, so it
-// drops in anywhere a Runner does.
+// Sweeper contract and mirrors sweep.Runner's Run/Stream/Evaluate API,
+// so it drops in anywhere a Runner does — including as the capacity
+// planner's engine (plan.Engine): Run carries the coarse grids,
+// Evaluate the per-cell probes, both on the fleet cache salt.
 type Dispatcher struct {
 	addrs    []string
 	salt     string
@@ -188,6 +190,34 @@ func (d *Dispatcher) spanSize(n int) int {
 		per = 1
 	}
 	return per
+}
+
+// Evaluate answers one scenario through the fleet: the shared cache
+// first (same salted lines the dispatched sweeps use), then the
+// per-cell client with its shard rotation and retry. It reports
+// whether the cell was served from cache, mirroring Runner.Evaluate —
+// together with Run this makes the Dispatcher a complete engine for
+// the capacity planner (plan.Engine): coarse grids dispatch as ranges,
+// off-grid bisection probes and certification simulations take this
+// path, and every cell warms the same store.
+func (d *Dispatcher) Evaluate(ctx context.Context, sc sweep.Scenario) (sweep.Cell, bool, error) {
+	var key string
+	if d.cache != nil {
+		key = d.salt + sc.Key()
+		if cell, ok := d.cache.Get(key); ok {
+			d.cacheHits.Add(1)
+			return cell, true, nil
+		}
+	}
+	pt, err := d.rb.Evaluate(ctx, sc)
+	if err != nil {
+		return eval.Point{}, false, err
+	}
+	if d.cache != nil {
+		d.cache.Put(key, pt)
+	}
+	d.cells.Add(1)
+	return pt, false, nil
 }
 
 // Run dispatches the spec across the fleet and returns the assembled

@@ -459,3 +459,51 @@ func TestNewRejectsEmptyFleet(t *testing.T) {
 		t.Error("empty address list accepted")
 	}
 }
+
+// TestDispatcherEvaluate covers the dispatcher's single-cell engine
+// surface (the capacity planner's probe path): off-grid scenarios
+// answer through the fleet and share the dispatched sweeps' cache
+// lines.
+func TestDispatcherEvaluate(t *testing.T) {
+	addrs, _ := newFleet(t, 2)
+	cache := sweep.NewCache()
+	d, err := New(addrs, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sweep.Spec{
+		Name:       "fleet-engine",
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{64}}},
+		MsgFlits:   []int{16},
+		Loads:      sweep.LoadSpec{Fracs: []float64{0.3, 0.6}},
+	}
+	res, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("fleet run returned %d rows", len(res.Rows))
+	}
+	// An off-grid probe — the planner's bisection shape — is a cache
+	// miss, computed remotely and written back.
+	sc := res.Rows[0].Scenario
+	sc.Load = sweep.Load{Value: res.Rows[0].LoadFlits * 1.01}
+	pt, cached, err := d.Evaluate(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("fresh probe reported cached")
+	}
+	if math.IsNaN(pt.Model) && !pt.ModelSaturated {
+		t.Errorf("probe returned no model value: %+v", pt)
+	}
+	if _, cached, _ := d.Evaluate(context.Background(), sc); !cached {
+		t.Error("repeated probe missed the shared cache")
+	}
+	// A grid cell evaluated per-cell hits the line the dispatched
+	// sweep already warmed: the two paths share one salt.
+	if _, cached, _ := d.Evaluate(context.Background(), res.Rows[1].Scenario); !cached {
+		t.Error("dispatched sweep's cell missed the cache via Evaluate")
+	}
+}

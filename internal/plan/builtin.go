@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sweep"
+)
+
+// builtins maps the named plan specs shipped with the planner. Each is
+// a plain Spec value — `cmd/plan -dumpspec builtin:<name>` prints the
+// JSON to use as a starting point for custom questions.
+var builtins = map[string]Spec{
+	// bft-capacity is the paper-scale design question: across the
+	// paper's machine sizes and message lengths, which fat-tree
+	// sustains the most load under a 60-cycle latency SLO, and at what
+	// hardware cost?
+	"bft-capacity": {
+		Name:        "bft-capacity",
+		Description: "Max sustainable load under a 60-cycle SLO: N=64/256/1024, s=16/32",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{64, 256, 1024}}},
+			MsgFlits:   []int{16, 32},
+		},
+		Objective:   ObjectiveMaxLoad,
+		Constraints: Constraints{MaxLatency: 60},
+	},
+	// bft-capacity-small is the same question at CI scale.
+	"bft-capacity-small": {
+		Name:        "bft-capacity-small",
+		Description: "CI-scale capacity question: N=16/64, s=8/16 under a 40-cycle SLO",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16, 64}}},
+			MsgFlits:   []int{8, 16},
+		},
+		Objective:   ObjectiveMaxLoad,
+		Constraints: Constraints{MaxLatency: 40},
+	},
+	// cheapest-sla inverts the question: the cheapest machine that
+	// sustains a required load inside a latency bound.
+	"cheapest-sla": {
+		Name:        "cheapest-sla",
+		Description: "Cheapest fat-tree sustaining 0.05 flits/cyc/PE under 50 cycles",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{64, 256, 1024}}},
+			MsgFlits:   []int{16},
+		},
+		Objective:   ObjectiveMinCost,
+		Constraints: Constraints{MinLoad: 0.05, MaxLatency: 50},
+	},
+	// families-frontier compares topology families model-only (the
+	// torus has no simulator): lowest latency at a common required
+	// load, with stability headroom.
+	"families-frontier": {
+		Name:        "families-frontier",
+		Description: "Cross-family latency frontier at 0.02 flits/cyc/PE (model-only)",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{
+				{Family: sweep.FamilyBFT, Sizes: []int{64, 256, 1024}},
+				{Family: sweep.FamilyHypercube, Sizes: []int{6, 8, 10}},
+				{Family: sweep.FamilyTorus, Sizes: []int{3, 4, 5}, K: 4},
+			},
+			MsgFlits: []int{16},
+		},
+		Objective:   ObjectiveMinLatency,
+		Constraints: Constraints{MinLoad: 0.02, MaxUtilization: 0.9},
+		SkipCertify: true,
+	},
+}
+
+// Builtins lists the built-in plan spec names, sorted.
+func Builtins() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin returns the named built-in plan spec as a deep copy: callers
+// may tweak its slices without corrupting the registry.
+func Builtin(name string) (Spec, error) {
+	s, ok := builtins[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("plan: unknown builtin spec %q (have %v)", name, Builtins())
+	}
+	s.Space.Topologies = append([]sweep.TopologySpec(nil), s.Space.Topologies...)
+	for i := range s.Space.Topologies {
+		s.Space.Topologies[i].Sizes = append([]int(nil), s.Space.Topologies[i].Sizes...)
+	}
+	s.Space.MsgFlits = append([]int(nil), s.Space.MsgFlits...)
+	s.Space.Policies = append([]string(nil), s.Space.Policies...)
+	s.Search.PruneFracs = append([]float64(nil), s.Search.PruneFracs...)
+	return s, nil
+}

@@ -1,0 +1,157 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/topology"
+)
+
+// CostModel maps a candidate's topology instance (and message length,
+// for models that care) to a scalar cost. Implementations must be safe
+// for concurrent use.
+type CostModel interface {
+	// Name is the spec-facing identifier, e.g. "ports".
+	Name() string
+	// Cost returns the raw (unweighted) cost of the instance.
+	Cost(topo eval.Topology, msgFlits int) (float64, error)
+}
+
+var (
+	costMu     sync.Mutex
+	costModels = map[string]CostModel{}
+)
+
+// RegisterCostModel adds a cost model to the registry, making it
+// addressable from specs by name. Registering a duplicate name is an
+// error (the builtins cannot be shadowed).
+func RegisterCostModel(m CostModel) error {
+	costMu.Lock()
+	defer costMu.Unlock()
+	if m == nil || m.Name() == "" {
+		return fmt.Errorf("plan: cost model must have a name")
+	}
+	if _, dup := costModels[m.Name()]; dup {
+		return fmt.Errorf("plan: cost model %q already registered", m.Name())
+	}
+	costModels[m.Name()] = m
+	return nil
+}
+
+// CostModels lists the registered cost model names, sorted.
+func CostModels() []string {
+	costMu.Lock()
+	defer costMu.Unlock()
+	names := make([]string, 0, len(costModels))
+	for n := range costModels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// costModel resolves a spec's cost model name.
+func costModel(name string) (CostModel, error) {
+	costMu.Lock()
+	defer costMu.Unlock()
+	m, ok := costModels[name]
+	if !ok {
+		names := make([]string, 0, len(costModels))
+		for n := range costModels {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("plan: unknown cost model %q (have %v)", name, names)
+	}
+	return m, nil
+}
+
+// cost applies the spec's weighting to the selected model.
+func (s Spec) cost(topo eval.Topology, msgFlits int) (float64, error) {
+	d := s.withDefaults()
+	m, err := costModel(d.Cost.Model)
+	if err != nil {
+		return math.NaN(), err
+	}
+	raw, err := m.Cost(topo, msgFlits)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return d.Cost.Fixed + d.Cost.Weight*raw, nil
+}
+
+// portCost is the default hardware-cost proxy: the total number of
+// directed unit-bandwidth channels of the instance — router ports plus
+// processor injection/ejection ports. For families with a constructed
+// simulator topology the count is read off the built network (memoized;
+// building is cheap relative to any evaluation); the torus, which has
+// no simulator topology, uses its closed form: k^n routers with n
+// outgoing inter-router links plus an injection and an ejection channel
+// each.
+type portCost struct {
+	mu    sync.Mutex
+	memo  map[eval.Topology]float64
+	build func(eval.Topology) (topology.Network, error)
+}
+
+func newPortCost() *portCost {
+	return &portCost{
+		memo:  make(map[eval.Topology]float64),
+		build: func(t eval.Topology) (topology.Network, error) { return t.NewNetwork() },
+	}
+}
+
+func (p *portCost) Name() string { return "ports" }
+
+func (p *portCost) Cost(topo eval.Topology, msgFlits int) (float64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.memo[topo]; ok {
+		return c, nil
+	}
+	var c float64
+	if topo.Family == eval.FamilyTorus {
+		// k^n routers × (n links + injection + ejection).
+		routers := math.Pow(float64(topo.K), float64(topo.Size))
+		c = routers * float64(topo.Size+2)
+	} else {
+		net, err := p.build(topo)
+		if err != nil {
+			return math.NaN(), fmt.Errorf("plan: cost of %s: %w", topo, err)
+		}
+		c = float64(net.NumChannels())
+	}
+	p.memo[topo] = c
+	return c, nil
+}
+
+// processorCost counts processors: the cost proxy for "how much machine
+// am I buying" questions where the interconnect is not the budget item.
+type processorCost struct{}
+
+func (processorCost) Name() string { return "processors" }
+
+func (processorCost) Cost(topo eval.Topology, msgFlits int) (float64, error) {
+	switch topo.Family {
+	case eval.FamilyBFT:
+		return float64(topo.Size), nil
+	case eval.FamilyHypercube:
+		return math.Pow(2, float64(topo.Size)), nil
+	case eval.FamilyTorus:
+		return math.Pow(float64(topo.K), float64(topo.Size)), nil
+	default:
+		return math.NaN(), fmt.Errorf("plan: unknown family %q", topo.Family)
+	}
+}
+
+func init() {
+	if err := RegisterCostModel(newPortCost()); err != nil {
+		panic(err)
+	}
+	if err := RegisterCostModel(processorCost{}); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,638 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/sim"
+	"repro/internal/solve"
+	"repro/internal/sweep"
+)
+
+// Engine is what the planner needs from the Evaluator spine: spec-level
+// execution for the coarse prune grid and scenario-level evaluation for
+// the bisection probes and sim certification. sweep.Runner satisfies it
+// directly (in-process, per-cell remote or batched backends), and so
+// does dispatch.Dispatcher — the distributed form over a sweepd fleet:
+// grids dispatch as contiguous ranges, probes rotate per-cell with
+// retry, one shared cache salt, so every search warms the fleet's
+// store.
+type Engine interface {
+	// Run executes a full sweep spec (the coarse prune grid).
+	Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, error)
+	// Evaluate answers one scenario — the planner's off-grid probes.
+	// The bool reports a cache hit.
+	Evaluate(ctx context.Context, sc eval.Scenario) (eval.Point, bool, error)
+}
+
+// Planner runs plan specs against an Engine. Construct with New; safe
+// for concurrent use (per-run state lives on the stack).
+type Planner struct {
+	engine   Engine
+	progress func(Update)
+}
+
+// Option configures a Planner.
+type Option func(*Planner)
+
+// WithProgress attaches a per-update callback (called from a single
+// goroutine, in emission order). Stream supersedes it for consumers
+// that want a channel.
+func WithProgress(f func(Update)) Option { return func(p *Planner) { p.progress = f } }
+
+// New builds a Planner over the given engine.
+func New(engine Engine, opts ...Option) *Planner {
+	p := &Planner{engine: engine}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// NewLocal builds an in-process planner: a sweep.Runner with the
+// memoized analytic backend, the simulator anchored on it, and the
+// given cache (nil for none).
+func NewLocal(cache sweep.CacheStore, opts ...Option) *Planner {
+	ab := eval.NewAnalyticBackend()
+	r := sweep.NewRunner(
+		sweep.WithBackends(ab, eval.NewSimBackend(ab)),
+		sweep.WithCache(cache),
+	)
+	return New(r, opts...)
+}
+
+// Run executes the plan and returns the assembled result.
+func (p *Planner) Run(ctx context.Context, spec Spec) (*Result, error) {
+	return p.run(ctx, spec, p.progress)
+}
+
+// Stream executes the plan and delivers progress updates on the
+// returned channel: candidates as they are pruned, refined and
+// certified, then the frontier records in rank order, then one done
+// update carrying the whole Result. The channel closes when the plan
+// finishes or fails — a failure arrives as the final update with Err
+// set — while a cancelled context just closes the channel promptly
+// (the consumer's own ctx is the signal), leaving no goroutine behind.
+func (p *Planner) Stream(ctx context.Context, spec Spec) <-chan Update {
+	out := make(chan Update)
+	go func() {
+		defer close(out)
+		emit := func(u Update) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			select {
+			case out <- u:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		res, err := p.run(ctx, spec, p.progress, emit)
+		switch {
+		case err != nil:
+			if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+				emit(Update{Err: err})
+			}
+		case res != nil:
+			emit(Update{Phase: PhaseDone, Result: res})
+		}
+	}()
+	return out
+}
+
+// errAbandoned marks a consumer that stopped listening; it is
+// internal — run converts it to a silent stop.
+var errAbandoned = errors.New("plan: consumer gone")
+
+// run is the search: coarse prune grid, per-candidate bisection,
+// Pareto extraction, sim certification. progress (nillable) and emits
+// (each nillable) both observe updates; emits aborting the run by
+// returning false.
+func (p *Planner) run(ctx context.Context, spec Spec, progress func(Update), emits ...func(Update) bool) (*Result, error) {
+	start := time.Now()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	d := spec.withDefaults()
+	notify := func(u Update) error {
+		if progress != nil {
+			progress(u)
+		}
+		for _, emit := range emits {
+			if emit != nil && !emit(u) {
+				return errAbandoned
+			}
+		}
+		return nil
+	}
+
+	res := &Result{Spec: d}
+
+	// Phase 1 — coarse analytic grid: the whole discrete space at the
+	// prune fractions, executed through the engine (sharded across the
+	// fleet under a dispatcher), pruning infeasible candidates and
+	// bracketing the knee of the survivors.
+	grid, err := p.engine.Run(ctx, d.pruneSpec())
+	if err != nil {
+		return nil, fmt.Errorf("plan: coarse grid: %w", err)
+	}
+	res.Stats.CoarseCells = len(grid.Rows)
+	res.Stats.CoarseCacheHits = grid.CacheHits
+
+	cands, err := p.seed(d, grid)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Candidates = len(cands)
+	for i := range cands {
+		if cands[i].c.Pruned {
+			res.Stats.Pruned++
+			if err := notify(Update{Phase: PhasePrune, Candidate: snapshot(cands[i].c)}); err != nil {
+				return nil, abandonErr(ctx)
+			}
+		}
+	}
+
+	// Phase 2 — refinement: bisection on the load axis per surviving
+	// candidate, bounded-parallel (each candidate's probes are
+	// sequential; the fleet parallelism comes from refining many
+	// candidates at once).
+	if err := p.refine(ctx, d, cands, res, notify); err != nil {
+		if errors.Is(err, errAbandoned) {
+			return nil, abandonErr(ctx)
+		}
+		return nil, err
+	}
+
+	// Phase 3 — Pareto frontier over (cost, latency, sustainable load).
+	frontier := pareto(cands)
+	rank(d.Objective, frontier)
+	for _, e := range frontier {
+		e.c.Frontier = true
+	}
+	res.Stats.Refined = res.Stats.Candidates - res.Stats.Pruned
+	res.Stats.FrontierSize = len(frontier)
+
+	// Phase 4 — certification: the simulator re-evaluates only the
+	// frontier candidates at their operating points.
+	if !d.SkipCertify {
+		if err := p.certify(ctx, d, frontier, res, notify); err != nil {
+			if errors.Is(err, errAbandoned) {
+				return nil, abandonErr(ctx)
+			}
+			return nil, err
+		}
+	}
+
+	for _, e := range frontier {
+		res.Frontier = append(res.Frontier, *e.c)
+		if err := notify(Update{Phase: PhaseFrontier, Candidate: snapshot(e.c)}); err != nil {
+			return nil, abandonErr(ctx)
+		}
+	}
+	for i := range cands {
+		res.Candidates = append(res.Candidates, *cands[i].c)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// abandonErr maps an abandoned stream to the context's error (the
+// consumer cancelling is the normal way to get here).
+func abandonErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+// snapshot copies a candidate for an update, so later phases do not
+// mutate what the consumer already received.
+func snapshot(c *Candidate) *Candidate {
+	cp := *c
+	return &cp
+}
+
+// candidate is the planner's working state for one design point.
+type candidate struct {
+	c      *Candidate
+	policy sim.UpLinkPolicy
+	// loBracket is the largest coarse load known feasible, hiBracket the
+	// smallest known infeasible (NaN when every probe was feasible and
+	// the knee must be grown towards).
+	loBracket, hiBracket float64
+}
+
+// seed builds the candidate list from the coarse grid: cost, saturation
+// anchor, feasibility bracket, prune verdicts.
+func (p *Planner) seed(d Spec, grid *sweep.Result) ([]candidate, error) {
+	slo := d.Constraints.MaxLatency
+	feasibleRow := func(r sweep.Row) bool {
+		return !r.ModelSaturated && !math.IsNaN(r.Model) && (slo <= 0 || r.Model <= slo)
+	}
+	nan := math.NaN()
+	var cands []candidate
+	for _, ci := range grid.Curves {
+		pol, err := sim.ParsePolicy(ci.Policy)
+		if err != nil {
+			return nil, err
+		}
+		c := &Candidate{
+			Topology:       ci.Topology,
+			MsgFlits:       ci.MsgFlits,
+			Policy:         ci.Policy,
+			SaturationLoad: ci.SaturationLoad,
+			MaxLoad:        nan,
+			OperatingLoad:  nan,
+			Latency:        nan,
+			Sim:            nan,
+			SimCI:          nan,
+		}
+		cost, err := d.cost(c.Topology, c.MsgFlits)
+		if err != nil {
+			return nil, err
+		}
+		c.Cost = cost
+		entry := candidate{c: c, policy: pol, loBracket: nan, hiBracket: nan}
+
+		// Candidate.Key deliberately matches sweep's curve key format, so
+		// it addresses the candidate's coarse rows directly.
+		rows := grid.CurvePoints(c.Key())
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("plan: no coarse rows for candidate %s", c.Key())
+		}
+		// Feasibility is monotone in load (latency only grows), so the
+		// rows split into a feasible prefix and an infeasible suffix.
+		first := len(rows)
+		for i, r := range rows {
+			if !feasibleRow(r) {
+				first = i
+				break
+			}
+		}
+		switch {
+		case d.Constraints.MaxCost > 0 && c.Cost > d.Constraints.MaxCost:
+			prune(c, fmt.Sprintf("cost %.4g exceeds max_cost %.4g", c.Cost, d.Constraints.MaxCost))
+		case first == 0:
+			prune(c, fmt.Sprintf("infeasible at the lowest probe load (%.6g flits/cyc/PE)", rows[0].LoadFlits))
+		default:
+			entry.loBracket = rows[first-1].LoadFlits
+			if first < len(rows) {
+				entry.hiBracket = rows[first].LoadFlits
+			}
+		}
+		cands = append(cands, entry)
+	}
+	return cands, nil
+}
+
+func prune(c *Candidate, reason string) {
+	c.Pruned = true
+	c.PruneReason = reason
+}
+
+// refine locates every surviving candidate's knee: the largest load
+// satisfying the constraints, bisected to the spec's tolerance with
+// internal/solve, probing the Engine off the fixed grid. Candidates
+// refine in parallel (Search.Workers, default GOMAXPROCS); completion
+// updates are emitted from this goroutine in completion order.
+func (p *Planner) refine(ctx context.Context, d Spec, cands []candidate, res *Result, notify func(Update) error) error {
+	var live []*candidate
+	for i := range cands {
+		if !cands[i].c.Pruned {
+			live = append(live, &cands[i])
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	workers := d.Search.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type doneMsg struct {
+		e   *candidate
+		err error
+	}
+	// jobs is pre-filled and buffered: every live candidate produces
+	// exactly one done message even when the run is cancelled midway
+	// (cancelled refinements return promptly), so the collection loop
+	// below never blocks on a job that was abandoned unscheduled.
+	jobs := make(chan *candidate, len(live))
+	for _, e := range live {
+		jobs <- e
+	}
+	close(jobs)
+	done := make(chan doneMsg, len(live))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range jobs {
+				done <- doneMsg{e, p.refineOne(runCtx, d, e)}
+			}
+		}()
+	}
+
+	var firstErr error
+	for range live {
+		msg := <-done
+		if msg.err != nil {
+			if firstErr == nil && ctx.Err() == nil && !errors.Is(msg.err, context.Canceled) {
+				firstErr = fmt.Errorf("plan: refining %s: %w", msg.e.c.Key(), msg.err)
+			}
+			cancel() // fail fast; the rest drain as cancelled
+			continue
+		}
+		if firstErr != nil || ctx.Err() != nil {
+			continue
+		}
+		res.Stats.Probes += msg.e.c.Probes
+		if msg.e.c.Pruned {
+			res.Stats.Pruned++
+			if err := notify(Update{Phase: PhasePrune, Candidate: snapshot(msg.e.c)}); err != nil {
+				firstErr = err
+				cancel()
+			}
+			continue
+		}
+		if err := notify(Update{Phase: PhaseRefine, Candidate: snapshot(msg.e.c)}); err != nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// refineOne runs the load search for one candidate.
+func (p *Planner) refineOne(ctx context.Context, d Spec, e *candidate) error {
+	c := e.c
+	var probeErr error
+	probe := func(load float64) (eval.Point, bool) {
+		if probeErr != nil || ctx.Err() != nil {
+			return eval.Point{}, false
+		}
+		sc := eval.Scenario{
+			Topology: c.Topology,
+			MsgFlits: c.MsgFlits,
+			Policy:   e.policy,
+			Load:     eval.Load{Value: load},
+		}
+		pt, _, err := p.engine.Evaluate(ctx, sc)
+		c.Probes++
+		if err != nil {
+			probeErr = err
+			return eval.Point{}, false
+		}
+		return pt, true
+	}
+	slo := d.Constraints.MaxLatency
+	feasible := func(pt eval.Point) bool {
+		return !pt.ModelSaturated && !math.IsNaN(pt.Model) && (slo <= 0 || pt.Model <= slo)
+	}
+	feasibleAt := func(load float64) bool {
+		pt, ok := probe(load)
+		return ok && feasible(pt)
+	}
+
+	lo, hi := e.loBracket, e.hiBracket
+	if math.IsNaN(hi) {
+		// Every coarse probe was feasible (an SLO far above the curve, or
+		// an unanchored candidate): grow the bracket until it breaks.
+		stable, unstable, ok := solve.GrowToUnstable(feasibleAt, lo*2, 64)
+		if probeErr != nil {
+			return probeErr
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !ok {
+			prune(c, "no feasibility boundary found (constraints never bind)")
+			return nil
+		}
+		if stable > lo {
+			lo = stable
+		}
+		hi = unstable
+	}
+
+	// The utilization cap binds before the knee when it is the tighter
+	// bound; past it no bisection is needed — the boundary is the cap.
+	maxLoad := math.NaN()
+	if util := d.Constraints.MaxUtilization; util > 0 && !math.IsNaN(c.SaturationLoad) {
+		capLoad := util * c.SaturationLoad
+		switch {
+		case capLoad <= lo:
+			maxLoad = capLoad
+		case capLoad < hi:
+			if feasibleAt(capLoad) {
+				maxLoad = capLoad
+			} else {
+				hi = capLoad
+			}
+			if probeErr != nil {
+				return probeErr
+			}
+		}
+	}
+
+	if math.IsNaN(maxLoad) {
+		// Bisect the feasibility boundary: the objective is the
+		// feasibility sign, which internal/solve roots like any other
+		// monotone crossing (unstable probes count as +Inf).
+		f := func(load float64) float64 {
+			pt, ok := probe(load)
+			if !ok {
+				return math.Inf(1)
+			}
+			if feasible(pt) {
+				return -1
+			}
+			return 1
+		}
+		knee, err := solve.BisectContext(ctx, f, lo, hi, d.Search.Tolerance*hi, 200)
+		if probeErr != nil {
+			return probeErr
+		}
+		if err != nil {
+			return fmt.Errorf("locating the knee in [%v, %v]: %w", lo, hi, err)
+		}
+		maxLoad = knee
+	}
+
+	if need := d.Constraints.MinLoad; need > 0 && maxLoad < need {
+		prune(c, fmt.Sprintf("max sustainable load %.6g below min_load %.6g", maxLoad, need))
+		return nil
+	}
+	c.MaxLoad = maxLoad
+
+	// The operating point: the required load when the spec names one,
+	// else a headroom fraction of the knee.
+	pinned := d.Constraints.MinLoad > 0
+	op := d.Search.OperatingFrac * maxLoad
+	if pinned {
+		op = d.Constraints.MinLoad
+	}
+	pt, ok := probe(op)
+	if !ok {
+		if probeErr != nil {
+			return probeErr
+		}
+		return ctx.Err()
+	}
+	if !feasible(pt) {
+		if pinned {
+			// min_load sits within the bisection tolerance of the true
+			// boundary, on its wrong side: the candidate cannot actually
+			// operate at the required load, and reporting a latency
+			// measured anywhere else would break the "latency at exactly
+			// min_load" contract — prune instead.
+			prune(c, fmt.Sprintf("required min_load %.6g infeasible at the knee (within tolerance of the boundary)", op))
+			c.MaxLoad = math.NaN()
+			return nil
+		}
+		// The knee estimate overshot the boundary by less than the
+		// tolerance; step the operating point just inside it.
+		op = maxLoad * (1 - 4*d.Search.Tolerance)
+		if pt, ok = probe(op); !ok {
+			if probeErr != nil {
+				return probeErr
+			}
+			return ctx.Err()
+		}
+		if !feasible(pt) {
+			return fmt.Errorf("operating point %.6g infeasible below the located knee %.6g", op, maxLoad)
+		}
+	}
+	c.OperatingLoad = op
+	c.Latency = pt.Model
+	return nil
+}
+
+// pareto returns the non-dominated candidates over (cost asc, latency
+// asc, max load desc). Ties on every axis survive together (two
+// policies over one model differ only under the simulator).
+func pareto(cands []candidate) []*candidate {
+	var live []*candidate
+	for i := range cands {
+		if !cands[i].c.Pruned {
+			live = append(live, &cands[i])
+		}
+	}
+	var frontier []*candidate
+	for _, a := range live {
+		dominated := false
+		for _, b := range live {
+			if a != b && dominates(b.c, a.c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			frontier = append(frontier, a)
+		}
+	}
+	return frontier
+}
+
+// dominates reports b strictly better-or-equal on every axis and
+// strictly better on at least one.
+func dominates(b, a *Candidate) bool {
+	if b.Cost > a.Cost || b.Latency > a.Latency || b.MaxLoad < a.MaxLoad {
+		return false
+	}
+	return b.Cost < a.Cost || b.Latency < a.Latency || b.MaxLoad > a.MaxLoad
+}
+
+// rank orders the frontier by the spec's objective, deterministic under
+// ties.
+func rank(objective string, frontier []*candidate) {
+	less := func(a, b *Candidate) bool {
+		switch objective {
+		case ObjectiveMaxLoad:
+			if a.MaxLoad != b.MaxLoad {
+				return a.MaxLoad > b.MaxLoad
+			}
+		case ObjectiveMinLatency:
+			if a.Latency != b.Latency {
+				return a.Latency < b.Latency
+			}
+		case ObjectiveMinCost:
+			if a.Cost != b.Cost {
+				return a.Cost < b.Cost
+			}
+		}
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		if a.Latency != b.Latency {
+			return a.Latency < b.Latency
+		}
+		return a.Key() < b.Key()
+	}
+	// Insertion sort: frontiers are small and the comparator is cheap.
+	for i := 1; i < len(frontier); i++ {
+		for j := i; j > 0 && less(frontier[j].c, frontier[j-1].c); j-- {
+			frontier[j], frontier[j-1] = frontier[j-1], frontier[j]
+		}
+	}
+}
+
+// certify re-evaluates the frontier candidates with the simulator at
+// their operating points — the expensive reference runs only where the
+// analytic search says they matter.
+func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, res *Result, notify func(Update) error) error {
+	for _, e := range frontier {
+		c := e.c
+		if c.Topology.Family == eval.FamilyTorus {
+			c.CertifyNote = "no simulator topology"
+			if err := notify(Update{Phase: PhaseCertify, Candidate: snapshot(c)}); err != nil {
+				return err
+			}
+			continue
+		}
+		sc := eval.Scenario{
+			Topology: c.Topology,
+			MsgFlits: c.MsgFlits,
+			Policy:   e.policy,
+			Load:     eval.Load{Value: c.OperatingLoad},
+			WithSim:  true,
+			Budget:   d.Budget,
+		}
+		pt, _, err := p.engine.Evaluate(ctx, sc)
+		if err != nil {
+			return fmt.Errorf("plan: certifying %s: %w", c.Key(), err)
+		}
+		res.Stats.SimEvals++
+		c.Sim, c.SimCI, c.SimSaturated = pt.Sim, pt.SimCI, pt.SimSaturated
+		c.Certified = !math.IsNaN(c.Sim) && !c.SimSaturated
+		if c.Certified {
+			res.Stats.Certified++
+		}
+		if err := notify(Update{Phase: PhaseCertify, Candidate: snapshot(c)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

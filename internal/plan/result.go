@@ -1,0 +1,378 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/series"
+)
+
+// Candidate is one point of the discrete design space, annotated as the
+// search learns about it. Float fields the search has not (or cannot)
+// fill are NaN.
+type Candidate struct {
+	// Topology, MsgFlits and Policy identify the candidate.
+	Topology eval.Topology
+	MsgFlits int
+	Policy   string
+	// Cost is the weighted cost-model value.
+	Cost float64
+	// SaturationLoad is the model's Eq. 26 operating point in
+	// flits/cycle/processor (NaN when the executing backend does not
+	// describe curves).
+	SaturationLoad float64
+	// MaxLoad is the refined answer: the largest load satisfying every
+	// constraint (stability, latency SLO, utilization cap), located by
+	// bisection to the spec's relative tolerance.
+	MaxLoad float64
+	// OperatingLoad is the reported operating point: min_load when the
+	// spec requires one, else operating_frac × MaxLoad. Latency is the
+	// model latency there.
+	OperatingLoad float64
+	Latency       float64
+	// Pruned marks candidates eliminated by the coarse grid (or a
+	// constraint); PruneReason says why.
+	Pruned      bool
+	PruneReason string
+	// Frontier marks membership in the Pareto frontier over
+	// (Cost, Latency, MaxLoad).
+	Frontier bool
+	// Certified reports the simulator sustained the operating point
+	// (finite latency, not saturated). Sim/SimCI/SimSaturated are the
+	// measurement; CertifyNote explains a skipped certification.
+	Certified    bool
+	CertifyNote  string
+	Sim, SimCI   float64
+	SimSaturated bool
+	// Probes counts the refinement evaluations this candidate consumed.
+	Probes int
+}
+
+// Key identifies the candidate, e.g. "bft-256/s=16/pairqueue". The
+// format deliberately matches sweep's curve key (Scenario.CurveKey for
+// a base-variant cell), so a candidate addresses its own rows in a
+// coarse-grid sweep.Result directly.
+func (c Candidate) Key() string {
+	return c.Topology.String() + "/s=" + strconv.Itoa(c.MsgFlits) + "/" + c.Policy
+}
+
+// RelErr returns |sim−model|/model at the operating point, or NaN when
+// either side is missing.
+func (c Candidate) RelErr() float64 {
+	if math.IsNaN(c.Sim) || math.IsNaN(c.Latency) || math.IsInf(c.Latency, 0) {
+		return math.NaN()
+	}
+	return math.Abs(c.Sim-c.Latency) / c.Latency
+}
+
+// Stats accounts for the search's work — the quantities that justify
+// its existence against a full grid.
+type Stats struct {
+	// Candidates / Pruned / Refined / FrontierSize / Certified count the
+	// design points through the funnel.
+	Candidates   int `json:"candidates"`
+	Pruned       int `json:"pruned"`
+	Refined      int `json:"refined"`
+	FrontierSize int `json:"frontier_size"`
+	Certified    int `json:"certified"`
+	// CoarseCells is the size of the analytic prune grid (CacheHits of
+	// it served warm), Probes the refinement evaluations on top, so
+	// CoarseCells+Probes is the total analytic evaluation count.
+	CoarseCells     int `json:"coarse_cells"`
+	CoarseCacheHits int `json:"coarse_cache_hits"`
+	Probes          int `json:"probes"`
+	// SimEvals counts certification simulations — frontier only, which
+	// is the planner's headline saving over a simulated grid.
+	SimEvals int `json:"sim_evals"`
+}
+
+// AnalyticEvals is the total number of analytic evaluations the search
+// issued (coarse grid plus refinement probes).
+func (s Stats) AnalyticEvals() int { return s.CoarseCells + s.Probes }
+
+// Result is one executed plan.
+type Result struct {
+	// Spec is the (defaults-resolved) question.
+	Spec Spec
+	// Candidates holds every design point in enumeration order, pruned
+	// ones included.
+	Candidates []Candidate
+	// Frontier is the Pareto frontier over (cost, latency, sustainable
+	// load), ranked by the spec's objective, sim-certified unless the
+	// spec skipped it.
+	Frontier []Candidate
+	Stats    Stats
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// Best returns the frontier's top candidate under the objective, or nil
+// when the frontier is empty (everything pruned).
+func (r *Result) Best() *Candidate {
+	if len(r.Frontier) == 0 {
+		return nil
+	}
+	return &r.Frontier[0]
+}
+
+// Phases of a streamed plan (Update.Phase).
+const (
+	// PhasePrune: the candidate was eliminated by the coarse grid.
+	PhasePrune = "prune"
+	// PhaseRefine: the candidate's knee was located by bisection.
+	PhaseRefine = "refine"
+	// PhaseCertify: the candidate's sim certification finished.
+	PhaseCertify = "certify"
+	// PhaseFrontier: one final frontier record, in objective order.
+	PhaseFrontier = "frontier"
+	// PhaseDone: the final update, carrying the whole Result.
+	PhaseDone = "done"
+)
+
+// Update is one streamed progress event: candidates as they are pruned,
+// refined and certified, the frontier records in rank order, and a
+// final done update carrying the assembled Result. A failing plan
+// delivers its error as the stream's final element; a cancelled context
+// just closes the channel, mirroring sweep.Runner.Stream.
+type Update struct {
+	Phase     string
+	Candidate *Candidate
+	Result    *Result
+	Err       error
+}
+
+// --- wire formats -----------------------------------------------------
+
+// finitePtr maps non-finite floats to nil, which is the wire's null.
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func fromPtr(v *float64) float64 {
+	if v == nil {
+		return math.NaN()
+	}
+	return *v
+}
+
+// jsonCandidate flattens a Candidate; non-finite floats become null.
+type jsonCandidate struct {
+	Topology       string   `json:"topology"`
+	Family         string   `json:"family"`
+	Size           int      `json:"size"`
+	K              int      `json:"k,omitempty"`
+	MsgFlits       int      `json:"msg_flits"`
+	Policy         string   `json:"policy"`
+	Cost           *float64 `json:"cost"`
+	SaturationLoad *float64 `json:"saturation_load"`
+	MaxLoad        *float64 `json:"max_load"`
+	OperatingLoad  *float64 `json:"operating_load"`
+	ModelLatency   *float64 `json:"model_latency"`
+	Pruned         bool     `json:"pruned,omitempty"`
+	PruneReason    string   `json:"prune_reason,omitempty"`
+	Frontier       bool     `json:"frontier,omitempty"`
+	Certified      bool     `json:"certified,omitempty"`
+	CertifyNote    string   `json:"certify_note,omitempty"`
+	SimLatency     *float64 `json:"sim_latency,omitempty"`
+	SimCI95        *float64 `json:"sim_ci95,omitempty"`
+	SimSaturated   bool     `json:"sim_saturated,omitempty"`
+	Probes         int      `json:"probes,omitempty"`
+}
+
+// MarshalJSON serialises the candidate with non-finite values as null.
+func (c Candidate) MarshalJSON() ([]byte, error) {
+	jc := jsonCandidate{
+		Topology:       c.Topology.String(),
+		Family:         c.Topology.Family,
+		Size:           c.Topology.Size,
+		K:              c.Topology.K,
+		MsgFlits:       c.MsgFlits,
+		Policy:         c.Policy,
+		Cost:           finitePtr(c.Cost),
+		SaturationLoad: finitePtr(c.SaturationLoad),
+		MaxLoad:        finitePtr(c.MaxLoad),
+		OperatingLoad:  finitePtr(c.OperatingLoad),
+		ModelLatency:   finitePtr(c.Latency),
+		Pruned:         c.Pruned,
+		PruneReason:    c.PruneReason,
+		Frontier:       c.Frontier,
+		Certified:      c.Certified,
+		CertifyNote:    c.CertifyNote,
+		SimSaturated:   c.SimSaturated,
+		Probes:         c.Probes,
+	}
+	if !math.IsNaN(c.Sim) || c.SimSaturated {
+		jc.SimLatency = finitePtr(c.Sim)
+		jc.SimCI95 = finitePtr(c.SimCI)
+	}
+	return json.Marshal(jc)
+}
+
+// UnmarshalJSON decodes the flattened wire form (null ↔ NaN), so
+// clients of a streamed plan recover typed candidates.
+func (c *Candidate) UnmarshalJSON(data []byte) error {
+	var jc jsonCandidate
+	if err := json.Unmarshal(data, &jc); err != nil {
+		return fmt.Errorf("plan: decoding candidate: %w", err)
+	}
+	*c = Candidate{
+		Topology:       eval.Topology{Family: jc.Family, Size: jc.Size, K: jc.K},
+		MsgFlits:       jc.MsgFlits,
+		Policy:         jc.Policy,
+		Cost:           fromPtr(jc.Cost),
+		SaturationLoad: fromPtr(jc.SaturationLoad),
+		MaxLoad:        fromPtr(jc.MaxLoad),
+		OperatingLoad:  fromPtr(jc.OperatingLoad),
+		Latency:        fromPtr(jc.ModelLatency),
+		Pruned:         jc.Pruned,
+		PruneReason:    jc.PruneReason,
+		Frontier:       jc.Frontier,
+		Certified:      jc.Certified,
+		CertifyNote:    jc.CertifyNote,
+		Sim:            fromPtr(jc.SimLatency),
+		SimCI:          fromPtr(jc.SimCI95),
+		SimSaturated:   jc.SimSaturated,
+		Probes:         jc.Probes,
+	}
+	return nil
+}
+
+type jsonResult struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description,omitempty"`
+	Objective   string      `json:"objective"`
+	Candidates  []Candidate `json:"candidates"`
+	Frontier    []Candidate `json:"frontier"`
+	Stats       Stats       `json:"stats"`
+	ElapsedMS   int64       `json:"elapsed_ms"`
+}
+
+// MarshalJSON serialises the result (spec reduced to its labels; a
+// client that needs the full spec already has it — it posted it).
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonResult{
+		Name:        r.Spec.Name,
+		Description: r.Spec.Description,
+		Objective:   r.Spec.Objective,
+		Candidates:  r.Candidates,
+		Frontier:    r.Frontier,
+		Stats:       r.Stats,
+		ElapsedMS:   r.Elapsed.Milliseconds(),
+	})
+}
+
+// UnmarshalJSON decodes a result from the wire form.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var jr jsonResult
+	if err := json.Unmarshal(data, &jr); err != nil {
+		return fmt.Errorf("plan: decoding result: %w", err)
+	}
+	*r = Result{
+		Spec:       Spec{Name: jr.Name, Description: jr.Description, Objective: jr.Objective},
+		Candidates: jr.Candidates,
+		Frontier:   jr.Frontier,
+		Stats:      jr.Stats,
+		Elapsed:    time.Duration(jr.ElapsedMS) * time.Millisecond,
+	}
+	return nil
+}
+
+// jsonUpdate is the NDJSON line of POST /v1/plan.
+type jsonUpdate struct {
+	Phase     string     `json:"phase,omitempty"`
+	Candidate *Candidate `json:"candidate,omitempty"`
+	Result    *Result    `json:"result,omitempty"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// MarshalJSON serialises the update as one NDJSON-able object; errors
+// travel in-band under the "error" key, mirroring /v1/sweep framing.
+func (u Update) MarshalJSON() ([]byte, error) {
+	ju := jsonUpdate{Phase: u.Phase, Candidate: u.Candidate, Result: u.Result}
+	if u.Err != nil {
+		ju.Error = u.Err.Error()
+	}
+	return json.Marshal(ju)
+}
+
+// UnmarshalJSON decodes a streamed update line.
+func (u *Update) UnmarshalJSON(data []byte) error {
+	var ju jsonUpdate
+	if err := json.Unmarshal(data, &ju); err != nil {
+		return fmt.Errorf("plan: decoding update: %w", err)
+	}
+	*u = Update{Phase: ju.Phase, Candidate: ju.Candidate, Result: ju.Result}
+	if ju.Error != "" {
+		u.Err = fmt.Errorf("%s", ju.Error)
+	}
+	return nil
+}
+
+// --- rendering --------------------------------------------------------
+
+// Table renders every candidate as the repo's standard fixed-width
+// table, frontier members first in rank order.
+func (r *Result) Table() *series.Table {
+	tbl := &series.Table{Headers: []string{
+		"candidate", "cost", "sat load", "max load", "op load",
+		"model L", "sim L", "±CI", "status",
+	}}
+	add := func(c Candidate, rank int) {
+		num := func(v float64, prec int) string {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return "-"
+			}
+			return strconv.FormatFloat(v, 'f', prec, 64)
+		}
+		status := ""
+		switch {
+		case c.Pruned:
+			status = "pruned: " + c.PruneReason
+		case c.Frontier && rank > 0:
+			status = "frontier #" + strconv.Itoa(rank)
+			if c.Certified {
+				status += " certified"
+			} else if c.CertifyNote != "" {
+				status += " (" + c.CertifyNote + ")"
+			}
+		}
+		sim := num(c.Sim, 4)
+		if c.SimSaturated {
+			sim += "*"
+		}
+		tbl.AddRow(c.Key(), num(c.Cost, 0), num(c.SaturationLoad, 6),
+			num(c.MaxLoad, 6), num(c.OperatingLoad, 6),
+			num(c.Latency, 4), sim, num(c.SimCI, 4), status)
+	}
+	for i, c := range r.Frontier {
+		add(c, i+1)
+	}
+	for _, c := range r.Candidates {
+		if !c.Frontier {
+			add(c, 0)
+		}
+	}
+	return tbl
+}
+
+// Summary renders a short account of the search.
+func (r *Result) Summary() string {
+	s := r.Stats
+	out := fmt.Sprintf("%s (%s): %d candidate(s) -> %d pruned, %d refined, frontier %d (%d sim-certified), %s\n",
+		r.Spec.Name, r.Spec.Objective, s.Candidates, s.Pruned, s.Refined,
+		s.FrontierSize, s.Certified, r.Elapsed.Round(time.Millisecond))
+	out += fmt.Sprintf("  evaluations: %d analytic (%d coarse + %d probes, %d warm), %d sim\n",
+		s.AnalyticEvals(), s.CoarseCells, s.Probes, s.CoarseCacheHits, s.SimEvals)
+	if best := r.Best(); best != nil {
+		out += fmt.Sprintf("  best: %s cost=%.0f max_load=%.6f latency=%.4f\n",
+			best.Key(), best.Cost, best.MaxLoad, best.Latency)
+	}
+	return out
+}

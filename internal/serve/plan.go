@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// This file is the serving side of the capacity planner (docs/plan.md):
+//
+//	POST /v1/plan   plan.Spec in → NDJSON stream of plan.Update lines
+//	                out: candidates as they are pruned, refined and
+//	                certified, the frontier records in rank order, and
+//	                a final {"phase":"done","result":…} line carrying
+//	                the assembled result. A failing plan delivers
+//	                {"error":…} as its final line, mirroring /v1/sweep
+//	                framing; disconnecting cancels the search through
+//	                the request context.
+//
+// The search runs on the server's planner: the shared local runner by
+// default (memoized backends, shared cache), or — on a front-end built
+// with WithPlanner — a fleet engine that shards the coarse grid across
+// downstream sweepd shards and probes them per-cell.
+
+// Planner executes plan specs for /v1/plan; *plan.Planner implements
+// it.
+type Planner interface {
+	Stream(ctx context.Context, spec plan.Spec) <-chan plan.Update
+}
+
+// WithPlanner routes /v1/plan through the given planner instead of the
+// default (a planner over the server's sweeper when it is a full
+// plan.Engine — the dispatch coordinator is — else over the local
+// runner). Use it for custom engines or progress hooks.
+func WithPlanner(p Planner) Option { return func(s *Server) { s.planner = p } }
+
+// handlePlan streams one capacity-planning search.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	data, err := readBody(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := plan.ParseSpec(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.add("sweep_plan_requests_total", 1)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	var rows int64
+	dirty := false
+	defer func() { s.metrics.add("sweep_plan_stream_updates_total", rows) }()
+	if flusher != nil {
+		defer tickFlusher(flusher, &wmu, &dirty, nil)()
+	}
+	for u := range s.planner.Stream(r.Context(), spec) {
+		wmu.Lock()
+		if u.Err != nil {
+			enc.Encode(map[string]string{"error": u.Err.Error()})
+			wmu.Unlock()
+			return
+		}
+		err := enc.Encode(u)
+		if err == nil {
+			rows++
+			dirty = true
+		}
+		wmu.Unlock()
+		if err != nil {
+			return // client gone; request-ctx cancellation stops the search
+		}
+	}
+}

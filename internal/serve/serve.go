@@ -38,10 +38,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/plan"
 	"repro/internal/sweep"
 )
 
@@ -65,6 +68,7 @@ type Server struct {
 	mux     *http.ServeMux
 	runner  *sweep.Runner
 	sweeper Sweeper
+	planner Planner
 	curves  describer
 	cache   sweep.CacheStore
 	workers int
@@ -129,7 +133,19 @@ func New(opts ...Option) *Server {
 	if s.sweeper == nil {
 		s.sweeper = s.runner
 	}
+	if s.planner == nil {
+		// A sweeper that is also a full plan engine (the dispatch
+		// coordinator: Run + Evaluate) carries /v1/plan too, so a fleet
+		// front-end configured only via WithSweeper plans over its
+		// fleet instead of silently searching locally.
+		if eng, ok := s.sweeper.(plan.Engine); ok {
+			s.planner = plan.New(eng)
+		} else {
+			s.planner = plan.New(s.runner)
+		}
+	}
 	s.handle("/v1/sweep", post(s.handleSweep))
+	s.handle("/v1/plan", post(s.handlePlan))
 	s.handle("/v1/batch", post(s.handleBatch))
 	s.handle("/v1/sweep/part", post(s.handlePart))
 	s.handle("/v1/eval", post(s.handleEval))
@@ -311,11 +327,38 @@ type cacheStats interface {
 	Stats() (hits, misses int64)
 }
 
-// handleHealthz reports liveness and cache statistics.
+// The module version (and VCS revision, when the binary was built from
+// a checkout), resolved once per process.
+var buildVersion, buildRevision = func() (version, revision string) {
+	version = "(unknown)"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			revision = s.Value
+		}
+	}
+	return
+}()
+
+// handleHealthz reports liveness, build/version info and cache
+// statistics, so a fleet operator can tell which build each shard runs
+// from the same probe that checks it is alive.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version, revision := buildVersion, buildRevision
 	payload := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": int64(time.Since(s.started).Seconds()),
+		"go_version":     runtime.Version(),
+		"module_version": version,
+	}
+	if revision != "" {
+		payload["vcs_revision"] = revision
 	}
 	if cs, ok := s.cache.(cacheStats); ok {
 		hits, misses := cs.Stats()

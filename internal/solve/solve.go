@@ -5,6 +5,7 @@
 package solve
 
 import (
+	"context"
 	"errors"
 	"math"
 )
@@ -22,17 +23,36 @@ var ErrNoConvergence = errors.New("solve: iteration did not converge")
 // saturation use case where the model is undefined beyond the stable
 // region and the objective grows without bound as it is approached.
 func Bisect(f func(float64) float64, lo, hi, xtol float64, maxIter int) (float64, error) {
+	return BisectContext(context.Background(), f, lo, hi, xtol, maxIter)
+}
+
+// BisectContext is Bisect with cancellation: the context is checked
+// before every objective evaluation, so a search whose objective is
+// expensive (a capacity planner probing a remote Evaluator per call)
+// stops promptly — mid-solve, not at the next bracket — and returns the
+// context's error.
+func BisectContext(ctx context.Context, f func(float64) float64, lo, hi, xtol float64, maxIter int) (float64, error) {
 	if maxIter <= 0 {
 		maxIter = 200
 	}
-	eval := func(x float64) float64 {
+	eval := func(x float64) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		v := f(x)
 		if math.IsNaN(v) {
-			return math.Inf(1)
+			return math.Inf(1), nil
 		}
-		return v
+		return v, nil
 	}
-	flo, fhi := eval(lo), eval(hi)
+	flo, err := eval(lo)
+	if err != nil {
+		return 0, err
+	}
+	fhi, err := eval(hi)
+	if err != nil {
+		return 0, err
+	}
 	if flo == 0 {
 		return lo, nil
 	}
@@ -44,7 +64,10 @@ func Bisect(f func(float64) float64, lo, hi, xtol float64, maxIter int) (float64
 	}
 	for i := 0; i < maxIter && hi-lo > xtol; i++ {
 		mid := lo + (hi-lo)/2
-		fm := eval(mid)
+		fm, err := eval(mid)
+		if err != nil {
+			return 0, err
+		}
 		if fm == 0 {
 			return mid, nil
 		}

@@ -1,6 +1,8 @@
 package solve
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -72,6 +74,91 @@ func TestBisectNaNEndpoint(t *testing.T) {
 	f := func(x float64) float64 { return math.NaN() }
 	if _, err := Bisect(f, 0, 1, 1e-9, 0); err != ErrNoBracket {
 		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectMonotoneFlatRegion(t *testing.T) {
+	// A plateau around the root (float-quantised latency curves do this):
+	// bisection must still land inside the flat region, anywhere the
+	// objective is zero-crossing-adjacent.
+	f := func(x float64) float64 {
+		switch {
+		case x < 0.4:
+			return -1
+		case x > 0.6:
+			return 1
+		default:
+			return 0
+		}
+	}
+	root, err := Bisect(f, 0, 1, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root < 0.4-1e-9 || root > 0.6+1e-9 {
+		t.Errorf("root = %v, want inside the flat region [0.4, 0.6]", root)
+	}
+}
+
+func TestBisectFlatNonZeroHasNoBracket(t *testing.T) {
+	// Entirely flat and non-zero: no sign change anywhere, so the interval
+	// cannot bracket a root.
+	f := func(x float64) float64 { return 1 }
+	if _, err := Bisect(f, 0, 1, 1e-12, 0); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectUnstableAtBothBrackets(t *testing.T) {
+	// The capacity-planner failure mode: both bracket ends sit past
+	// saturation, so the objective is +Inf (or NaN) at both — same sign,
+	// no root to find.
+	inf := func(x float64) float64 { return math.Inf(1) }
+	if _, err := Bisect(inf, 0.5, 1, 1e-9, 0); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("+Inf ends: err = %v, want ErrNoBracket", err)
+	}
+	mixed := func(x float64) float64 {
+		if x < 0.75 {
+			return math.NaN() // NaN counts as +Inf
+		}
+		return math.Inf(1)
+	}
+	if _, err := Bisect(mixed, 0.5, 1, 1e-9, 0); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("NaN/+Inf ends: err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectContextCancelMidSolve(t *testing.T) {
+	// Cancel from inside the objective: the search must stop at the next
+	// evaluation, not run its full iteration budget.
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	f := func(x float64) float64 {
+		calls++
+		if calls == 5 {
+			cancel()
+		}
+		return x - 0.3337779
+	}
+	_, err := BisectContext(ctx, f, 0, 1, 1e-15, 1000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > 5 {
+		t.Errorf("objective evaluated %d times after cancellation (want none)", calls)
+	}
+}
+
+func TestBisectContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	f := func(x float64) float64 { calls++; return x - 0.5 }
+	if _, err := BisectContext(ctx, f, 0, 1, 1e-12, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("objective evaluated %d times under a dead context", calls)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/eval"
 )
@@ -299,9 +300,12 @@ func (s *Store) Compact() error {
 //
 // Prune returns how many live cells were evicted (0 when the store
 // already fit, in which case the segments are left untouched). Like
-// Compact, it requires exclusive ownership of the directory: run it at
-// startup (`sweepd -cache-max-bytes`) or as offline maintenance, never
-// with another writer on the directory.
+// Compact, it requires exclusive ownership of the directory across
+// processes: run it at startup (`sweepd -cache-max-bytes`), as offline
+// maintenance, or periodically from the owning process itself
+// (StartAutoPrune, `sweepd -prune-interval`) — never while another
+// process writes the directory. Within one process it is safe alongside
+// concurrent Get/Put: everything runs under the store's mutex.
 func (s *Store) Prune(maxBytes int64) (evicted int, err error) {
 	if maxBytes <= 0 {
 		return 0, fmt.Errorf("store: prune bound must be positive, got %d", maxBytes)
@@ -439,6 +443,54 @@ func (s *Store) DiskBytes() (int64, error) {
 		total += fi.Size()
 	}
 	return total, nil
+}
+
+// StartAutoPrune launches a background goroutine that keeps the store's
+// on-disk footprint bounded: every interval it checks DiskBytes and,
+// only when over maxBytes, runs Prune — so a long-running server
+// (`sweepd -prune-interval`) stays under its bound for its whole
+// lifetime instead of only at startup, and an idle store never has its
+// segments churned. Concurrent Get/Put are safe (they serialize with
+// the prune on the store's mutex; a Put blocks for the prune's duration
+// at worst) but the directory must still belong to this process alone.
+// Prune failures are reported through onError when non-nil (the loop
+// keeps running; a transient stat failure must not stop GC for good).
+// The returned stop function halts the loop and waits for any in-flight
+// prune to finish; it is idempotent.
+func (s *Store) StartAutoPrune(maxBytes int64, interval time.Duration, onError func(error)) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				size, err := s.DiskBytes()
+				if err == nil && size <= maxBytes {
+					continue
+				}
+				if err == nil {
+					_, err = s.Prune(maxBytes)
+				}
+				if err != nil && onError != nil {
+					onError(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
 }
 
 // closeSegment closes the active segment if open. Caller holds mu.

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/eval"
 	"repro/internal/sweep"
@@ -426,5 +427,72 @@ func TestPruneNoopUnderBound(t *testing.T) {
 	}
 	if _, ok := s.Get("k"); !ok {
 		t.Error("cell lost by a no-op prune")
+	}
+}
+
+// TestAutoPruneKeepsLongRunningStoreUnderBound pins the background GC:
+// a store that keeps absorbing cells while an auto-prune loop runs —
+// the long-running sweepd server shape — settles under its byte bound
+// instead of growing without limit, and keeps serving the surviving
+// (newest) cells.
+func TestAutoPruneKeepsLongRunningStoreUnderBound(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	defer s.Close()
+
+	const bound = 4096
+	stop := s.StartAutoPrune(bound, 2*time.Millisecond, func(err error) { t.Errorf("auto-prune: %v", err) })
+
+	// Write far more than the bound while the loop runs, in bursts so
+	// several prune ticks interleave with live Puts.
+	const n = 400
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("auto-%04d", i), pt(float64(i)/1000, float64(i), math.NaN()))
+		if i%50 == 49 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// With writes quiesced, the next tick must bring the store under the
+	// bound and hold it there.
+	deadline := time.Now().Add(5 * time.Second)
+	var size int64
+	for {
+		var err error
+		size, err = s.DiskBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size <= bound || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if size > bound {
+		t.Fatalf("long-running store settled at %d bytes, bound %d", size, bound)
+	}
+
+	// The newest cell survived the evictions and the store still serves.
+	if got, ok := s.Get(fmt.Sprintf("auto-%04d", n-1)); !ok || got.Model != float64(n-1) {
+		t.Errorf("newest cell lost under auto-prune: %v %v", got, ok)
+	}
+	if s.Len() == 0 {
+		t.Error("auto-prune evicted everything")
+	}
+
+	// After stop, the loop is gone: grow the store past the bound and
+	// verify nothing shrinks it behind our back.
+	for i := 0; i < 100; i++ {
+		s.Put(fmt.Sprintf("post-%04d", i), pt(0.5, float64(i), math.NaN()))
+	}
+	time.Sleep(20 * time.Millisecond)
+	after, err := s.DiskBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= bound {
+		t.Errorf("store shrank after stop (size %d): auto-prune still running?", after)
 	}
 }

@@ -14,8 +14,6 @@
 package sweep
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 
 	"repro/internal/sim"
@@ -82,13 +80,13 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 }
 
-// ParseSpec decodes a JSON spec, rejecting unknown fields, and validates
-// it.
+// ParseSpec decodes a JSON spec and validates it. Unknown fields are
+// rejected with a field-naming error — the offending name, the nearest
+// known field, and the full known set — so a typo ("msgflits") fails
+// loudly instead of silently dropping an axis.
 func ParseSpec(data []byte) (Spec, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
 	var s Spec
-	if err := dec.Decode(&s); err != nil {
+	if err := DecodeStrict(data, &s); err != nil {
 		return Spec{}, fmt.Errorf("sweep: decoding spec: %w", err)
 	}
 	if err := s.Validate(); err != nil {

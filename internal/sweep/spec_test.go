@@ -42,6 +42,46 @@ func TestParseSpecRejectsUnknownFields(t *testing.T) {
 	}
 }
 
+func TestParseSpecNamesMisspelledAxis(t *testing.T) {
+	// Regression: a misspelled axis must fail with a field-naming error
+	// that points at the real field, never be silently ignored (which
+	// would run the grid with the axis's default instead).
+	cases := []struct {
+		spec string
+		name string // the misspelled field
+		want string // the suggested correction
+	}{
+		{`{"topologies":[{"family":"bft","sizes":[64]}],"msgflits":[16],"loads":{"fracs":[0.5]}}`,
+			"msgflits", "msg_flits"},
+		{`{"topologies":[{"family":"bft","sizes":[64]}],"msg_flits":[16],"load":{"fracs":[0.5]}}`,
+			"load", "loads"},
+		{`{"topologies":[{"family":"bft","sizes":[64]}],"msg_flits":[16],"loads":{"fracs":[0.5]},"polices":["pairqueue"]}`,
+			"polices", "policies"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpec([]byte(tc.spec))
+		if err == nil {
+			t.Errorf("%s: silently accepted", tc.name)
+			continue
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, `unknown field "`+tc.name+`"`) {
+			t.Errorf("%s: error does not name the field: %v", tc.name, err)
+		}
+		if !strings.Contains(msg, `did you mean "`+tc.want+`"?`) {
+			t.Errorf("%s: error does not suggest %q: %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestDecodeStrictRejectsTrailingData(t *testing.T) {
+	var s Spec
+	err := DecodeStrict([]byte(`{"name":"a"} {"name":"b"}`), &s)
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Errorf("want trailing-data error, got %v", err)
+	}
+}
+
 func TestParseSpecRejectsMalformedJSON(t *testing.T) {
 	if _, err := ParseSpec([]byte(`{`)); err == nil {
 		t.Error("accepted malformed JSON")

@@ -1,0 +1,155 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// DecodeStrict decodes JSON into v (a pointer to a struct), rejecting
+// unknown fields. Where encoding/json reports the bare `json: unknown
+// field "msgflits"`, DecodeStrict names the field, suggests the nearest
+// known one ("did you mean \"msg_flits\"?"), and lists the valid names —
+// a typo in a hand-written spec fails with an actionable error instead
+// of a silently ignored axis. The known-field set is collected
+// recursively from v's struct tags, so nested sections (loads, budget,
+// space, …) are covered by the same call.
+func DecodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if field, ok := unknownField(err); ok {
+			return namedFieldError(field, jsonFields(reflect.TypeOf(v)))
+		}
+		return err
+	}
+	// A second top-level JSON value is a malformed spec, not trailing
+	// whitespace; Decode alone would silently stop at the first.
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON document")
+	}
+	return nil
+}
+
+// unknownField extracts the field name from encoding/json's
+// DisallowUnknownFields error, which is only exposed as formatted text.
+func unknownField(err error) (string, bool) {
+	const marker = `json: unknown field "`
+	msg := err.Error()
+	i := strings.Index(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := msg[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// namedFieldError builds the field-naming error: offending name, nearest
+// known field when one is plausibly close, and the full known set.
+func namedFieldError(field string, known []string) error {
+	sort.Strings(known)
+	msg := fmt.Sprintf("unknown field %q", field)
+	if best, d := nearestField(field, known); best != "" && d <= (len(field)+2)/2 {
+		msg += fmt.Sprintf(" (did you mean %q?)", best)
+	}
+	return fmt.Errorf("%s; known fields: %s", msg, strings.Join(known, ", "))
+}
+
+// nearestField returns the known field with the smallest edit distance
+// to name, ignoring case and separators so "msgflits" matches
+// "msg_flits".
+func nearestField(name string, known []string) (string, int) {
+	canon := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == '_' || r == '-' {
+				return -1
+			}
+			return r
+		}, strings.ToLower(s))
+	}
+	best, bestDist := "", -1
+	for _, k := range known {
+		d := editDistance(canon(name), canon(k))
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best, bestDist
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// jsonFields collects the JSON field names reachable from t's struct
+// tags, recursing through nested structs, pointers, slices and maps.
+func jsonFields(t reflect.Type) []string {
+	seen := make(map[reflect.Type]bool)
+	names := make(map[string]bool)
+	var walk func(reflect.Type)
+	walk = func(t reflect.Type) {
+		for t.Kind() == reflect.Pointer || t.Kind() == reflect.Slice ||
+			t.Kind() == reflect.Array || t.Kind() == reflect.Map {
+			t = t.Elem()
+		}
+		if t.Kind() != reflect.Struct || seen[t] {
+			return
+		}
+		seen[t] = true
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+			switch tag {
+			case "-":
+				continue
+			case "":
+				tag = f.Name
+			}
+			names[tag] = true
+			walk(f.Type)
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	return out
+}

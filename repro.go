@@ -29,7 +29,14 @@
 //     into contiguous ranges dispatched across the fleet over a batched
 //     wire protocol (NewBatchBackend speaks it cell-wise), with
 //     cache-aware scheduling, work stealing and shard failover (see
-//     docs/dispatch.md).
+//     docs/dispatch.md); and
+//   - a capacity planner (Plan, PlanStream, cmd/plan, POST /v1/plan):
+//     model-guided design-space optimization — coarse analytic prune,
+//     bisection to the saturation knee per candidate, Pareto frontier
+//     over (cost, latency, sustainable load), simulator certification
+//     of the frontier only — answering "which network sustains this
+//     load under this latency bound" without sweeping a grid (see
+//     docs/plan.md).
 //
 // This facade re-exports the main entry points; the implementation lives
 // under internal/ (core, analytic, sim, topology, eval, sweep, …).
@@ -71,6 +78,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/exp"
+	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -170,6 +178,27 @@ type (
 	ResultStore = store.Store
 	// ServeOption configures the sweep service (ListenAndServe).
 	ServeOption = serve.Option
+
+	// PlanSpec declares a capacity-planning question: a design space,
+	// an objective and constraints (see docs/plan.md).
+	PlanSpec = plan.Spec
+	// PlanResult is one executed plan: every candidate, the
+	// objective-ranked Pareto frontier, and search statistics.
+	PlanResult = plan.Result
+	// PlanCandidate is one design point, annotated by the search.
+	PlanCandidate = plan.Candidate
+	// PlanUpdate is one streamed search event (prune/refine/certify/
+	// frontier/done).
+	PlanUpdate = plan.Update
+	// Planner runs plan specs against an Engine; construct with
+	// NewPlanner or NewFleetPlanner.
+	Planner = plan.Planner
+	// PlanEngine is the evaluation surface a Planner searches: grid
+	// runs plus single-scenario probes. A SweepRunner satisfies it.
+	PlanEngine = plan.Engine
+	// PlanCostModel is the pluggable cost surface of the planner;
+	// register custom models with plan.RegisterCostModel.
+	PlanCostModel = plan.CostModel
 )
 
 // Simulator policies.
@@ -318,6 +347,59 @@ func ServeWithCache(c SweepCacheStore) ServeOption { return serve.WithCache(c) }
 // ServeWithWorkers bounds the worker pool of every sweep the service
 // runs.
 func ServeWithWorkers(n int) ServeOption { return serve.WithWorkers(n) }
+
+// Plan runs a capacity-planner search in-process: coarse analytic
+// prune, per-candidate bisection to the saturation knee, Pareto
+// frontier over (cost, latency, sustainable load), simulator
+// certification of the frontier. Cancelling ctx aborts the search —
+// probes and certification simulations included.
+func Plan(ctx context.Context, spec PlanSpec) (*PlanResult, error) {
+	return plan.NewLocal(nil).Run(ctx, spec)
+}
+
+// PlanStream runs the search and delivers progress updates as they
+// happen: candidates as they are pruned, refined and certified, the
+// frontier in rank order, and a final done update carrying the whole
+// result. Errors arrive as the final update; a cancelled ctx just
+// closes the channel.
+func PlanStream(ctx context.Context, spec PlanSpec) <-chan PlanUpdate {
+	return plan.NewLocal(nil).Stream(ctx, spec)
+}
+
+// NewPlanner builds a planner over a custom engine — any SweepRunner
+// (in-process, remote or batched backends) or a Dispatcher, which
+// satisfies the engine contract with Run + Evaluate.
+func NewPlanner(engine PlanEngine) *Planner { return plan.New(engine) }
+
+// NewFleetPlanner builds a planner whose searches execute on a sweepd
+// shard fleet: the coarse grid dispatches as contiguous ranges (work
+// stealing, failover) and the bisection probes rotate per-cell with
+// retry, all sharing the fleet-tagged cache lines of cache (nil for
+// none).
+func NewFleetPlanner(addrs []string, cache SweepCacheStore) (*Planner, error) {
+	var opts []DispatchOption
+	if cache != nil {
+		opts = append(opts, dispatch.WithCache(cache))
+	}
+	d, err := dispatch.New(addrs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return plan.New(d), nil
+}
+
+// ParsePlanSpec decodes and validates a JSON plan spec; unknown fields
+// fail with a field-naming error.
+func ParsePlanSpec(data []byte) (PlanSpec, error) { return plan.ParseSpec(data) }
+
+// PlanBuiltin returns a built-in named plan spec; plan.Builtins lists
+// the names.
+func PlanBuiltin(name string) (PlanSpec, error) { return plan.Builtin(name) }
+
+// ServeWithPlanner routes the service's /v1/plan through the given
+// planner (normally a fleet planner), turning the server into a
+// capacity-planning front-end.
+func ServeWithPlanner(p *Planner) ServeOption { return serve.WithPlanner(p) }
 
 // QuickBudget and FullBudget are the standard experiment efforts.
 var (

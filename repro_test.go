@@ -276,3 +276,42 @@ func TestFacadeEvaluator(t *testing.T) {
 		t.Errorf("backends disagree wildly: model=%v sim=%v", pt.Model, pt.Sim)
 	}
 }
+
+func TestFacadePlan(t *testing.T) {
+	ctx := context.Background()
+	spec, err := repro.PlanBuiltin("bft-capacity-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.SkipCertify = true // keep the facade smoke fast
+	res, err := repro.Plan(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best() == nil {
+		t.Fatal("empty frontier")
+	}
+	if res.Stats.AnalyticEvals() == 0 {
+		t.Error("no evaluations recorded")
+	}
+
+	var done bool
+	for u := range repro.PlanStream(ctx, spec) {
+		if u.Err != nil {
+			t.Fatal(u.Err)
+		}
+		if u.Phase == "done" {
+			done = true
+			if len(u.Result.Frontier) != len(res.Frontier) {
+				t.Errorf("streamed frontier size %d, want %d", len(u.Result.Frontier), len(res.Frontier))
+			}
+		}
+	}
+	if !done {
+		t.Error("stream ended without a done update")
+	}
+
+	if _, err := repro.ParsePlanSpec([]byte(`{"space":{},"objektive":"max-load"}`)); err == nil {
+		t.Error("misspelled plan spec accepted")
+	}
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# plan-smoke: end-to-end smoke of the capacity planner over a fleet.
+#
+#  1. Start two sweepd shards; run the CI-sized builtin plan through the
+#     fleet engine (cmd/plan -shards): the coarse grid dispatches as
+#     ranges, the bisection probes rotate per-cell.
+#  2. Gate on the answer: the Pareto frontier must be non-empty and
+#     every frontier candidate sim-certified, and the fleet frontier
+#     must match the in-process run exactly (elapsed time aside).
+#  3. Emit BENCH_plan.json: candidates/sec plus how many simulator runs
+#     the frontier-only certification saved against simulating the
+#     whole coarse grid.
+#
+# CI runs this via `make plan-smoke`.
+set -eu
+
+BASE="${PLAN_SMOKE_PORT:-18790}"
+PORT1=$((BASE)); PORT2=$((BASE + 1))
+SHARDS="127.0.0.1:$PORT1,127.0.0.1:$PORT2"
+WORK="$(mktemp -d)"
+D1=""; D2=""
+trap 'kill $D1 $D2 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/sweepd" ./cmd/sweepd
+go build -o "$WORK/plan" ./cmd/plan
+
+wait_up() { # wait_up PORT
+    local i=0
+    until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "plan-smoke: sweepd did not come up on :$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+"$WORK/sweepd" -addr "127.0.0.1:$PORT1" & D1=$!
+"$WORK/sweepd" -addr "127.0.0.1:$PORT2" & D2=$!
+wait_up "$PORT1"; wait_up "$PORT2"
+
+SPEC="builtin:bft-capacity-small"
+
+# In-process reference.
+"$WORK/plan" -spec "$SPEC" -quiet -json >"$WORK/local.json"
+
+# The same question over the 2-shard fleet, with the bench artifact.
+"$WORK/plan" -spec "$SPEC" -quiet -json -shards "$SHARDS" \
+    -bench-out BENCH_plan.json >"$WORK/fleet.json"
+
+# The fleet search must reproduce the in-process answer exactly; only
+# wall-clock fields may differ.
+if ! diff \
+    <(grep -v '"elapsed_ms"' "$WORK/local.json") \
+    <(grep -v '"elapsed_ms"' "$WORK/fleet.json"); then
+    echo "plan-smoke: fleet plan diverged from in-process run" >&2
+    exit 1
+fi
+
+FRONTIER="$(sed -n 's/.*"frontier": \([0-9]*\),.*/\1/p' BENCH_plan.json)"
+CERTIFIED="$(sed -n 's/.*"certified": \([0-9]*\),.*/\1/p' BENCH_plan.json)"
+SAVED="$(sed -n 's/.*"sim_evals_saved_vs_grid": \([0-9]*\),.*/\1/p' BENCH_plan.json)"
+CPS="$(sed -n 's/.*"candidates_per_sec": \([0-9.]*\).*/\1/p' BENCH_plan.json)"
+
+if [ -z "$FRONTIER" ] || [ "$FRONTIER" -lt 1 ]; then
+    echo "plan-smoke: empty Pareto frontier (frontier=$FRONTIER)" >&2
+    exit 1
+fi
+if [ -z "$CERTIFIED" ] || [ "$CERTIFIED" -ne "$FRONTIER" ]; then
+    echo "plan-smoke: frontier not fully sim-certified ($CERTIFIED of $FRONTIER)" >&2
+    exit 1
+fi
+if [ -z "$SAVED" ] || [ "$SAVED" -lt 1 ]; then
+    echo "plan-smoke: planner saved no sim evaluations vs the grid (saved=$SAVED)" >&2
+    exit 1
+fi
+
+echo "plan-smoke: frontier $FRONTIER/$FRONTIER certified over 2 shards, ${CPS} candidates/sec, $SAVED sim evals saved vs grid"
+
+kill $D1 $D2 2>/dev/null || true
+wait $D1 $D2 2>/dev/null || true
