@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sweep serve-smoke dispatch-smoke plan-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -17,6 +17,14 @@ test:
 # without turning CI into a measurement job.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Simulator speed gate: time the pre-rewrite dense engine against the
+# event-driven engine with CI-width early stopping on the paper's
+# 1024-PE fat-tree at stable loads, verify bit-identity (early stopping
+# off) and CI-band agreement, and emit BENCH_sim.json. Fails below 10x.
+bench-sim:
+	$(GO) run ./cmd/simbench -out BENCH_sim.json
+	@cat BENCH_sim.json
 
 # Benchmark smoke for the sweep engine: run a fixed small grid and emit
 # BENCH_sweep.json (points/sec) so the performance trajectory is tracked

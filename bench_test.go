@@ -260,7 +260,7 @@ func BenchmarkSimulatorCycles(b *testing.B) {
 			WarmupCycles:  1000,
 			MeasureCycles: 4000,
 		}.FlitLoad(0.02)
-		res, err := sim.Run(cfg)
+		res, err := sim.Run(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,10 +6,16 @@
 //
 //	bftsim [-n 1024] [-flits 16] [-load 0.02] [-warmup 10000]
 //	       [-measure 50000] [-seed 1] [-policy pairqueue|randomfixed]
-//	       [-cube dims]
+//	       [-cube dims] [-precision 0.05] [-replicas 4]
+//
+// -precision enables CI-width early stopping: the run ends as soon as
+// the latency estimate's relative 95% half-width drops to the given
+// value, with -measure acting as a ceiling. -replicas runs independent
+// replicas concurrently and pools their statistics.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +38,8 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		policy  = flag.String("policy", "pairqueue", "up-link policy: pairqueue or randomfixed")
 		hist    = flag.Bool("hist", false, "collect a latency histogram and report percentiles")
+		prec    = flag.Float64("precision", 0, "stop early once the latency CI is within this relative half-width (0 = fixed window)")
+		reps    = flag.Int("replicas", 1, "independent replicas to run and pool")
 	)
 	flag.Parse()
 
@@ -64,7 +72,14 @@ func main() {
 		Policy:           pol,
 		LatencyHistogram: *hist,
 	}.FlitLoad(*load)
-	res, err := sim.Run(cfg)
+	var opts []sim.Option
+	if *prec > 0 {
+		opts = append(opts, sim.WithTermination(sim.Termination{RelHalfWidth: *prec}))
+	}
+	if *reps > 1 {
+		opts = append(opts, sim.WithReplicas(*reps))
+	}
+	res, err := sim.Run(context.Background(), cfg, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,6 +87,10 @@ func main() {
 	fmt.Println(res.String())
 	fmt.Printf("  latency: mean=%.3f ±%.3f (95%% CI), min=%.1f, max=%.1f cycles\n",
 		res.LatencyMean, res.LatencyCI95, res.LatencyMin, res.LatencyMax)
+	if res.EarlyStopped || res.Replicas > 1 {
+		fmt.Printf("  effort: %d replicas, %d measured cycles, achieved precision %.4f\n",
+			res.Replicas, res.MeasuredCycles, res.Precision)
+	}
 	if *hist {
 		fmt.Printf("  percentiles: p50=%.1f p95=%.1f p99=%.1f cycles\n",
 			res.LatencyP50, res.LatencyP95, res.LatencyP99)

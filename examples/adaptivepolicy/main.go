@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	for _, frac := range []float64{0.3, 0.5, 0.7, 0.85} {
 		load := frac * sat
 		run := func(policy repro.UpLinkPolicy) *repro.SimResult {
-			res, err := repro.Simulate(repro.SimConfig{
+			res, err := repro.Simulate(context.Background(), repro.SimConfig{
 				Net:           ft,
 				MsgFlits:      msgFlits,
 				Seed:          7,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,13 +44,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := repro.Simulate(repro.SimConfig{
+	// The termination option lets the run stop as soon as the estimate
+	// is tight enough; MeasureCycles is then just a ceiling.
+	res, err := repro.Simulate(context.Background(), repro.SimConfig{
 		Net:           ft,
 		MsgFlits:      msgFlits,
 		Seed:          1,
 		WarmupCycles:  5000,
 		MeasureCycles: 30000,
-	}.FlitLoad(load))
+	}.FlitLoad(load), repro.WithSimTermination(repro.DefaultSimTermination))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -47,12 +47,17 @@ type Point struct {
 	Sim, SimCI float64
 	// SimSaturated reports the simulator could not sustain the load.
 	SimSaturated bool
+	// SimPrecision is the achieved relative CI half-width of the latency
+	// estimate (SimCI / Sim); NaN when simulation was skipped or the
+	// estimate is degenerate. With Budget.Precision set it records how
+	// tight the early-stopped run actually got.
+	SimPrecision float64
 }
 
 // NewPoint returns the empty point: every field NaN, nothing measured.
 func NewPoint() Point {
 	nan := math.NaN()
-	return Point{LoadFlits: nan, Model: nan, Sim: nan, SimCI: nan}
+	return Point{LoadFlits: nan, Model: nan, Sim: nan, SimCI: nan, SimPrecision: nan}
 }
 
 // Merge folds q into p: any field q actually produced (non-NaN, or a
@@ -67,6 +72,7 @@ func (p Point) Merge(q Point) Point {
 	}
 	if !math.IsNaN(q.Sim) || q.SimSaturated {
 		p.Sim, p.SimCI, p.SimSaturated = q.Sim, q.SimCI, q.SimSaturated
+		p.SimPrecision = q.SimPrecision
 	}
 	return p
 }

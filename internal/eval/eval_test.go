@@ -20,6 +20,18 @@ func bftScenario(withSim bool) Scenario {
 	return sc
 }
 
+// samePoint compares two points field by field with NaN == NaN.
+func samePoint(a, b Point) bool {
+	eq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y)
+	}
+	return eq(a.LoadFlits, b.LoadFlits) && eq(a.Model, b.Model) &&
+		a.ModelSaturated == b.ModelSaturated &&
+		eq(a.Sim, b.Sim) && eq(a.SimCI, b.SimCI) &&
+		a.SimSaturated == b.SimSaturated &&
+		eq(a.SimPrecision, b.SimPrecision)
+}
+
 func TestPointMerge(t *testing.T) {
 	model := NewPoint()
 	model.LoadFlits, model.Model = 0.02, 31.5
@@ -30,8 +42,9 @@ func TestPointMerge(t *testing.T) {
 	if got.LoadFlits != 0.02 || got.Model != 31.5 || got.Sim != 33.0 || got.SimCI != 0.5 {
 		t.Errorf("merge lost fields: %+v", got)
 	}
-	// Merging an empty point must change nothing.
-	if again := got.Merge(NewPoint()); again != got {
+	// Merging an empty point must change nothing (SimPrecision stays NaN
+	// throughout, so the comparison must be NaN-aware).
+	if again := got.Merge(NewPoint()); !samePoint(again, got) {
 		t.Errorf("empty merge perturbed the point: %+v vs %+v", again, got)
 	}
 	// A saturated-but-NaN sim still carries its marker.
@@ -159,6 +172,79 @@ func TestTopologyConstructorsRejectUnknownFamily(t *testing.T) {
 	}
 	if _, err := (Topology{Family: FamilyTorus, Size: 3, K: 4}).NewNetwork(); err == nil {
 		t.Error("the torus should have no simulator topology")
+	}
+}
+
+// TestScenarioKeyPrecisionKnobs: the early-stopping and replica knobs
+// are part of a sim scenario's identity — but only when set, so every
+// cache line persisted before the knobs existed keeps its key.
+func TestScenarioKeyPrecisionKnobs(t *testing.T) {
+	base := bftScenario(true)
+	if k := base.Key(); k != base.Key() {
+		t.Fatal("key not deterministic")
+	}
+	withPrec := base
+	withPrec.Budget.Precision = 0.05
+	withReps := base
+	withReps.Budget.Replicas = 4
+	if base.Key() == withPrec.Key() {
+		t.Error("precision must change the cache key")
+	}
+	if base.Key() == withReps.Key() {
+		t.Error("replicas must change the cache key")
+	}
+	if withPrec.Key() == withReps.Key() {
+		t.Error("precision and replicas must key differently")
+	}
+	// Replicas <= 1 and precision 0 are the classic run: same key.
+	oneRep := base
+	oneRep.Budget.Replicas = 1
+	if base.Key() != oneRep.Key() {
+		t.Error("replicas=1 must not perturb the key")
+	}
+	// Model-only scenarios ignore the budget entirely.
+	modelOnly := bftScenario(false)
+	mp := modelOnly
+	mp.Budget.Precision = 0.05
+	if modelOnly.Key() != mp.Key() {
+		t.Error("budget knobs must not key model-only scenarios")
+	}
+}
+
+// TestSimBackendPrecisionBudget: Budget.Precision flows into the
+// simulator's early stopping and the achieved precision flows back into
+// the point.
+func TestSimBackendPrecisionBudget(t *testing.T) {
+	ab := NewAnalyticBackend()
+	sc := bftScenario(true)
+	sc.Budget.Measure = 20000
+	sc.Budget.Precision = 0.1
+	pt, err := NewSimBackend(ab).Evaluate(context.Background(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pt.Sim) {
+		t.Fatal("no sim measurement")
+	}
+	if math.IsNaN(pt.SimPrecision) {
+		t.Fatal("achieved precision not reported")
+	}
+	if pt.SimPrecision > sc.Budget.Precision {
+		t.Errorf("achieved precision %v exceeds requested %v", pt.SimPrecision, sc.Budget.Precision)
+	}
+	// Replicas pool into one tighter estimate.
+	rep := bftScenario(true)
+	rep.Budget.Replicas = 3
+	single, err := NewSimBackend(ab).Evaluate(context.Background(), bftScenario(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := NewSimBackend(ab).Evaluate(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(pooled.SimCI < single.SimCI) {
+		t.Errorf("pooled CI %v not tighter than single-replica %v", pooled.SimCI, single.SimCI)
 	}
 }
 

@@ -90,6 +90,16 @@ type Budget struct {
 	// DrainLimit bounds the extra cycles after the measurement window
 	// while tracked messages finish; 0 picks the simulator's default.
 	DrainLimit int `json:"drain_limit,omitempty"`
+	// Precision, when positive, turns on the simulator's CI-width early
+	// stopping: the run may close its measurement window as soon as the
+	// 95% relative half-width of the latency estimate drops to this value
+	// (0.05 = ±5%). Measure then acts as a ceiling rather than a fixed
+	// window. Zero keeps the classic fixed-window behaviour.
+	Precision float64 `json:"precision,omitempty"`
+	// Replicas, when > 1, runs that many independent simulation replicas
+	// (derived seeds, see sim.ReplicaSeed) concurrently and pools their
+	// statistics. Zero or one means a single replica.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // Load is one load point of a scenario.
@@ -225,6 +235,17 @@ func (s Scenario) Key() string {
 		if s.Budget.DrainLimit != 0 {
 			b.WriteString(" drain=")
 			b.WriteString(strconv.Itoa(s.Budget.DrainLimit))
+		}
+		// The early-stopping and replica knobs change the measured result,
+		// so they belong in the key — but only when set, preserving the
+		// keys of every result persisted before the knobs existed.
+		if s.Budget.Precision > 0 {
+			b.WriteString(" prec=")
+			b.WriteString(strconv.FormatFloat(s.Budget.Precision, 'x', -1, 64))
+		}
+		if s.Budget.Replicas > 1 {
+			b.WriteString(" reps=")
+			b.WriteString(strconv.Itoa(s.Budget.Replicas))
 		}
 	}
 	sum := sha256.Sum256([]byte(b.String()))

@@ -60,7 +60,9 @@ func (b *SimBackend) ResolveLoad(sc Scenario) (float64, error) {
 }
 
 // Evaluate implements Evaluator: one deterministic simulation run at the
-// scenario's derived seed.
+// scenario's derived seed. Budget.Precision and Budget.Replicas map to
+// the simulator's early-stopping and replica options; the achieved
+// relative precision comes back in Point.SimPrecision.
 func (b *SimBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
 	if err := ctx.Err(); err != nil {
 		return Point{}, err
@@ -86,7 +88,14 @@ func (b *SimBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
 		DrainLimit:    sc.Budget.DrainLimit,
 		Policy:        sc.Policy,
 	}.FlitLoad(load)
-	res, err := sim.RunContext(ctx, cfg)
+	var opts []sim.Option
+	if sc.Budget.Precision > 0 {
+		opts = append(opts, sim.WithTermination(sim.Termination{RelHalfWidth: sc.Budget.Precision}))
+	}
+	if sc.Budget.Replicas > 1 {
+		opts = append(opts, sim.WithReplicas(sc.Budget.Replicas))
+	}
+	res, err := sim.Run(ctx, cfg, opts...)
 	if err != nil {
 		return Point{}, err
 	}
@@ -95,5 +104,6 @@ func (b *SimBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
 	pt.Sim = res.LatencyMean
 	pt.SimCI = res.LatencyCI95
 	pt.SimSaturated = res.Saturated
+	pt.SimPrecision = res.Precision
 	return pt, nil
 }

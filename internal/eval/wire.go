@@ -27,6 +27,7 @@ type pointWire struct {
 	Sim            *float64 `json:"sim,omitempty"`
 	SimCI          *float64 `json:"sim_ci,omitempty"`
 	SimSaturated   bool     `json:"sim_saturated,omitempty"`
+	SimPrecision   *float64 `json:"sim_precision,omitempty"`
 }
 
 // finite returns v boxed, or nil when v is NaN or ±Inf.
@@ -55,6 +56,7 @@ func (p Point) MarshalJSON() ([]byte, error) {
 		Sim:            finite(p.Sim),
 		SimCI:          finite(p.SimCI),
 		SimSaturated:   p.SimSaturated,
+		SimPrecision:   finite(p.SimPrecision),
 	})
 }
 
@@ -76,6 +78,7 @@ func (p *Point) UnmarshalJSON(data []byte) error {
 	p.Sim = unbox(w.Sim, nan)
 	p.SimCI = unbox(w.SimCI, nan)
 	p.SimSaturated = w.SimSaturated
+	p.SimPrecision = unbox(w.SimPrecision, nan)
 	return nil
 }
 

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,10 +71,19 @@ func LoadsUpTo(m interface{ SaturationLoad() (float64, error) }, points int, fra
 }
 
 // CompareCurve evaluates the model and (optionally) the simulator over the
-// given loads. A nil net skips simulation (model-only curves).
+// given loads. A nil net skips simulation (model-only curves). The
+// budget's Precision and Replicas knobs map to the simulator's CI-width
+// early stopping and independent-replica options.
 func CompareCurve(model analytic.NetworkModel, net topology.Network, flits int,
 	loads []float64, b Budget, policy sim.UpLinkPolicy) ([]ComparisonPoint, error) {
 
+	var opts []sim.Option
+	if b.Precision > 0 {
+		opts = append(opts, sim.WithTermination(sim.Termination{RelHalfWidth: b.Precision}))
+	}
+	if b.Replicas > 1 {
+		opts = append(opts, sim.WithReplicas(b.Replicas))
+	}
 	pts := make([]ComparisonPoint, 0, len(loads))
 	for i, load := range loads {
 		pt := ComparisonPoint{LoadFlits: load, Sim: math.NaN()}
@@ -94,9 +104,10 @@ func CompareCurve(model analytic.NetworkModel, net topology.Network, flits int,
 				Seed:          b.Seed + uint64(i)*7919,
 				WarmupCycles:  b.Warmup,
 				MeasureCycles: b.Measure,
+				DrainLimit:    b.DrainLimit,
 				Policy:        policy,
 			}.FlitLoad(load)
-			res, err := sim.Run(cfg)
+			res, err := sim.Run(context.Background(), cfg, opts...)
 			if err != nil {
 				return nil, fmt.Errorf("exp: sim at load %v: %w", load, err)
 			}

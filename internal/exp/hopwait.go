@@ -91,7 +91,7 @@ func HopWaitsContext(ctx context.Context, numProc, msgFlits int, load float64, b
 			s.Add(float64(wait))
 		},
 	}.FlitLoad(load)
-	if _, err := sim.RunContext(ctx, cfg); err != nil {
+	if _, err := sim.Run(ctx, cfg); err != nil {
 		return nil, err
 	}
 

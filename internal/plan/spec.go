@@ -266,5 +266,11 @@ func (s *Spec) Validate() error {
 	if s.Budget.Warmup < 0 || s.Budget.Measure < 0 || s.Budget.DrainLimit < 0 {
 		return fmt.Errorf("plan: bad certification budget %+v", s.Budget)
 	}
+	if p := s.Budget.Precision; p < 0 || math.IsNaN(p) || p >= 1 {
+		return fmt.Errorf("plan: bad certification precision %v, must be in [0, 1)", p)
+	}
+	if s.Budget.Replicas < 0 {
+		return fmt.Errorf("plan: bad certification replicas %d, must be >= 0", s.Budget.Replicas)
+	}
 	return nil
 }

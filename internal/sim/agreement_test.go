@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -24,7 +26,7 @@ func runBFT(t *testing.T, numProc, flits int, load float64, seed uint64) *Result
 		WarmupCycles:  6000,
 		MeasureCycles: 40000,
 	}.FlitLoad(load)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestModelTracksSimulationHypercube(t *testing.T) {
 			WarmupCycles:  6000,
 			MeasureCycles: 40000,
 		}.FlitLoad(load)
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +209,7 @@ func TestSimSaturationBracketsModel(t *testing.T) {
 		MeasureCycles: 40000,
 		DrainLimit:    20000,
 	}.FlitLoad(1.6 * sat)
-	above, err := Run(cfg)
+	above, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

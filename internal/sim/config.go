@@ -193,6 +193,25 @@ func (c *Config) progressTimeout() int {
 	return 50000
 }
 
+// histBins is the bin count of the latency histogram.
+const histBins = 1024
+
+// histMax resolves the histogram upper bound: HistMax when positive,
+// otherwise a generous 50×(MsgFlits + diameter) — far above any
+// stable-mode latency.
+func (c *Config) histMax(net topology.Network) float64 {
+	if c.HistMax > 0 {
+		return c.HistMax
+	}
+	diam := 0
+	for p := 0; p < net.NumProcessors(); p++ {
+		if d := net.PathLen(0, p); d > diam {
+			diam = d
+		}
+	}
+	return 50 * float64(c.MsgFlits+diam)
+}
+
 func (c *Config) pattern() traffic.Pattern {
 	if c.Pattern != nil {
 		return c.Pattern

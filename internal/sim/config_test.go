@@ -66,26 +66,26 @@ func TestConfigValidate(t *testing.T) {
 				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 			// Run must reject it identically instead of misbehaving.
-			if _, runErr := Run(cfg); runErr == nil || runErr.Error() != err.Error() {
+			if _, runErr := Run(context.Background(), cfg); runErr == nil || runErr.Error() != err.Error() {
 				t.Errorf("Run error %v differs from Validate error %v", runErr, err)
 			}
 		})
 	}
 }
 
-func TestRunContextAlreadyCancelled(t *testing.T) {
+func TestRunAlreadyCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := RunContext(ctx, validConfig(t))
+	_, err := Run(ctx, validConfig(t))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
-// TestRunContextCancelsMidRun pins the in-loop cancellation: a deadline
-// far shorter than the run's wall clock must abort the cycle loop, not
-// wait for the simulation to finish.
-func TestRunContextCancelsMidRun(t *testing.T) {
+// TestRunCancelsMidRun pins the in-loop cancellation: a deadline far
+// shorter than the run's wall clock must abort the cycle loop, not wait
+// for the simulation to finish.
+func TestRunCancelsMidRun(t *testing.T) {
 	cfg := validConfig(t)
 	cfg.Lambda0 = 0.02
 	cfg.WarmupCycles = 1000
@@ -93,7 +93,7 @@ func TestRunContextCancelsMidRun(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := RunContext(ctx, cfg)
+	_, err := Run(ctx, cfg)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want context.DeadlineExceeded, got %v", err)
 	}
@@ -102,20 +102,30 @@ func TestRunContextCancelsMidRun(t *testing.T) {
 	}
 }
 
-// TestRunContextUncancelledMatchesRun pins that threading a context
-// through does not perturb determinism.
-func TestRunContextUncancelledMatchesRun(t *testing.T) {
+// TestRunOptionValidation pins that malformed options are rejected before
+// any simulation work happens.
+func TestRunOptionValidation(t *testing.T) {
 	cfg := validConfig(t)
-	cfg.Lambda0 = 0.01
-	a, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opt  Option
+		want string
+	}{
+		{"negative replicas", WithReplicas(-2), "WithReplicas"},
+		{"negative half-width", WithTermination(Termination{RelHalfWidth: -0.1}), "RelHalfWidth"},
+		{"NaN half-width", WithTermination(Termination{RelHalfWidth: math.NaN()}), "RelHalfWidth"},
+		{"bad confidence", WithTermination(Termination{RelHalfWidth: 0.05, Confidence: 1.5}), "Confidence"},
+		{"negative batches", WithTermination(Termination{RelHalfWidth: 0.05, MinBatches: -1}), "MinBatches"},
+		{"negative stride", WithTermination(Termination{RelHalfWidth: 0.05, CheckEvery: -1}), "CheckEvery"},
+		{"negative histogram bound", WithHistogram(-3), "WithHistogram"},
 	}
-	b, err := RunContext(context.Background(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.LatencyMean != b.LatencyMean || a.ThroughputFlits != b.ThroughputFlits || a.Cycles != b.Cycles {
-		t.Errorf("RunContext diverged from Run: %+v vs %+v", a, b)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(ctx, cfg, tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error mentioning %q, got %v", tc.want, err)
+			}
+		})
 	}
 }

@@ -76,7 +76,7 @@ func TestInjectionWaitDiscretisation(t *testing.T) {
 		MeasureCycles: 60000,
 	}
 	cfg.Lambda0 = 0.00005
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestBitComplementPattern(t *testing.T) {
 		WarmupCycles:  500,
 		MeasureCycles: 6000,
 	}.FlitLoad(0.02)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestBitComplementPattern(t *testing.T) {
 	}
 	// Bit complement on the fat-tree sends everything through the top
 	// level: up-link busy fractions must exceed uniform's at equal load.
-	uniform, err := Run(Config{
+	uniform, err := Run(context.Background(), Config{
 		Net:           topology.MustFatTree(64),
 		MsgFlits:      8,
 		Seed:          4,

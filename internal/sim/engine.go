@@ -2,8 +2,11 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"slices"
+	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -18,22 +21,58 @@ const (
 	stateDone
 )
 
-// worm is one in-flight message. The rigid-worm representation stores only
-// the acquired channel path and three counters; flit positions are implied
-// (one flit per held channel while routing; see package comment).
-type worm struct {
-	src, dst   int32
-	arrival    float64
-	grantCycle int64
-	path       []topology.ChannelID
-	tailIdx    int32 // channels before this index have been released
-	injected   int32 // flits that have entered the network
-	consumed   int32 // flits delivered to the destination PE
-	state      wormState
-	tracked    bool
-	drainFrom  int64 // first cycle of post-head-arrival consumption
-	enqueuedAt int64 // cycle the worm entered its current arbitration queue
+// wormSoA holds the in-flight messages in struct-of-arrays layout: the hot
+// phases (drain, shift, grant) each touch only a couple of fields per worm,
+// so parallel arrays keep those accesses dense in cache instead of striding
+// over full worm records. Slots are pooled through the engine's freeList
+// and path buffers are reused across occupants, so the steady state
+// allocates nothing (pinned by TestSteadyStateAllocs).
+//
+// The rigid-worm representation itself is unchanged: only the acquired
+// channel path and three counters are stored; flit positions are implied
+// (one flit per held channel while routing; see the package comment).
+type wormSoA struct {
+	src, dst   []int32
+	arrival    []float64
+	grantCycle []int64
+	path       [][]topology.ChannelID
+	tailIdx    []int32 // channels before this index have been released
+	injected   []int32 // flits that have entered the network
+	consumed   []int32 // flits delivered to the destination PE
+	state      []wormState
+	tracked    []bool
+	drainFrom  []int64 // first cycle of post-head-arrival consumption
+	enqueuedAt []int64 // cycle the worm entered its current arbitration queue
 }
+
+func (s *wormSoA) grow() int32 {
+	s.src = append(s.src, 0)
+	s.dst = append(s.dst, 0)
+	s.arrival = append(s.arrival, 0)
+	s.grantCycle = append(s.grantCycle, 0)
+	s.path = append(s.path, nil)
+	s.tailIdx = append(s.tailIdx, 0)
+	s.injected = append(s.injected, 0)
+	s.consumed = append(s.consumed, 0)
+	s.state = append(s.state, stateRouting)
+	s.tracked = append(s.tracked, false)
+	s.drainFrom = append(s.drainFrom, 0)
+	s.enqueuedAt = append(s.enqueuedAt, 0)
+	return int32(len(s.src) - 1)
+}
+
+func (s *wormSoA) reset(id int32) {
+	s.src[id], s.dst[id] = 0, 0
+	s.arrival[id] = 0
+	s.grantCycle[id] = 0
+	s.path[id] = s.path[id][:0]
+	s.tailIdx[id], s.injected[id], s.consumed[id] = 0, 0, 0
+	s.state[id] = stateRouting
+	s.tracked[id] = false
+	s.drainFrom[id], s.enqueuedAt[id] = 0, 0
+}
+
+func (s *wormSoA) len() int { return len(s.src) }
 
 // fifo is an amortised O(1) FIFO.
 type fifo[T any] struct {
@@ -57,6 +96,17 @@ func (q *fifo[T]) pop() T {
 }
 func (q *fifo[T]) len() int { return len(q.items) - q.head }
 
+// arrEvent is one entry of the arrival calendar: processor p's next
+// Poisson arrival becomes eligible for injection at the given cycle.
+type arrEvent struct {
+	cycle int64
+	p     int32
+}
+
+func arrBefore(a, b arrEvent) bool {
+	return a.cycle < b.cycle || (a.cycle == b.cycle && a.p < b.p)
+}
+
 type engine struct {
 	cfg    Config
 	net    topology.Network
@@ -64,7 +114,7 @@ type engine struct {
 	nProc  int
 	sFlits int32
 
-	worms    []worm
+	soa      wormSoA
 	freeList []int32
 	active   int
 
@@ -87,7 +137,24 @@ type engine struct {
 	waitingInj []bool
 	rng        *traffic.RNG
 
-	measStart, measEnd int64
+	// Event-driven advancement: arrHeap is a binary min-heap over each
+	// source's next arrival-eligibility cycle, and injReady lists the
+	// processors that must create a worm at the next arrivals phase
+	// (pending messages, injection channel no longer contested by an
+	// earlier worm of the same source). Together they replace the dense
+	// per-cycle scan over all processors — only sources with actual events
+	// are touched — and when no worm is in flight the cycle loop jumps
+	// straight to the heap minimum.
+	arrHeap    []arrEvent
+	injReady   []int32
+	inInjReady []bool
+
+	term         Termination
+	measStart    int64
+	measEnd      int64 // shrinks when the termination rule fires
+	hardEnd      int64
+	earlyStopped bool
+
 	lat                *stats.BatchMeans
 	latAll             stats.Stream
 	latHist            *stats.Histogram
@@ -95,6 +162,7 @@ type engine struct {
 	flitsDelivered     int64
 	queueFirstHalf     float64
 	queueSecondHalf    float64
+	qChecks            []float64 // cumulative queueIntegral at check strides (termination mode)
 	trackedArrived     int
 	trackedCompleted   int
 	trackedOutstanding int
@@ -106,21 +174,165 @@ type engine struct {
 	debugChecks bool // same-package tests enable per-cycle invariants
 }
 
-// Run simulates the configured system and returns the measured result. The
-// run is deterministic for a given Config.
-func Run(cfg Config) (*Result, error) {
-	return RunContext(context.Background(), cfg)
-}
-
-// RunContext is Run with cancellation: the cycle loop checks ctx every
-// few thousand cycles, so a cancelled context aborts mid-simulation (not
-// just between runs) with an error wrapping ctx.Err(). Cancellation does
-// not perturb determinism — an uncancelled run is bit-identical to Run.
-func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+// Run simulates the configured system and returns the measured result.
+// Without options the run is bit-deterministic for a given Config and
+// bit-identical to the pre-event-driven engine (RunReference); options add
+// the statistical machinery on top: WithTermination for CI-width early
+// stopping, WithReplicas for concurrent independent replicas merged by
+// pooled batch means, WithHistogram for latency percentiles.
+//
+// The cycle loop checks ctx periodically, so a cancelled context aborts
+// mid-simulation (not just between runs) with an error wrapping ctx.Err().
+// Cancellation does not perturb determinism — an uncancelled run is
+// unaffected by its context.
+func Run(ctx context.Context, cfg Config, opts ...Option) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return newEngine(cfg).run(ctx)
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.hist {
+		cfg.LatencyHistogram = true
+		if o.histMax > 0 {
+			cfg.HistMax = o.histMax
+		}
+	}
+	if o.replicas == 1 {
+		e := newEngine(cfg)
+		e.term = o.term
+		return e.run(ctx)
+	}
+	return runReplicas(ctx, cfg, o)
+}
+
+// RunContext is the pre-options spelling of Run.
+//
+// Deprecated: use Run, which is ctx-first and takes functional options.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return Run(ctx, cfg)
+}
+
+// runReplicas launches one engine per replica on derived seeds, cancels
+// the rest on the first failure, and merges the survivors in replica-index
+// order so the merged Result does not depend on goroutine scheduling.
+func runReplicas(ctx context.Context, cfg Config, o runOptions) (*Result, error) {
+	n := o.replicas
+	term := o.term
+	if term.Enabled() {
+		// Each replica stops on its own (deterministic) statistics, so ask
+		// every replica for a CI √n looser than the request: pooling n
+		// independent replicas tightens the half-width by about √n,
+		// landing the merged CI near the requested target.
+		term.RelHalfWidth *= math.Sqrt(float64(n))
+	}
+	engines := make([]*engine, n)
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		rcfg := cfg
+		rcfg.Seed = ReplicaSeed(cfg.Seed, r)
+		e := newEngine(rcfg)
+		e.term = term
+		engines[r] = e
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = engines[r].run(rctx)
+			if errs[r] != nil {
+				cancel()
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Prefer a substantive failure (deadlock, parent cancellation) over
+	// the secondary "context canceled" errors of replicas we aborted.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if ctx.Err() != nil || !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return mergeReplicas(engines, results), nil
+}
+
+// mergeReplicas pools the replica accumulators into one Result: batch
+// means and sample streams are merged exactly (stats.Stream/BatchMeans
+// parallel reduction), counts are summed, and rates are re-derived from
+// the pooled totals weighted by each replica's actual measured window.
+func mergeReplicas(engines []*engine, results []*Result) *Result {
+	first := engines[0]
+	pooled := first.lat
+	latAll := first.latAll
+	wInj := first.wInj
+	xInj := first.xInj
+	hist := first.latHist
+	flits := first.flitsDelivered
+	measSum := first.measEnd - first.measStart
+	queueInt := first.queueIntegral
+	busy := make([]int64, len(first.busyInMeas))
+	copy(busy, first.busyInMeas)
+
+	res := *results[0]
+	for r := 1; r < len(engines); r++ {
+		e := engines[r]
+		pooled.Merge(e.lat)
+		latAll.Merge(&e.latAll)
+		wInj.Merge(&e.wInj)
+		xInj.Merge(&e.xInj)
+		if hist != nil && e.latHist != nil {
+			hist.Merge(e.latHist)
+		}
+		flits += e.flitsDelivered
+		measSum += e.measEnd - e.measStart
+		queueInt += e.queueIntegral
+		for ch := range busy {
+			busy[ch] += e.busyInMeas[ch]
+		}
+		res.TrackedInjected += results[r].TrackedInjected
+		res.TrackedCompleted += results[r].TrackedCompleted
+		res.TotalCompleted += results[r].TotalCompleted
+		res.Cycles += results[r].Cycles
+		res.Saturated = res.Saturated || results[r].Saturated
+		res.EarlyStopped = res.EarlyStopped || results[r].EarlyStopped
+	}
+
+	meas := float64(measSum)
+	nProc := float64(first.nProc)
+	res.LatencyMean = latAll.Mean()
+	res.LatencyCI95 = pooled.HalfWidth(0.95)
+	res.LatencyMin = latAll.Min()
+	res.LatencyMax = latAll.Max()
+	res.WaitInjMean = wInj.Mean()
+	res.ServiceInjMean = xInj.Mean()
+	res.ThroughputFlits = float64(flits) / (meas * nProc)
+	res.MeanSourceQueue = queueInt / (meas * nProc)
+	res.ChannelBusy = make([]float64, len(busy))
+	for ch := range busy {
+		res.ChannelBusy[ch] = float64(busy[ch]) / meas
+	}
+	res.Replicas = len(engines)
+	res.MeasuredCycles = int(measSum)
+	res.Precision = relPrecision(res.LatencyCI95, res.LatencyMean)
+	if hist != nil && hist.Total() > 0 {
+		res.LatencyP50 = hist.Quantile(0.50)
+		res.LatencyP95 = hist.Quantile(0.95)
+		res.LatencyP99 = hist.Quantile(0.99)
+	}
+	return &res
 }
 
 func newEngine(cfg Config) *engine {
@@ -144,61 +356,130 @@ func newEngine(cfg Config) *engine {
 		srcRNG:     make([]*traffic.RNG, nProc),
 		pendingArr: make([]fifo[float64], nProc),
 		waitingInj: make([]bool, nProc),
+		arrHeap:    make([]arrEvent, 0, nProc),
+		injReady:   make([]int32, 0, nProc),
+		inInjReady: make([]bool, nProc),
 		measStart:  int64(cfg.WarmupCycles),
 		measEnd:    int64(cfg.WarmupCycles + cfg.MeasureCycles),
 		lat:        stats.NewBatchMeans(cfg.batchSize()),
 	}
 	if cfg.LatencyHistogram {
-		hi := cfg.HistMax
-		if hi <= 0 {
-			// Generous default: far above any stable-mode latency.
-			diam := 0
-			for p := 0; p < nProc; p++ {
-				if d := net.PathLen(0, p); d > diam {
-					diam = d
-				}
-			}
-			hi = 50 * float64(cfg.MsgFlits+diam)
-		}
-		e.latHist = stats.NewHistogram(0, hi, 1024)
+		e.latHist = stats.NewHistogram(0, cfg.histMax(net), histBins)
 	}
 	master := traffic.NewRNG(cfg.Seed)
-	e.rng = master.Split(0xa11ce)
+	e.rng = master.Split(streamShuffle)
 	for p := 0; p < nProc; p++ {
-		e.srcRNG[p] = master.Split(uint64(p) + 1)
-		e.sources[p] = traffic.NewPoissonSource(cfg.Lambda0, master.Split(uint64(p)+1_000_003))
+		e.srcRNG[p] = master.Split(streamDest(p))
+		e.sources[p] = traffic.NewPoissonSource(cfg.Lambda0, master.Split(streamArrival(p)))
+		e.scheduleArrival(p)
 	}
 	return e
 }
 
-// ctxCheckMask sets how often the cycle loop polls the context: every
-// 4096 cycles, i.e. a few microseconds of wall clock on the largest
-// paper configuration — prompt cancellation at negligible cost.
+// scheduleArrival (re)inserts processor p's next arrival into the
+// calendar. An arrival at continuous time a becomes eligible at the first
+// cycle t with a < t, i.e. floor(a)+1 — the same eligibility the dense
+// engine's per-cycle PopBefore(t) scan implements.
+func (e *engine) scheduleArrival(p int) {
+	a := e.sources[p].Peek()
+	if math.IsInf(a, 1) {
+		return // rate 0: the source never fires
+	}
+	e.heapPush(arrEvent{cycle: int64(math.Floor(a)) + 1, p: int32(p)})
+}
+
+func (e *engine) heapPush(ev arrEvent) {
+	h := append(e.arrHeap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !arrBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.arrHeap = h
+}
+
+func (e *engine) heapPop() arrEvent {
+	h := e.arrHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && arrBefore(h[l], h[s]) {
+			s = l
+		}
+		if r < n && arrBefore(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	e.arrHeap = h
+	return top
+}
+
+// ctxCheckMask sets how often the cycle loop polls the context: every 4096
+// loop iterations (an iteration is one simulated cycle with work in it),
+// i.e. a few microseconds of wall clock on the largest paper configuration
+// — prompt cancellation at negligible cost.
 const ctxCheckMask = 1<<12 - 1
 
 func (e *engine) run(ctx context.Context) (*Result, error) {
-	hardEnd := e.measEnd + int64(e.cfg.drainLimit())
+	e.hardEnd = e.measEnd + int64(e.cfg.drainLimit())
 	timeout := int64(e.cfg.progressTimeout())
+	checkEvery := e.term.checkEvery()
 	t := int64(0)
-	for ; ; t++ {
-		if t >= e.measEnd && (e.trackedOutstanding == 0 || t >= hardEnd) {
+	for iter := int64(0); ; t, iter = t+1, iter+1 {
+		if t >= e.measEnd && (e.trackedOutstanding == 0 || t >= e.hardEnd) {
 			break
 		}
-		if t&ctxCheckMask == 0 {
+		if iter&ctxCheckMask == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sim: aborted at cycle %d: %w", t, err)
 			}
 		}
-		if e.active > 0 && t-e.lastProgress > timeout {
+		if e.active == 0 {
+			// Nothing in flight means nothing queued either (a queued
+			// message either has a worm contending for injection or
+			// becomes one the cycle it is popped), so no phase can do
+			// work before the next arrival: jump the clock straight
+			// there, or to the end of the window if no arrival precedes
+			// it. Skipped cycles contribute nothing to any accumulator —
+			// every queue is empty — so results are bit-identical to
+			// stepping through them.
+			next := e.measEnd
+			if len(e.arrHeap) > 0 && e.arrHeap[0].cycle < next {
+				next = e.arrHeap[0].cycle
+			}
+			if next > t {
+				t = next
+				e.lastProgress = t
+				if t >= e.measEnd {
+					break // idle and the window is over: done
+				}
+			}
+		} else if t-e.lastProgress > timeout {
 			return nil, fmt.Errorf("%w (cycle %d, %d worms active)", ErrDeadlock, t, e.active)
 		}
 		e.arrivals(t)
 		if t >= e.measStart && t < e.measEnd {
 			e.queueIntegral += float64(e.totalQueued)
-			if t-e.measStart < (e.measEnd-e.measStart)/2 {
-				e.queueFirstHalf += float64(e.totalQueued)
-			} else {
-				e.queueSecondHalf += float64(e.totalQueued)
+			if !e.term.Enabled() {
+				if t-e.measStart < (e.measEnd-e.measStart)/2 {
+					e.queueFirstHalf += float64(e.totalQueued)
+				} else {
+					e.queueSecondHalf += float64(e.totalQueued)
+				}
 			}
 		}
 		e.drain(t)
@@ -209,15 +490,42 @@ func (e *engine) run(ctx context.Context) (*Result, error) {
 		if e.debugChecks {
 			e.checkInvariants(t)
 		}
+		if e.term.Enabled() && t >= e.measStart && t < e.measEnd &&
+			(t-e.measStart+1)%checkEvery == 0 {
+			e.qChecks = append(e.qChecks, e.queueIntegral)
+			if e.ciConverged() {
+				e.measEnd = t + 1
+				e.hardEnd = e.measEnd + int64(e.cfg.drainLimit())
+				e.earlyStopped = true
+			}
+		}
 	}
 	return e.finish(t), nil
 }
 
-// arrivals pulls Poisson arrivals that became eligible before cycle t and
-// keeps one worm per PE contending for the injection channel.
+// ciConverged evaluates the termination rule against the latency batch
+// means accumulated so far.
+func (e *engine) ciConverged() bool {
+	if e.lat.Batches() < e.term.minBatches() {
+		return false
+	}
+	mean := e.lat.Mean()
+	if !(mean > 0) {
+		return false
+	}
+	hw := e.lat.HalfWidth(e.term.confidence())
+	return !math.IsNaN(hw) && hw <= e.term.RelHalfWidth*mean
+}
+
+// arrivals pulls Poisson arrivals that became eligible before cycle t off
+// the calendar and keeps one worm per PE contending for the injection
+// channel. Worm creation runs in ascending processor order — the same
+// order as the dense scan — because RandomFixed enqueueing draws from the
+// shared arbiter stream.
 func (e *engine) arrivals(t int64) {
 	limit := float64(t)
-	for p := 0; p < e.nProc; p++ {
+	for len(e.arrHeap) > 0 && e.arrHeap[0].cycle <= t {
+		p := int(e.heapPop().p)
 		for {
 			a, ok := e.sources[p].PopBefore(limit)
 			if !ok {
@@ -230,8 +538,22 @@ func (e *engine) arrivals(t int64) {
 				e.trackedOutstanding++
 			}
 		}
-		if !e.waitingInj[p] && !e.pendingArr[p].empty() {
-			e.createWorm(p, t)
+		e.scheduleArrival(p)
+		if !e.waitingInj[p] && !e.inInjReady[p] {
+			e.inInjReady[p] = true
+			e.injReady = append(e.injReady, int32(p))
+		}
+	}
+	if len(e.injReady) > 0 {
+		slices.Sort(e.injReady)
+		ready := e.injReady
+		e.injReady = e.injReady[:0]
+		// createWorm never re-appends to injReady (it marks the source
+		// waiting before any grant can clear it), so iterating the shared
+		// backing array while the live slice is empty is safe.
+		for _, p := range ready {
+			e.inInjReady[p] = false
+			e.createWorm(int(p), t)
 		}
 	}
 }
@@ -239,12 +561,11 @@ func (e *engine) arrivals(t int64) {
 func (e *engine) createWorm(p int, t int64) {
 	a := e.pendingArr[p].pop()
 	id := e.alloc()
-	w := &e.worms[id]
-	w.src = int32(p)
-	w.dst = int32(e.cfg.pattern().Dest(p, e.nProc, e.srcRNG[p]))
-	w.arrival = a
-	w.state = stateRouting
-	w.tracked = a >= float64(e.measStart) && a < float64(e.measEnd)
+	e.soa.src[id] = int32(p)
+	e.soa.dst[id] = int32(e.cfg.pattern().Dest(p, e.nProc, e.srcRNG[p]))
+	e.soa.arrival[id] = a
+	e.soa.state[id] = stateRouting
+	e.soa.tracked[id] = a >= float64(e.measStart) && a < float64(e.measEnd)
 	inj := e.net.InjectionChannel(p)
 	e.enqueue(e.net.GroupOf(inj), id, t)
 	e.waitingInj[p] = true
@@ -255,12 +576,10 @@ func (e *engine) alloc() int32 {
 	if n := len(e.freeList); n > 0 {
 		id := e.freeList[n-1]
 		e.freeList = e.freeList[:n-1]
-		path := e.worms[id].path[:0]
-		e.worms[id] = worm{path: path}
+		e.soa.reset(id)
 		return id
 	}
-	e.worms = append(e.worms, worm{})
-	return int32(len(e.worms) - 1)
+	return e.soa.grow()
 }
 
 // drain advances consumption: one flit per cycle per worm whose head has
@@ -268,17 +587,16 @@ func (e *engine) alloc() int32 {
 func (e *engine) drain(t int64) {
 	kept := e.draining[:0]
 	for _, id := range e.draining {
-		w := &e.worms[id]
-		if w.drainFrom > t {
+		if e.soa.drainFrom[id] > t {
 			kept = append(kept, id)
 			continue
 		}
-		w.consumed++
+		e.soa.consumed[id]++
 		e.countFlit(t)
-		e.shift(w, t)
+		e.shift(id, t)
 		e.lastProgress = t
-		if w.consumed >= e.sFlits {
-			e.finalize(w, id, t)
+		if e.soa.consumed[id] >= e.sFlits {
+			e.finalize(id, t)
 		} else {
 			kept = append(kept, id)
 		}
@@ -296,14 +614,14 @@ func (e *engine) requests(t int64) {
 		rn[i], rn[j] = rn[j], rn[i]
 	}
 	for _, id := range rn {
-		w := &e.worms[id]
-		g := e.net.NextGroup(w.path[len(w.path)-1], int(w.dst))
+		path := e.soa.path[id]
+		g := e.net.NextGroup(path[len(path)-1], int(e.soa.dst[id]))
 		e.enqueue(g, id, t)
 	}
 }
 
 func (e *engine) enqueue(g topology.GroupID, id int32, t int64) {
-	e.worms[id].enqueuedAt = t
+	e.soa.enqueuedAt[id] = t
 	if e.cfg.Policy == RandomFixed {
 		members := e.groups[g]
 		ch := members[0]
@@ -390,34 +708,41 @@ func (e *engine) pickFree(members []topology.ChannelID) int32 {
 
 // grant advances a worm's head across channel ch during cycle t.
 func (e *engine) grant(id int32, ch topology.ChannelID, t int64) {
-	w := &e.worms[id]
 	e.busy[ch] = true
 	e.acquiredAt[ch] = t
 	if obs := e.cfg.HopWaitObserver; obs != nil && t >= e.measStart && t < e.measEnd {
-		obs(ch, t-w.enqueuedAt)
+		obs(ch, t-e.soa.enqueuedAt[id])
 	}
-	if len(w.path) == 0 {
-		w.grantCycle = t
-		e.waitingInj[w.src] = false
+	if len(e.soa.path[id]) == 0 {
+		e.soa.grantCycle[id] = t
+		src := e.soa.src[id]
+		e.waitingInj[src] = false
 		e.totalQueued--
-		if w.tracked {
-			e.wInj.Add(float64(t) - w.arrival)
+		if !e.pendingArr[src].empty() && !e.inInjReady[src] {
+			// The source has more queued messages: its next worm is
+			// created at the next cycle's arrivals phase, exactly when
+			// the dense scan would notice the freed injection slot.
+			e.inInjReady[src] = true
+			e.injReady = append(e.injReady, src)
+		}
+		if e.soa.tracked[id] {
+			e.wInj.Add(float64(t) - e.soa.arrival[id])
 		}
 	}
-	w.path = append(w.path, ch)
-	e.shift(w, t)
+	e.soa.path[id] = append(e.soa.path[id], ch)
+	e.shift(id, t)
 	e.lastProgress = t
 	if p := e.net.EjectsTo(ch); p >= 0 {
-		if p != int(w.dst) {
-			panic(fmt.Sprintf("sim: worm for %d delivered to %d", w.dst, p))
+		if p != int(e.soa.dst[id]) {
+			panic(fmt.Sprintf("sim: worm for %d delivered to %d", e.soa.dst[id], p))
 		}
-		w.consumed = 1 // the head's traversal of the ejection channel
+		e.soa.consumed[id] = 1 // the head's traversal of the ejection channel
 		e.countFlit(t)
-		if w.consumed >= e.sFlits {
-			e.finalize(w, id, t)
+		if e.soa.consumed[id] >= e.sFlits {
+			e.finalize(id, t)
 		} else {
-			w.state = stateDraining
-			w.drainFrom = t + 1
+			e.soa.state[id] = stateDraining
+			e.soa.drainFrom[id] = t + 1
 			e.draining = append(e.draining, id)
 		}
 	} else {
@@ -427,33 +752,35 @@ func (e *engine) grant(id int32, ch topology.ChannelID, t int64) {
 
 // shift moves the whole worm one channel forward: a new flit enters at the
 // source, or — once all flits are in flight — the tail releases a channel.
-func (e *engine) shift(w *worm, t int64) {
-	if w.injected < e.sFlits {
-		w.injected++
+func (e *engine) shift(id int32, t int64) {
+	if e.soa.injected[id] < e.sFlits {
+		e.soa.injected[id]++
 		return
 	}
-	ch := w.path[w.tailIdx]
-	if w.tailIdx == 0 && w.tracked {
+	tail := e.soa.tailIdx[id]
+	ch := e.soa.path[id][tail]
+	if tail == 0 && e.soa.tracked[id] {
 		// The tail flit just left the injection channel: its holding time
 		// is the paper's x̄₀₁ sample.
-		e.xInj.Add(float64(t - w.grantCycle))
+		e.xInj.Add(float64(t - e.soa.grantCycle[id]))
 	}
-	w.tailIdx++
+	e.soa.tailIdx[id] = tail + 1
 	e.scheduleRelease(ch, t)
 }
 
-func (e *engine) finalize(w *worm, id int32, t int64) {
+func (e *engine) finalize(id int32, t int64) {
 	// The tail has already passed the injection channel (shift runs
 	// before this in both callers), so tailIdx >= 1 here and the xInj
 	// sample has been recorded.
-	for i := int(w.tailIdx); i < len(w.path); i++ {
-		e.scheduleRelease(w.path[i], t)
+	path := e.soa.path[id]
+	for i := int(e.soa.tailIdx[id]); i < len(path); i++ {
+		e.scheduleRelease(path[i], t)
 	}
-	w.tailIdx = int32(len(w.path))
-	w.state = stateDone
+	e.soa.tailIdx[id] = int32(len(path))
+	e.soa.state[id] = stateDone
 	e.totalCompleted++
-	if w.tracked {
-		latency := float64(t+1) - w.arrival
+	if e.soa.tracked[id] {
+		latency := float64(t+1) - e.soa.arrival[id]
 		e.lat.Add(latency)
 		e.latAll.Add(latency)
 		if e.latHist != nil {
@@ -496,6 +823,47 @@ func (e *engine) countFlit(t int64) {
 	}
 }
 
+// queueHalves splits the queue-length integral into the first and second
+// half of the measurement window (the saturation heuristic compares them).
+// With fixed-cycle runs the halves are accumulated exactly; with early
+// stopping the window end is not known in advance, so the cumulative
+// integral snapshots taken at each termination check are interpolated at
+// the midpoint instead.
+func (e *engine) queueHalves() (first, second float64) {
+	if !e.term.Enabled() {
+		return e.queueFirstHalf, e.queueSecondHalf
+	}
+	total := e.queueIntegral
+	m := float64(e.measEnd - e.measStart)
+	if m <= 0 {
+		return 0, 0
+	}
+	mid := m / 2
+	ce := float64(e.term.checkEvery())
+	var cumAtMid float64
+	if len(e.qChecks) == 0 {
+		cumAtMid = total * mid / m
+	} else {
+		i := int(mid / ce) // snapshots sit at offsets ce, 2ce, ...
+		switch {
+		case i == 0:
+			cumAtMid = e.qChecks[0] * mid / ce
+		case i >= len(e.qChecks):
+			last := e.qChecks[len(e.qChecks)-1]
+			lastX := float64(len(e.qChecks)) * ce
+			if span := m - lastX; span > 0 {
+				cumAtMid = last + (total-last)*(mid-lastX)/span
+			} else {
+				cumAtMid = last
+			}
+		default:
+			base := e.qChecks[i-1]
+			cumAtMid = base + (e.qChecks[i]-base)*(mid-float64(i)*ce)/ce
+		}
+	}
+	return cumAtMid, total - cumAtMid
+}
+
 func (e *engine) finish(t int64) *Result {
 	// Account channels still busy at the end of the run.
 	for ch := range e.busy {
@@ -505,7 +873,7 @@ func (e *engine) finish(t int64) *Result {
 	}
 	e.applyReleases()
 
-	meas := float64(e.cfg.MeasureCycles)
+	meas := float64(e.measEnd - e.measStart)
 	res := &Result{
 		Name:             e.net.Name(),
 		LatencyMean:      e.latAll.Mean(),
@@ -522,16 +890,21 @@ func (e *engine) finish(t int64) *Result {
 		Cycles:           int(t),
 		MeanSourceQueue:  e.queueIntegral / (meas * float64(e.nProc)),
 		ChannelBusy:      make([]float64, len(e.busyInMeas)),
+		Replicas:         1,
+		MeasuredCycles:   int(e.measEnd - e.measStart),
+		EarlyStopped:     e.earlyStopped,
 	}
 	// A run is saturated when tracked messages were left unfinished, when
 	// delivery fell visibly short of the offer, or when source queues
 	// kept growing through the measurement window.
+	firstHalf, secondHalf := e.queueHalves()
 	half := meas / 2 * float64(e.nProc)
-	queueA := e.queueFirstHalf / half
-	queueB := e.queueSecondHalf / half
+	queueA := firstHalf / half
+	queueB := secondHalf / half
 	res.Saturated = e.trackedOutstanding > 0 ||
 		(res.OfferedFlits > 0 && res.ThroughputFlits < 0.9*res.OfferedFlits) ||
 		queueB > 1.5*queueA+2
+	res.Precision = relPrecision(res.LatencyCI95, res.LatencyMean)
 	res.LatencyP50, res.LatencyP95, res.LatencyP99 = math.NaN(), math.NaN(), math.NaN()
 	if e.latHist != nil && e.latHist.Total() > 0 {
 		res.LatencyP50 = e.latHist.Quantile(0.50)
@@ -548,24 +921,24 @@ func (e *engine) finish(t int64) *Result {
 // by white-box tests and panics on violation.
 func (e *engine) checkInvariants(t int64) {
 	held := make(map[topology.ChannelID]int32)
-	for id := range e.worms {
-		w := &e.worms[id]
-		if w.state == stateDone {
+	for id := 0; id < e.soa.len(); id++ {
+		if e.soa.state[id] == stateDone {
 			continue
 		}
-		if len(w.path) == 0 {
-			continue // waiting for injection
+		path := e.soa.path[id]
+		if len(path) == 0 {
+			continue // waiting for injection (or a recycled free slot)
 		}
-		nHeld := len(w.path) - int(w.tailIdx)
-		for i := int(w.tailIdx); i < len(w.path); i++ {
-			ch := w.path[i]
+		nHeld := len(path) - int(e.soa.tailIdx[id])
+		for i := int(e.soa.tailIdx[id]); i < len(path); i++ {
+			ch := path[i]
 			if prev, dup := held[ch]; dup {
 				panic(fmt.Sprintf("cycle %d: channel %d held by worms %d and %d", t, ch, prev, id))
 			}
 			held[ch] = int32(id)
 		}
-		flits := int(w.injected - w.consumed)
-		switch w.state {
+		flits := int(e.soa.injected[id] - e.soa.consumed[id])
+		switch e.soa.state[id] {
 		case stateRouting:
 			if nHeld != flits {
 				panic(fmt.Sprintf("cycle %d: routing worm %d holds %d channels with %d flits in flight",
@@ -577,9 +950,10 @@ func (e *engine) checkInvariants(t int64) {
 					t, id, nHeld, flits))
 			}
 		}
-		if w.injected > e.sFlits || w.consumed > e.sFlits || w.consumed > w.injected {
+		if e.soa.injected[id] > e.sFlits || e.soa.consumed[id] > e.sFlits ||
+			e.soa.consumed[id] > e.soa.injected[id] {
 			panic(fmt.Sprintf("cycle %d: worm %d counters injected=%d consumed=%d",
-				t, id, w.injected, w.consumed))
+				t, id, e.soa.injected[id], e.soa.consumed[id]))
 		}
 	}
 	// Releases are applied before this check runs, so the busy set and

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -16,7 +18,7 @@ func TestLatencyPercentiles(t *testing.T) {
 		MeasureCycles:    20000,
 		LatencyHistogram: true,
 	}.FlitLoad(0.08)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func TestLatencyPercentilesDisabledByDefault(t *testing.T) {
 		WarmupCycles:  200,
 		MeasureCycles: 2000,
 	}.FlitLoad(0.02)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestLatencyHistogramExplicitBound(t *testing.T) {
 		LatencyHistogram: true,
 		HistMax:          64,
 	}.FlitLoad(0.02)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -54,6 +55,28 @@ type Result struct {
 	ChannelBusy []float64
 	// Name echoes the network name.
 	Name string
+	// Replicas is the number of independent replicas merged into this
+	// result (1 for a plain run).
+	Replicas int
+	// MeasuredCycles is the total number of measured cycles summed over
+	// all replicas. It equals Config.MeasureCycles × Replicas unless the
+	// termination rule stopped measurement early.
+	MeasuredCycles int
+	// EarlyStopped reports that the CI-width termination rule closed at
+	// least one replica's measurement window before its configured length.
+	EarlyStopped bool
+	// Precision is the achieved relative precision: LatencyCI95 divided
+	// by LatencyMean (NaN when either is unavailable).
+	Precision float64
+}
+
+// relPrecision derives the relative CI half-width, guarding the degenerate
+// cases (no samples, zero mean).
+func relPrecision(ci, mean float64) float64 {
+	if mean > 0 && !math.IsNaN(ci) {
+		return ci / mean
+	}
+	return math.NaN()
 }
 
 // String renders a one-line summary.

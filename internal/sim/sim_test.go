@@ -32,14 +32,14 @@ func TestRunValidatesConfig(t *testing.T) {
 		{Net: ft, MsgFlits: 4, MeasureCycles: 10, Policy: UpLinkPolicy(9)},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("config %d accepted", i)
 		}
 	}
 }
 
 func TestZeroLoadProducesNoTraffic(t *testing.T) {
-	res, err := Run(lightConfig(topology.MustFatTree(16), 16, 0, 1))
+	res, err := Run(context.Background(), lightConfig(topology.MustFatTree(16), 16, 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestUnloadedLatencyMatchesTheory(t *testing.T) {
 			MeasureCycles: 20000,
 		}
 		cfg.Lambda0 = 0.00002 // light enough that contention is negligible
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,11 +103,11 @@ func TestUnloadedLatencyMatchesTheory(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	cfg := lightConfig(topology.MustFatTree(64), 16, 0.02, 99)
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestDeterminism(t *testing.T) {
 		t.Errorf("same seed diverged: %v vs %v", a, b)
 	}
 	cfg.Seed = 100
-	c, err := Run(cfg)
+	c, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestThroughputMatchesOfferBelowSaturation(t *testing.T) {
 		WarmupCycles:  4000,
 		MeasureCycles: 30000,
 	}.FlitLoad(0.03)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestSaturationDetectedAtOverload(t *testing.T) {
 		MeasureCycles: 4000,
 		DrainLimit:    2000,
 	}.FlitLoad(0.5)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestLatencyIncreasesWithLoad(t *testing.T) {
 			WarmupCycles:  3000,
 			MeasureCycles: 20000,
 		}.FlitLoad(load)
-		res, err := Run(cfg)
+		res, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,12 +235,12 @@ func TestPairQueueBeatsRandomFixed(t *testing.T) {
 		WarmupCycles:  4000,
 		MeasureCycles: 25000,
 	}.FlitLoad(0.035)
-	pair, err := Run(base)
+	pair, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base.Policy = RandomFixed
-	fixed, err := Run(base)
+	fixed, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestChannelBusyFractionsSane(t *testing.T) {
 		WarmupCycles:  2000,
 		MeasureCycles: 10000,
 	}.FlitLoad(0.03)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +348,7 @@ func TestHotspotTrafficRuns(t *testing.T) {
 		WarmupCycles:  1000,
 		MeasureCycles: 5000,
 	}.FlitLoad(0.02)
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func TestDeadlockWatchdogDoesNotFireOnIdle(t *testing.T) {
 		MeasureCycles:   60000, // longer than the watchdog timeout
 		ProgressTimeout: 1000,
 	}
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatalf("idle run tripped the watchdog: %v", err)
 	}
 }

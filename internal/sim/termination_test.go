@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestTerminationStopsEarly is the happy path: at a stable load with a
+// generous measurement window, the CI-width rule must close the window
+// early and still land on a latency estimate consistent with the full run.
+func TestTerminationStopsEarly(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{
+		Net: topology.MustFatTree(64), MsgFlits: 16, Seed: 42,
+		WarmupCycles: 2000, MeasureCycles: 60000,
+	}.FlitLoad(0.03)
+
+	full, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := Run(ctx, cfg, WithTermination(DefaultTermination))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !early.EarlyStopped {
+		t.Fatalf("rule did not fire over %d cycles (precision %v)", cfg.MeasureCycles, early.Precision)
+	}
+	if early.MeasuredCycles >= cfg.MeasureCycles {
+		t.Errorf("MeasuredCycles = %d, want < %d", early.MeasuredCycles, cfg.MeasureCycles)
+	}
+	if early.Cycles >= full.Cycles {
+		t.Errorf("early-stopped run simulated %d cycles, full run %d", early.Cycles, full.Cycles)
+	}
+	// The achieved precision must honor the request.
+	if !(early.Precision <= DefaultTermination.RelHalfWidth) {
+		t.Errorf("achieved precision %v exceeds requested %v", early.Precision, DefaultTermination.RelHalfWidth)
+	}
+	// And the estimate must agree with the full-window estimate well
+	// within their combined uncertainty.
+	diff := math.Abs(early.LatencyMean - full.LatencyMean)
+	band := 2 * (early.LatencyCI95 + full.LatencyCI95)
+	if diff > band {
+		t.Errorf("early mean %v vs full mean %v differ by %v (band %v)",
+			early.LatencyMean, full.LatencyMean, diff, band)
+	}
+	if early.Saturated {
+		t.Error("stable load flagged saturated under early stopping")
+	}
+}
+
+// TestTerminationZeroVariance: with a degenerate zero-variance latency
+// series the half-width is exactly zero, and the rule must fire at the
+// first check after MinBatches — not divide by zero or wait forever.
+func TestTerminationZeroVariance(t *testing.T) {
+	cfg := Config{
+		Net: topology.MustFatTree(16), MsgFlits: 4, Seed: 1,
+		WarmupCycles: 0, MeasureCycles: 1000, BatchSize: 4,
+	}
+	e := newEngine(cfg)
+	e.term = Termination{RelHalfWidth: 0.05}
+	for i := 0; i < 100; i++ {
+		e.lat.Add(21.5) // constant series: batch means all equal
+	}
+	if hw := e.lat.HalfWidth(0.95); hw != 0 {
+		t.Fatalf("zero-variance half-width = %v, want 0", hw)
+	}
+	if !e.ciConverged() {
+		t.Error("rule must fire on a zero-variance series past MinBatches")
+	}
+}
+
+// TestTerminationTooFewObservations: with fewer observations than one
+// batch there is no batch statistic at all; the rule must hold off.
+func TestTerminationTooFewObservations(t *testing.T) {
+	cfg := Config{
+		Net: topology.MustFatTree(16), MsgFlits: 4, Seed: 1,
+		WarmupCycles: 0, MeasureCycles: 1000, // default batch size 64
+	}
+	e := newEngine(cfg)
+	e.term = Termination{RelHalfWidth: 0.5}
+	for i := 0; i < 63; i++ {
+		e.lat.Add(10 + float64(i%3))
+	}
+	if e.lat.Batches() != 0 {
+		t.Fatalf("unexpected completed batches: %d", e.lat.Batches())
+	}
+	if e.ciConverged() {
+		t.Error("rule fired with zero completed batches")
+	}
+	// One full batch is still below MinBatches.
+	e.lat.Add(10)
+	if e.ciConverged() {
+		t.Error("rule fired below MinBatches")
+	}
+}
+
+// TestTerminationNeverFiresAtSaturation: an overloaded run keeps its
+// latency series drifting, so the rule must not fabricate convergence and
+// the saturation verdict must survive the early-stopping code path.
+func TestTerminationSaturatedStillDetected(t *testing.T) {
+	cfg := Config{
+		Net: topology.MustFatTree(64), MsgFlits: 16, Seed: 5,
+		WarmupCycles: 1000, MeasureCycles: 4000, DrainLimit: 2000,
+	}.FlitLoad(0.5)
+	res, err := Run(context.Background(), cfg, WithTermination(DefaultTermination))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Errorf("overload not flagged under termination: %+v", res)
+	}
+}
+
+// TestCancellationMidReplicaNoLeaks: cancelling a multi-replica run must
+// abort every replica goroutine promptly and leave none behind.
+func TestCancellationMidReplicaNoLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := Config{
+		Net: topology.MustFatTree(64), MsgFlits: 16, Seed: 2,
+		WarmupCycles: 1000, MeasureCycles: 200_000_000,
+	}.FlitLoad(0.02)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := Run(ctx, cfg, WithReplicas(4))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+	// Run waits for its replicas before returning, so the goroutine count
+	// must come back down; allow the runtime a moment to settle.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestSteadyStateAllocs pins the allocation-free steady state: once the
+// pooled containers (worm slots, path buffers, queues, the arrival
+// calendar) have reached their working size, quadrupling the measurement
+// window must not grow the per-run allocation count materially.
+func TestSteadyStateAllocs(t *testing.T) {
+	base := Config{
+		Net: topology.MustFatTree(64), MsgFlits: 16, Seed: 42,
+		WarmupCycles: 2000,
+	}.FlitLoad(0.03)
+	measure := func(cycles int) float64 {
+		cfg := base
+		cfg.MeasureCycles = cycles
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(context.Background(), cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(40000)
+	long := measure(160000)
+	// 120k extra cycles push ~9000 extra worms through the machine; a
+	// single allocation per worm or per cycle would show up as thousands.
+	if delta := long - short; delta > 100 {
+		t.Errorf("allocation delta %v over 120k extra cycles; steady state is allocating", delta)
+	}
+}

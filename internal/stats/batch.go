@@ -36,6 +36,21 @@ func (b *BatchMeans) Add(x float64) {
 // N returns the total number of observations.
 func (b *BatchMeans) N() int64 { return b.all.N() }
 
+// Merge folds other into b as if other's observations had been Added to a
+// parallel accumulator of the same batch size: the grand stream and the
+// completed-batch stream are both pooled, so HalfWidth afterwards is the
+// pooled-batch-means confidence interval over all replicas. Each
+// accumulator's trailing partial batch stays out of the batch statistics
+// (exactly as it would in a single run); the batch sizes must match or
+// the pooled variance would mix scales.
+func (b *BatchMeans) Merge(other *BatchMeans) {
+	if other.batchSize != b.batchSize {
+		panic("stats: merging BatchMeans with different batch sizes")
+	}
+	b.all.Merge(&other.all)
+	b.batches.Merge(&other.batches)
+}
+
 // Batches returns the number of completed batches.
 func (b *BatchMeans) Batches() int64 { return b.batches.N() }
 

@@ -55,6 +55,21 @@ func (h *Histogram) Add(x float64) {
 // Total returns the number of observations, including under/overflow.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Merge folds other into h bin by bin. The histograms must have identical
+// bounds and bin counts (they do when they come from replicas of one
+// simulation config); anything else is a programmer error and panics.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.lo != other.lo || h.hi != other.hi || len(h.bins) != len(other.bins) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, c := range other.bins {
+		h.bins[i] += c
+	}
+	h.underflow += other.underflow
+	h.overflow += other.overflow
+	h.total += other.total
+}
+
 // Count returns the count of bin i.
 func (h *Histogram) Count(i int) int64 { return h.bins[i] }
 

@@ -162,6 +162,7 @@ type jsonRow struct {
 	SimLatency     *float64 `json:"sim_latency,omitempty"`
 	SimCI95        *float64 `json:"sim_ci95,omitempty"`
 	SimSaturated   bool     `json:"sim_saturated,omitempty"`
+	SimPrecision   *float64 `json:"sim_precision,omitempty"`
 	Seed           uint64   `json:"seed"`
 	Cached         bool     `json:"cached,omitempty"`
 }
@@ -234,6 +235,7 @@ func (r Row) jsonRow() jsonRow {
 	}
 	if !math.IsNaN(r.Sim) {
 		jr.SimCI95 = finitePtr(r.SimCI)
+		jr.SimPrecision = finitePtr(r.SimPrecision)
 	}
 	return jr
 }
@@ -287,6 +289,7 @@ func (r *Row) UnmarshalJSON(data []byte) error {
 			Sim:            fromPtr(jr.SimLatency),
 			SimCI:          fromPtr(jr.SimCI95),
 			SimSaturated:   jr.SimSaturated,
+			SimPrecision:   fromPtr(jr.SimPrecision),
 		},
 		Cached: jr.Cached,
 	}

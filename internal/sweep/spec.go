@@ -15,6 +15,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/sim"
 )
@@ -228,6 +229,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.Budget.DrainLimit < 0 {
 		return fmt.Errorf("sweep: bad budget drain limit %d", s.Budget.DrainLimit)
+	}
+	if p := s.Budget.Precision; p < 0 || math.IsNaN(p) || p >= 1 {
+		return fmt.Errorf("sweep: bad budget precision %v, must be in [0, 1)", p)
+	}
+	if s.Budget.Replicas < 0 {
+		return fmt.Errorf("sweep: bad budget replicas %d, must be >= 0", s.Budget.Replicas)
 	}
 	return nil
 }

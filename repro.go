@@ -48,10 +48,10 @@
 //	sat, _ := model.SaturationLoad()      // flits/cycle/PE at saturation
 //
 //	ft, _ := repro.NewFatTree(1024)
-//	res, _ := repro.Simulate(repro.SimConfig{
+//	res, _ := repro.Simulate(context.Background(), repro.SimConfig{
 //	    Net: ft, MsgFlits: 16,
 //	    WarmupCycles: 10000, MeasureCycles: 50000,
-//	}.FlitLoad(0.03))
+//	}.FlitLoad(0.03), repro.WithSimTermination(repro.DefaultSimTermination))
 //	fmt.Println(lat.Total, sat, res.LatencyMean)
 //
 // # Sweeps and streaming
@@ -116,6 +116,13 @@ type (
 	// UpLinkPolicy selects the simulator's up-link arbitration
 	// discipline.
 	UpLinkPolicy = sim.UpLinkPolicy
+	// SimOption configures a Simulate call (replicas, termination,
+	// histogram).
+	SimOption = sim.Option
+	// SimTermination is the CI-width early-stopping rule: a run may close
+	// its measurement window once the latency estimate's relative 95%
+	// half-width drops to RelHalfWidth.
+	SimTermination = sim.Termination
 
 	// Budget scales experiment simulation effort.
 	Budget = exp.Budget
@@ -239,13 +246,20 @@ func NewTorusModel(k, dims int, msgFlits float64) (*TorusModel, error) {
 	return analytic.NewTorusModel(k, dims, msgFlits, core.Options{})
 }
 
-// Simulate runs the flit-level wormhole simulator.
-func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+// Simulate runs the flit-level wormhole simulator. The simulator checks
+// ctx inside its cycle loop, so cancellation aborts mid-run. Options
+// configure CI-width early stopping (WithSimTermination), independent
+// replicas (WithSimReplicas) and latency histograms (WithSimHistogram);
+// with no options the run is the classic fixed-window simulation.
+func Simulate(ctx context.Context, cfg SimConfig, opts ...SimOption) (*SimResult, error) {
+	return sim.Run(ctx, cfg, opts...)
+}
 
-// SimulateContext is Simulate with cancellation: the simulator checks
-// ctx inside its cycle loop.
+// SimulateContext is the pre-redesign name of Simulate.
+//
+// Deprecated: use Simulate — it is ctx-first now.
 func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
-	return sim.RunContext(ctx, cfg)
+	return sim.Run(ctx, cfg)
 }
 
 // Figure3 regenerates the paper's Figure 3 (see exp.Figure3Config;
@@ -276,13 +290,6 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 // arrive as the final SweepPoint.
 func SweepStream(ctx context.Context, spec SweepSpec) <-chan SweepPoint {
 	return (&SweepRunner{}).Stream(ctx, spec)
-}
-
-// RunSweep is the pre-context form of Sweep.
-//
-// Deprecated: use Sweep with a context.
-func RunSweep(spec SweepSpec) (*SweepResult, error) {
-	return Sweep(context.Background(), spec)
 }
 
 // ParseSweepSpec decodes and validates a JSON sweep spec.
@@ -406,3 +413,20 @@ var (
 	QuickBudget = exp.Quick
 	FullBudget  = exp.Full
 )
+
+// DefaultSimTermination is the standard early-stopping rule: stop once
+// the latency estimate is within ±5% at 95% confidence.
+var DefaultSimTermination = sim.DefaultTermination
+
+// WithSimReplicas runs n independent replicas of the simulation
+// (derived seeds, concurrent execution) and pools their statistics.
+func WithSimReplicas(n int) SimOption { return sim.WithReplicas(n) }
+
+// WithSimTermination enables CI-width early stopping with the given
+// rule; the zero rule disables it.
+func WithSimTermination(t SimTermination) SimOption { return sim.WithTermination(t) }
+
+// WithSimHistogram collects a latency histogram over [0, max) cycles
+// (max = 0 picks a bound from the topology) and fills the result's
+// percentile fields.
+func WithSimHistogram(max float64) SimOption { return sim.WithHistogram(max) }

@@ -35,13 +35,13 @@ func TestFacadeQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := repro.Simulate(repro.SimConfig{
+	res, err := repro.Simulate(context.Background(), repro.SimConfig{
 		Net:           ft,
 		MsgFlits:      16,
 		Seed:          1,
 		WarmupCycles:  1000,
 		MeasureCycles: 8000,
-	}.FlitLoad(0.5 * sat))
+	}.FlitLoad(0.5*sat))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +50,26 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 	if math.Abs(res.LatencyMean-lat.Total)/lat.Total > 0.5 {
 		t.Errorf("sim %v wildly off model %v", res.LatencyMean, lat.Total)
+	}
+
+	// The redesigned options surface: early stopping and replicas.
+	fast, err := repro.Simulate(context.Background(), repro.SimConfig{
+		Net:           ft,
+		MsgFlits:      16,
+		Seed:          1,
+		WarmupCycles:  1000,
+		MeasureCycles: 8000,
+	}.FlitLoad(0.5*sat),
+		repro.WithSimTermination(repro.DefaultSimTermination),
+		repro.WithSimReplicas(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Replicas != 2 {
+		t.Errorf("Replicas = %d, want 2", fast.Replicas)
+	}
+	if math.Abs(fast.LatencyMean-res.LatencyMean)/res.LatencyMean > 0.2 {
+		t.Errorf("pooled estimate %v far from fixed-window %v", fast.LatencyMean, res.LatencyMean)
 	}
 }
 
@@ -143,11 +163,6 @@ func TestFacadeSweep(t *testing.T) {
 	}
 	if res2.CacheHits != len(res2.Rows) {
 		t.Errorf("rerun hits=%d, want %d", res2.CacheHits, len(res2.Rows))
-	}
-
-	// The deprecated pre-context shim still works.
-	if _, err := repro.RunSweep(spec); err != nil {
-		t.Fatal(err)
 	}
 
 	// Streaming delivers every cell and closes the channel.
