@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -55,6 +55,14 @@ dispatch-smoke:
 plan-smoke:
 	bash scripts/plan_smoke.sh
 	@cat BENCH_plan.json
+
+# Smoke-test the workload subsystem's determinism contract: record a
+# 512-PE bursty (MMPP) run to an NDJSON arrival trace, replay it, and
+# fail unless the replayed Result is bit-identical to the recording
+# run's, emitting BENCH_workload.json (events/sec both ways).
+workload-smoke:
+	bash scripts/workload_smoke.sh
+	@cat BENCH_workload.json
 
 lint:
 	$(GO) vet ./...

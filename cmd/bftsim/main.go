@@ -7,6 +7,12 @@
 //	bftsim [-n 1024] [-flits 16] [-load 0.02] [-warmup 10000]
 //	       [-measure 50000] [-seed 1] [-policy pairqueue|randomfixed]
 //	       [-cube dims] [-precision 0.05] [-replicas 4]
+//	       [-workload '{"process":"mmpp","on_frac":0.25,"burst_cycles":200}']
+//
+// -workload applies a declarative workload spec (see docs/workload.md):
+// bursty arrival processes, per-source rate mixes, and destination
+// patterns beyond uniform. Empty keeps the paper's steady uniform
+// Poisson workload.
 //
 // -precision enables CI-width early stopping: the run ends as soon as
 // the latency estimate's relative 95% half-width drops to the given
@@ -23,7 +29,9 @@ import (
 	"repro/internal/cliutil"
 
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -40,6 +48,7 @@ func main() {
 		hist    = flag.Bool("hist", false, "collect a latency histogram and report percentiles")
 		prec    = flag.Float64("precision", 0, "stop early once the latency CI is within this relative half-width (0 = fixed window)")
 		reps    = flag.Int("replicas", 1, "independent replicas to run and pool")
+		wlJSON  = flag.String("workload", "", `workload spec as JSON, e.g. '{"process":"mmpp","on_frac":0.25,"burst_cycles":200}' (empty = steady uniform Poisson)`)
 	)
 	flag.Parse()
 
@@ -72,6 +81,16 @@ func main() {
 		Policy:           pol,
 		LatencyHistogram: *hist,
 	}.FlitLoad(*load)
+	if *wlJSON != "" {
+		var wl workload.Spec
+		if err := sweep.DecodeStrict([]byte(*wlJSON), &wl); err != nil {
+			log.Fatalf("decoding -workload: %v", err)
+		}
+		if err := wl.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Workload = &wl
+	}
 	var opts []sim.Option
 	if *prec > 0 {
 		opts = append(opts, sim.WithTermination(sim.Termination{RelHalfWidth: *prec}))

@@ -601,11 +601,15 @@ func (d *Dispatcher) resolveCurves(ctx context.Context, scens []sweep.Scenario) 
 		if err != nil {
 			return nil, fmt.Errorf("dispatch: %s: %w", key, err)
 		}
-		out = append(out, sweep.CurveInfo{
+		info := sweep.CurveInfo{
 			Topology: sc.Topology, MsgFlits: sc.MsgFlits,
 			Policy: sc.Policy.String(), Variant: sc.Variant.Name,
 			Model: cd.Model, AvgDist: cd.AvgDist, SaturationLoad: cd.SaturationLoad,
-		})
+		}
+		if !sc.Workload.IsDefault() {
+			info.Workload = sc.Workload.Label()
+		}
+		out = append(out, info)
 	}
 	return out, nil
 }

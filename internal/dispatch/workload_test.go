@@ -1,0 +1,160 @@
+package dispatch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// recordSmallTrace runs a bursty 16-PE simulation with a recorder
+// attached and writes the NDJSON trace to dir, returning its path.
+func recordSmallTrace(t *testing.T, dir string) string {
+	t.Helper()
+	cfg := sim.Config{
+		Net:           topology.MustFatTree(16),
+		MsgFlits:      8,
+		Seed:          77,
+		WarmupCycles:  1000,
+		MeasureCycles: 4000,
+		Workload:      &workload.Spec{Process: workload.ProcessMMPP, OnFrac: 0.25, BurstCycles: 100},
+	}.FlitLoad(0.05)
+	tr := &workload.Trace{Header: workload.TraceHeader{
+		Family:   "fattree",
+		Size:     16,
+		MsgFlits: cfg.MsgFlits,
+		Lambda0:  cfg.Lambda0,
+		Warmup:   cfg.WarmupCycles,
+		Measure:  cfg.MeasureCycles,
+		Seed:     cfg.Seed,
+		Policy:   cfg.Policy.String(),
+		Workload: cfg.Workload.Canonical(),
+	}}
+	cfg.Recorder = func(src, dst int, cycle float64) {
+		tr.Events = append(tr.Events, workload.TraceEvent{
+			Src: src, Dst: dst, Cycle: cycle, MsgFlits: cfg.MsgFlits,
+		})
+	}
+	if _, err := sim.Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("recording produced no events")
+	}
+	path := filepath.Join(dir, "burst16.ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceSweepAcrossShardsMatchesInProcess pins the remote leg of the
+// trace determinism contract: a sweep keyed on a recorded trace,
+// scheduled across a two-shard fleet, reproduces the in-process run bit
+// for bit. The shards share the test machine's filesystem, mirroring a
+// fleet with the trace on shared storage.
+func TestTraceSweepAcrossShardsMatchesInProcess(t *testing.T) {
+	path := recordSmallTrace(t, t.TempDir())
+	spec := sweep.Spec{
+		Name:       "trace-replay",
+		Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16}}},
+		MsgFlits:   []int{8},
+		Workloads:  []workload.Spec{{Name: "replay", Trace: path}},
+		Loads:      sweep.LoadSpec{Flits: []float64{0.05, 0.4}},
+		WithSim:    true,
+		Budget:     sweep.Quick,
+	}
+
+	local, err := sweep.NewRunner().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(local.Rows))
+	}
+	for i, row := range local.Rows {
+		if !row.ModelNA {
+			t.Errorf("row %d: trace cell not marked model-n/a: %+v", i, row.Cell)
+		}
+	}
+
+	addrs, _ := newFleet(t, 2)
+	d := newDispatcher(t, addrs, WithCache(sweep.NewCache()))
+	res, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRows(t, local.Rows, res.Rows)
+	for i, row := range res.Rows {
+		if !row.ModelNA {
+			t.Errorf("dispatched row %d lost the model-n/a marker", i)
+		}
+		if row.Scenario.Workload.IsDefault() {
+			t.Errorf("dispatched row %d lost its workload", i)
+		}
+	}
+}
+
+// TestBurstySweepAcrossShardsMatchesInProcess runs the builtin bursty
+// grid (steady Poisson vs MMPP at equal mean load) through a two-shard
+// fleet and checks bit-identity with the in-process run, plus the
+// directional pin: the bursty curve congests harder at the top load.
+func TestBurstySweepAcrossShardsMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bursty grid in -short mode")
+	}
+	spec, err := sweep.Builtin("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.NewRunner().Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, _ := newFleet(t, 2)
+	d := newDispatcher(t, addrs, WithCache(sweep.NewCache()))
+	res, err := d.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRows(t, local.Rows, res.Rows)
+
+	// Directional pin at the top shared load: bursty arrivals at equal
+	// mean rate must congest harder than steady Poisson — higher sim
+	// latency or outright saturation — and must carry model_na.
+	var steady, burst *sweep.Row
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.LoadFlits != res.Rows[len(res.Rows)-1].LoadFlits {
+			continue
+		}
+		if row.Scenario.Workload.IsDefault() {
+			steady = row
+		} else {
+			burst = row
+		}
+	}
+	if steady == nil || burst == nil {
+		t.Fatal("top-load rows missing from the bursty grid")
+	}
+	if !burst.ModelNA {
+		t.Error("bursty cell not marked model-n/a")
+	}
+	if steady.ModelNA {
+		t.Error("steady cell marked model-n/a")
+	}
+	if !burst.SimSaturated && burst.Sim <= steady.Sim {
+		t.Errorf("bursty top-load cell (L=%v, sat=%v) not worse than steady (L=%v)",
+			burst.Sim, burst.SimSaturated, steady.Sim)
+	}
+}

@@ -127,6 +127,14 @@ func (b *AnalyticBackend) Evaluate(ctx context.Context, sc Scenario) (Point, err
 	}
 	pt := NewPoint()
 	pt.LoadFlits = load
+	if !sc.Workload.ModelApplicable() {
+		// The model assumes steady uniform Poisson injection (§2); for any
+		// other workload it resolves the load anchor (so bursty curves are
+		// probed at the same absolute loads as steady ones) but declines
+		// to predict a latency.
+		pt.ModelNA = true
+		return pt, nil
+	}
 	lat, err := m.Latency(load / float64(sc.MsgFlits))
 	switch {
 	case err == nil:

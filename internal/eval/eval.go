@@ -42,6 +42,11 @@ type Point struct {
 	Model float64
 	// ModelSaturated marks the +Inf case for JSON-safe serialisation.
 	ModelSaturated bool
+	// ModelNA marks a scenario outside the model's assumptions (any
+	// non-default workload): the analytic backend resolved the load but
+	// deliberately left Model NaN rather than answering with a
+	// steady-state number that does not apply.
+	ModelNA bool
 	// Sim is the measured latency (NaN when simulation was skipped),
 	// SimCI the 95% batch-means half-width.
 	Sim, SimCI float64
@@ -69,6 +74,9 @@ func (p Point) Merge(q Point) Point {
 	}
 	if !math.IsNaN(q.Model) || q.ModelSaturated {
 		p.Model, p.ModelSaturated = q.Model, q.ModelSaturated
+	}
+	if q.ModelNA {
+		p.ModelNA = true
 	}
 	if !math.IsNaN(q.Sim) || q.SimSaturated {
 		p.Sim, p.SimCI, p.SimSaturated = q.Sim, q.SimCI, q.SimSaturated

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // Topology families understood by Topology.Family.
@@ -167,6 +168,11 @@ type Scenario struct {
 	// WithSim and Budget describe the execution.
 	WithSim bool   `json:"with_sim"`
 	Budget  Budget `json:"budget"`
+	// Workload selects the arrival/mix/pattern workload; nil is the
+	// paper's steady uniform Poisson workload. Non-default workloads
+	// change the simulated result (and mark the analytic side
+	// not-applicable), so the canonical workload key joins Key.
+	Workload *workload.Spec `json:"workload,omitempty"`
 }
 
 // Seed derives the scenario's simulation seed from the budget seed and
@@ -188,6 +194,9 @@ func (s Scenario) CurveKey() string {
 	key := s.Topology.String() + "/s=" + strconv.Itoa(s.MsgFlits) + "/" + s.Policy.String()
 	if s.Variant != (Variant{}) {
 		key += "/v=" + s.Variant.Name
+	}
+	if wk := s.Workload.Canonical(); wk != "" {
+		key += "/w=" + wk
 	}
 	return key
 }
@@ -247,6 +256,12 @@ func (s Scenario) Key() string {
 			b.WriteString(" reps=")
 			b.WriteString(strconv.Itoa(s.Budget.Replicas))
 		}
+	}
+	// Appended only when non-default, preserving every pre-workload
+	// persisted key.
+	if wk := s.Workload.Canonical(); wk != "" {
+		b.WriteString(" workload=")
+		b.WriteString(wk)
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:16])

@@ -3,11 +3,13 @@ package eval
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/workload"
 )
 
 // SimBackend evaluates scenarios with the flit-level wormhole simulator.
@@ -20,13 +22,45 @@ import (
 type SimBackend struct {
 	mu     sync.Mutex
 	nets   map[Topology]topology.Network
+	traces map[string]*traceEntry
 	anchor LoadResolver
+}
+
+type traceEntry struct {
+	trace *workload.Trace
+	err   error
 }
 
 // NewSimBackend returns a backend resolving fractional loads through
 // anchor. A nil anchor restricts the backend to absolute load points.
 func NewSimBackend(anchor LoadResolver) *SimBackend {
-	return &SimBackend{nets: make(map[Topology]topology.Network), anchor: anchor}
+	return &SimBackend{
+		nets:   make(map[Topology]topology.Network),
+		traces: make(map[string]*traceEntry),
+		anchor: anchor,
+	}
+}
+
+// trace returns the memoized parsed trace for a path. Trace files are
+// immutable by contract (the canonical workload key embeds the path), so
+// a load failure is memoized too: a sweep with many cells over one bad
+// path fails each cell cheaply instead of re-reading the file.
+func (b *SimBackend) trace(path string) (*workload.Trace, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e, ok := b.traces[path]; ok {
+		return e.trace, e.err
+	}
+	e := &traceEntry{}
+	f, err := os.Open(path)
+	if err != nil {
+		e.err = fmt.Errorf("eval: opening trace: %w", err)
+	} else {
+		e.trace, e.err = workload.ReadTrace(f)
+		f.Close()
+	}
+	b.traces[path] = e
+	return e.trace, e.err
 }
 
 // Name implements Evaluator.
@@ -88,6 +122,17 @@ func (b *SimBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
 		DrainLimit:    sc.Budget.DrainLimit,
 		Policy:        sc.Policy,
 	}.FlitLoad(load)
+	if sc.Workload != nil && !sc.Workload.IsDefault() {
+		if sc.Workload.Trace != "" {
+			tr, err := b.trace(sc.Workload.Trace)
+			if err != nil {
+				return Point{}, err
+			}
+			cfg.Trace = tr
+		} else {
+			cfg.Workload = sc.Workload
+		}
+	}
 	var opts []sim.Option
 	if sc.Budget.Precision > 0 {
 		opts = append(opts, sim.WithTermination(sim.Termination{RelHalfWidth: sc.Budget.Precision}))

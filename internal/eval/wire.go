@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // This file is the JSON wire format of the Evaluator API: the exact
@@ -24,6 +25,7 @@ type pointWire struct {
 	LoadFlits      *float64 `json:"load_flits"`
 	Model          *float64 `json:"model"`
 	ModelSaturated bool     `json:"model_saturated,omitempty"`
+	ModelNA        bool     `json:"model_na,omitempty"`
 	Sim            *float64 `json:"sim,omitempty"`
 	SimCI          *float64 `json:"sim_ci,omitempty"`
 	SimSaturated   bool     `json:"sim_saturated,omitempty"`
@@ -53,6 +55,7 @@ func (p Point) MarshalJSON() ([]byte, error) {
 		LoadFlits:      finite(p.LoadFlits),
 		Model:          finite(p.Model),
 		ModelSaturated: p.ModelSaturated,
+		ModelNA:        p.ModelNA,
 		Sim:            finite(p.Sim),
 		SimCI:          finite(p.SimCI),
 		SimSaturated:   p.SimSaturated,
@@ -75,6 +78,7 @@ func (p *Point) UnmarshalJSON(data []byte) error {
 		p.Model = math.Inf(1)
 	}
 	p.ModelSaturated = w.ModelSaturated
+	p.ModelNA = w.ModelNA
 	p.Sim = unbox(w.Sim, nan)
 	p.SimCI = unbox(w.SimCI, nan)
 	p.SimSaturated = w.SimSaturated
@@ -114,15 +118,16 @@ func (c *CurveDesc) UnmarshalJSON(data []byte) error {
 
 // scenarioWire is Scenario with the policy enum travelling by name.
 type scenarioWire struct {
-	Index     int      `json:"index"`
-	Topology  Topology `json:"topology"`
-	MsgFlits  int      `json:"msg_flits"`
-	Policy    string   `json:"policy,omitempty"`
-	Load      Load     `json:"load"`
-	Variant   *Variant `json:"variant,omitempty"`
-	LoadIndex int      `json:"load_index"`
-	WithSim   bool     `json:"with_sim,omitempty"`
-	Budget    *Budget  `json:"budget,omitempty"`
+	Index     int            `json:"index"`
+	Topology  Topology       `json:"topology"`
+	MsgFlits  int            `json:"msg_flits"`
+	Policy    string         `json:"policy,omitempty"`
+	Load      Load           `json:"load"`
+	Variant   *Variant       `json:"variant,omitempty"`
+	LoadIndex int            `json:"load_index"`
+	WithSim   bool           `json:"with_sim,omitempty"`
+	Budget    *Budget        `json:"budget,omitempty"`
+	Workload  *workload.Spec `json:"workload,omitempty"`
 }
 
 // MarshalJSON encodes the scenario for the wire, policy by name.
@@ -143,6 +148,9 @@ func (s Scenario) MarshalJSON() ([]byte, error) {
 	if s.Budget != (Budget{}) {
 		b := s.Budget
 		w.Budget = &b
+	}
+	if !s.Workload.IsDefault() {
+		w.Workload = s.Workload
 	}
 	return json.Marshal(w)
 }
@@ -173,5 +181,6 @@ func (s *Scenario) UnmarshalJSON(data []byte) error {
 	if w.Budget != nil {
 		s.Budget = *w.Budget
 	}
+	s.Workload = w.Workload
 	return nil
 }

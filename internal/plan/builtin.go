@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 // builtins maps the named plan specs shipped with the planner. Each is
@@ -35,6 +36,22 @@ var builtins = map[string]Spec{
 		},
 		Objective:   ObjectiveMaxLoad,
 		Constraints: Constraints{MaxLatency: 40},
+	},
+	// bursty-capacity asks the CI-scale capacity question, but certifies
+	// the frontier under MMPP on-off burst arrivals of the same mean
+	// rate: the analytic search anchors at the steady model, and the
+	// simulator shows how much of each candidate's headline capacity
+	// survives bursty traffic.
+	"bursty-capacity": {
+		Name:        "bursty-capacity",
+		Description: "Capacity under bursty MMPP arrivals (on 25% of the time, 200-cycle bursts): N=16/64, s=16",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16, 64}}},
+			MsgFlits:   []int{16},
+		},
+		Objective:   ObjectiveMaxLoad,
+		Constraints: Constraints{MaxLatency: 60},
+		Workload:    &workload.Spec{Name: "burst", Process: workload.ProcessMMPP, OnFrac: 0.25, BurstCycles: 200},
 	},
 	// cheapest-sla inverts the question: the cheapest machine that
 	// sustains a required load inside a latency bound.
@@ -92,5 +109,10 @@ func Builtin(name string) (Spec, error) {
 	s.Space.MsgFlits = append([]int(nil), s.Space.MsgFlits...)
 	s.Space.Policies = append([]string(nil), s.Space.Policies...)
 	s.Search.PruneFracs = append([]float64(nil), s.Search.PruneFracs...)
+	if s.Workload != nil {
+		wl := *s.Workload
+		wl.Hot = append([]int(nil), wl.Hot...)
+		s.Workload = &wl
+	}
 	return s, nil
 }

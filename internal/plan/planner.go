@@ -619,6 +619,7 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 			Load:     eval.Load{Value: c.OperatingLoad},
 			WithSim:  true,
 			Budget:   d.Budget,
+			Workload: d.Workload,
 		}
 		pt, _, err := p.engine.Evaluate(ctx, sc)
 		if err != nil {
@@ -627,6 +628,9 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 		res.Stats.SimEvals++
 		c.Sim, c.SimCI, c.SimSaturated = pt.Sim, pt.SimCI, pt.SimSaturated
 		c.Certified = !math.IsNaN(c.Sim) && !c.SimSaturated
+		if !d.Workload.IsDefault() {
+			c.CertifyNote = "workload " + d.Workload.Label()
+		}
 		if c.Certified {
 			res.Stats.Certified++
 		}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 // countingEvaluator wraps the analytic backend and counts evaluations:
@@ -422,5 +423,51 @@ func TestBuiltinsValidate(t *testing.T) {
 	}
 	if _, err := Builtin("nope"); err == nil {
 		t.Error("unknown builtin accepted")
+	}
+}
+
+// TestCertifyUnderWorkload runs a tiny plan whose frontier is certified
+// under a bursty MMPP workload: the search itself anchors at the steady
+// model, and every certified candidate is annotated with the workload.
+func TestCertifyUnderWorkload(t *testing.T) {
+	spec, err := Builtin("bursty-capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to one candidate and a CI-fast budget.
+	spec.Space.Topologies = []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16}}}
+	spec.Budget = eval.Budget{Warmup: 500, Measure: 2000, Seed: 1}
+	res, err := NewLocal(nil).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatal("empty frontier")
+	}
+	if !strings.Contains(best.CertifyNote, "burst") {
+		t.Errorf("certify note %q does not name the workload", best.CertifyNote)
+	}
+	if math.IsNaN(best.Sim) && !best.SimSaturated {
+		t.Errorf("no simulation measurement on the frontier: %+v", best)
+	}
+	if !strings.Contains(res.Summary(), "certification workload") {
+		t.Errorf("summary does not mention the workload:\n%s", res.Summary())
+	}
+}
+
+// TestWorkloadSpecValidation pins the plan-level workload checks.
+func TestWorkloadSpecValidation(t *testing.T) {
+	spec, err := Builtin("bft-capacity-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload = &workload.Spec{Process: "gamm", Shape: 2}
+	if err := spec.Validate(); err == nil {
+		t.Error("misspelled workload process accepted")
+	}
+	spec.Workload = &workload.Spec{Trace: "t.ndjson"}
+	if err := spec.Validate(); err == nil {
+		t.Error("trace workload accepted in a plan")
 	}
 }

@@ -339,7 +339,8 @@ func (r *Result) Table() *series.Table {
 			status = "frontier #" + strconv.Itoa(rank)
 			if c.Certified {
 				status += " certified"
-			} else if c.CertifyNote != "" {
+			}
+			if c.CertifyNote != "" {
 				status += " (" + c.CertifyNote + ")"
 			}
 		}
@@ -370,6 +371,10 @@ func (r *Result) Summary() string {
 		s.FrontierSize, s.Certified, r.Elapsed.Round(time.Millisecond))
 	out += fmt.Sprintf("  evaluations: %d analytic (%d coarse + %d probes, %d warm), %d sim\n",
 		s.AnalyticEvals(), s.CoarseCells, s.Probes, s.CoarseCacheHits, s.SimEvals)
+	if !r.Spec.Workload.IsDefault() {
+		out += fmt.Sprintf("  certification workload: %s (analytic search anchored at the steady model)\n",
+			r.Spec.Workload.Label())
+	}
 	if best := r.Best(); best != nil {
 		out += fmt.Sprintf("  best: %s cost=%.0f max_load=%.6f latency=%.4f\n",
 			best.Key(), best.Cost, best.MaxLoad, best.Latency)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/workload"
 )
 
 // Objectives understood by Spec.Objective.
@@ -125,6 +126,16 @@ type Spec struct {
 	Cost CostSpec `json:"cost,omitempty"`
 	// Search tunes the model-guided search.
 	Search Search `json:"search,omitempty"`
+	// Workload applies a non-default workload (internal/workload) to the
+	// certification simulations: the frontier is certified under, say,
+	// bursty MMPP arrivals or a hotspot pattern instead of the paper's
+	// steady uniform Poisson traffic. The analytic search itself always
+	// runs on the steady model — the paper's model has no answer for
+	// other workloads (they are model-not-applicable), so the steady
+	// saturation surface serves as the search anchor and the simulator
+	// reports how the workload degrades the frontier. nil keeps the
+	// paper's workload end to end.
+	Workload *workload.Spec `json:"workload,omitempty"`
 	// SkipCertify disables the simulator pass over the frontier
 	// (model-only planning; also implied per-candidate for families
 	// without a simulator topology, such as the torus).
@@ -271,6 +282,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.Budget.Replicas < 0 {
 		return fmt.Errorf("plan: bad certification replicas %d, must be >= 0", s.Budget.Replicas)
+	}
+	if err := s.Workload.Validate(); err != nil {
+		return fmt.Errorf("plan: workload: %w", err)
+	}
+	if s.Workload != nil && s.Workload.Trace != "" {
+		return fmt.Errorf("plan: workload traces pin one topology and load; certification across a search space cannot replay %q", s.Workload.Trace)
 	}
 	return nil
 }

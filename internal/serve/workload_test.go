@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// TestMalformedWorkloadCannotKillShard is the negative-rate regression:
+// bad workload parameters and negative loads must come back as error
+// responses — never a panic that takes the shard down. After each bad
+// request the server must still answer a good one.
+func TestMalformedWorkloadCannotKillShard(t *testing.T) {
+	srv := newTestServer(t, WithCache(sweep.NewCache()))
+
+	badSweeps := []string{
+		// Misspelled process enum: strict decoding with a suggestion.
+		`{"topologies":[{"family":"bft","sizes":[16]}],"msg_flits":[8],
+		  "workloads":[{"process":"gamm","shape":2}],
+		  "loads":{"flits":[0.01]}}`,
+		// Negative load: would have been a negative Poisson rate.
+		`{"topologies":[{"family":"bft","sizes":[16]}],"msg_flits":[8],
+		  "loads":{"flits":[-0.01]}}`,
+		// Unknown workload field.
+		`{"topologies":[{"family":"bft","sizes":[16]}],"msg_flits":[8],
+		  "workloads":[{"proces":"mmpp"}],
+		  "loads":{"flits":[0.01]}}`,
+		// Stray parameter: shape without gamma/weibull.
+		`{"topologies":[{"family":"bft","sizes":[16]}],"msg_flits":[8],
+		  "workloads":[{"shape":2}],
+		  "loads":{"flits":[0.01]}}`,
+	}
+	for i, body := range badSweeps {
+		resp := postJSON(t, srv.URL+"/v1/sweep", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad sweep %d: status %s, want 400", i, resp.Status)
+		}
+		var payload struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil || payload.Error == "" {
+			t.Errorf("bad sweep %d: error payload missing: %v %+v", i, err, payload)
+		}
+	}
+
+	// A negative load smuggled straight into /v1/eval (no sweep-spec
+	// validation in front) must error, not panic the handler.
+	resp := postJSON(t, srv.URL+"/v1/eval",
+		`{"topology":{"family":"bft","size":16},"msg_flits":8,"load":{"value":-5},"with_sim":true,
+		  "budget":{"warmup":100,"measure":500,"seed":1}}`)
+	if resp.StatusCode == http.StatusOK {
+		t.Error("negative-load eval succeeded; want an error response")
+	}
+
+	// The shard survived all of it.
+	good := postJSON(t, srv.URL+"/v1/eval",
+		`{"topology":{"family":"bft","size":16},"msg_flits":8,"load":{"value":0.01}}`)
+	if good.StatusCode != http.StatusOK {
+		t.Fatalf("shard unhealthy after bad requests: %s", good.Status)
+	}
+}
+
+// TestWorkloadSweepStreamsModelNA pins the wire contract of workload
+// cells: a bursty sweep streamed over /v1/sweep carries model_na and the
+// full workload spec on every non-default row, and clients reconstruct
+// them through sweep.Row's UnmarshalJSON.
+func TestWorkloadSweepStreamsModelNA(t *testing.T) {
+	srv := newTestServer(t)
+	spec := `{
+		"name":"bursty-wire",
+		"topologies":[{"family":"bft","sizes":[16]}],
+		"msg_flits":[8],
+		"workloads":[{"name":"steady"},{"name":"burst","process":"mmpp","on_frac":0.25,"burst_cycles":100}],
+		"loads":{"flits":[0.01]}}`
+	resp := postJSON(t, srv.URL+"/v1/sweep", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s", resp.Status)
+	}
+	var rows []sweep.Row
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row sweep.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, sc.Text())
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("streamed %d rows, want 2", len(rows))
+	}
+	var sawDefault, sawBurst bool
+	for _, row := range rows {
+		if row.Scenario.Workload.IsDefault() {
+			sawDefault = true
+			if row.ModelNA {
+				t.Errorf("steady row marked model_na: %+v", row.Cell)
+			}
+		} else {
+			sawBurst = true
+			if !row.ModelNA {
+				t.Errorf("bursty row not marked model_na: %+v", row.Cell)
+			}
+			if got := row.Scenario.Workload.Canonical(); got != "mmpp(0.25,100)/uniform/uniform" {
+				t.Errorf("workload did not survive the wire: %q", got)
+			}
+		}
+	}
+	if !sawDefault || !sawBurst {
+		t.Errorf("missing rows: default=%v burst=%v", sawDefault, sawBurst)
+	}
+}
+
+// TestBuiltinsListWorkloadSpecs checks the registry surface: the
+// workload-bearing builtins are listed with descriptions over
+// GET /v1/builtins.
+func TestBuiltinsListWorkloadSpecs(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/builtins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entries []struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"bursty": false, "hotspot": false}
+	for _, e := range entries {
+		if _, ok := want[e.Name]; ok {
+			want[e.Name] = true
+			if e.Description == "" {
+				t.Errorf("builtin %q has no description", e.Name)
+			}
+			if e.Name == "bursty" && !strings.Contains(strings.ToLower(e.Description), "mmpp") {
+				t.Errorf("bursty description does not name the process: %q", e.Description)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("builtin %q missing from /v1/builtins", name)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/topology"
 	"repro/internal/traffic"
+	"repro/internal/workload"
 )
 
 // UpLinkPolicy selects how worms contend for a multi-channel arbitration
@@ -121,6 +122,26 @@ type Config struct {
 	LatencyHistogram bool
 	// HistMax is the histogram's upper bound in cycles (see above).
 	HistMax float64
+	// Workload, when non-nil, selects the declarative workload — arrival
+	// process, per-source rate mix, destination pattern — built by
+	// internal/workload. nil (or the zero Spec) is the paper's steady
+	// uniform Poisson workload and is bit-identical to a pre-workload
+	// run. A non-default workload pattern takes precedence over Pattern.
+	Workload *workload.Spec
+	// Trace, when non-nil, replays a recorded arrival trace instead of
+	// generating arrivals: every source's arrival times and destinations
+	// come from the trace, while Seed still drives the arbitration
+	// shuffle stream. With the recording run's windows, seed, policy and
+	// topology (see workload.TraceHeader) the replayed Result is
+	// bit-identical to the recorded one. Mutually exclusive with
+	// Workload and with replicas > 1.
+	Trace *workload.Trace
+	// Recorder, when non-nil, observes every arrival the engine accepts
+	// (source, pre-drawn destination, continuous arrival cycle) — the
+	// hook cmd/trace uses to record traces. Recording does not perturb
+	// the run: a recorded run's Result is bit-identical to an
+	// unrecorded one. Incompatible with replicas > 1.
+	Recorder func(src, dst int, cycle float64)
 }
 
 // FlitLoad sets Lambda0 from a load in flits/cycle/processor (the paper's
@@ -168,6 +189,21 @@ func (c *Config) Validate() error {
 	}
 	if c.HistMax < 0 || math.IsNaN(c.HistMax) {
 		return fmt.Errorf("sim: HistMax = %v, must be >= 0", c.HistMax)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Trace != nil {
+		if !c.Workload.IsDefault() {
+			return errors.New("sim: Config.Trace and Config.Workload are mutually exclusive")
+		}
+		if got, want := c.Trace.Header.Size, c.Net.NumProcessors(); got != want {
+			return fmt.Errorf("sim: trace recorded on %d processors, network has %d", got, want)
+		}
+		if c.Trace.Header.MsgFlits != c.MsgFlits {
+			return fmt.Errorf("sim: trace recorded with %d-flit messages, config says %d",
+				c.Trace.Header.MsgFlits, c.MsgFlits)
+		}
 	}
 	return nil
 }

@@ -19,7 +19,7 @@ func TestSingleFlitMessages(t *testing.T) {
 		WarmupCycles:  500,
 		MeasureCycles: 5000,
 	}.FlitLoad(0.02)
-	e := newEngine(cfg)
+	e := mustEngine(t, cfg)
 	e.debugChecks = true
 	res, err := e.run(context.Background())
 	if err != nil {
@@ -50,7 +50,7 @@ func TestShortWormsBelowDiameter(t *testing.T) {
 		WarmupCycles:  500,
 		MeasureCycles: 4000,
 	}.FlitLoad(0.03)
-	e := newEngine(cfg)
+	e := mustEngine(t, cfg)
 	e.debugChecks = true
 	res, err := e.run(context.Background())
 	if err != nil {
@@ -138,7 +138,7 @@ func TestSmallestMachineBusyButStable(t *testing.T) {
 		DrainLimit:    8000,
 	}
 	cfg.Lambda0 = 0.08 // ejection rho = 0.32; x̄01 ≈ 4.6, rho_inj ≈ 0.37
-	e := newEngine(cfg)
+	e := mustEngine(t, cfg)
 	e.debugChecks = true
 	res, err := e.run(context.Background())
 	if err != nil {

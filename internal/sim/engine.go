@@ -131,9 +131,21 @@ type engine struct {
 	draining            []int32
 	releases            []topology.ChannelID
 
-	sources    []*traffic.PoissonSource
+	sources    []traffic.Source
 	srcRNG     []*traffic.RNG
 	pendingArr []fifo[float64]
+	// pat is the resolved destination pattern (nil under trace replay,
+	// where destinations ride with the arrivals).
+	pat traffic.Pattern
+	// preDests: destinations are decided at arrival-pop time — either
+	// read from a replayed trace (destSrc[p] non-nil) or pre-drawn from
+	// the pattern so a recorder can observe them — and queue in
+	// pendingDst alongside pendingArr. Off (the default), destinations
+	// are drawn at worm-creation time; both orders consume each
+	// srcRNG[p] stream identically, so results are bit-identical.
+	preDests   bool
+	destSrc    []traffic.DestSource
+	pendingDst []fifo[int32]
 	waitingInj []bool
 	rng        *traffic.RNG
 
@@ -200,18 +212,20 @@ func Run(ctx context.Context, cfg Config, opts ...Option) (*Result, error) {
 		}
 	}
 	if o.replicas == 1 {
-		e := newEngine(cfg)
+		e, err := newEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
 		e.term = o.term
 		return e.run(ctx)
 	}
+	if cfg.Trace != nil {
+		return nil, errors.New("sim: trace replay is a single deterministic run; replicas > 1 is not meaningful")
+	}
+	if cfg.Recorder != nil {
+		return nil, errors.New("sim: recording with replicas > 1 would interleave traces; run one replica")
+	}
 	return runReplicas(ctx, cfg, o)
-}
-
-// RunContext is the pre-options spelling of Run.
-//
-// Deprecated: use Run, which is ctx-first and takes functional options.
-func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	return Run(ctx, cfg)
 }
 
 // runReplicas launches one engine per replica on derived seeds, cancels
@@ -236,7 +250,11 @@ func runReplicas(ctx context.Context, cfg Config, o runOptions) (*Result, error)
 	for r := 0; r < n; r++ {
 		rcfg := cfg
 		rcfg.Seed = ReplicaSeed(cfg.Seed, r)
-		e := newEngine(rcfg)
+		e, err := newEngine(rcfg)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
 		e.term = term
 		engines[r] = e
 		wg.Add(1)
@@ -335,7 +353,7 @@ func mergeReplicas(engines []*engine, results []*Result) *Result {
 	return &res
 }
 
-func newEngine(cfg Config) *engine {
+func newEngine(cfg Config) (*engine, error) {
 	net := cfg.Net
 	nProc := net.NumProcessors()
 	nCh := net.NumChannels()
@@ -352,7 +370,6 @@ func newEngine(cfg Config) *engine {
 		groupQ:     make([]fifo[int32], nGr),
 		chanQ:      make([]fifo[int32], nCh),
 		inPending:  make([]bool, nGr),
-		sources:    make([]*traffic.PoissonSource, nProc),
 		srcRNG:     make([]*traffic.RNG, nProc),
 		pendingArr: make([]fifo[float64], nProc),
 		waitingInj: make([]bool, nProc),
@@ -370,10 +387,44 @@ func newEngine(cfg Config) *engine {
 	e.rng = master.Split(streamShuffle)
 	for p := 0; p < nProc; p++ {
 		e.srcRNG[p] = master.Split(streamDest(p))
-		e.sources[p] = traffic.NewPoissonSource(cfg.Lambda0, master.Split(streamArrival(p)))
+	}
+	if cfg.Trace != nil {
+		e.sources = cfg.Trace.Sources()
+		e.destSrc = make([]traffic.DestSource, nProc)
+		for p, s := range e.sources {
+			e.destSrc[p] = s.(traffic.DestSource)
+		}
+		e.preDests = true
+	} else {
+		// Split does not consume the parent stream, so pulling the
+		// arrival streams here (after all destination streams) derives
+		// the same per-processor generators as the historical interleaved
+		// loop — the default workload stays bit-identical.
+		srcs, err := cfg.Workload.Sources(nProc, cfg.Lambda0,
+			func(p int) *traffic.RNG { return master.Split(streamArrival(p)) })
+		if err != nil {
+			return nil, err
+		}
+		e.sources = srcs
+		pat := cfg.pattern()
+		if !cfg.Workload.IsDefault() && cfg.Workload.Pattern != "" {
+			pat, err = cfg.Workload.BuildPattern(nProc, net.PathLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.pat = pat
+	}
+	if cfg.Recorder != nil {
+		e.preDests = true
+	}
+	if e.preDests {
+		e.pendingDst = make([]fifo[int32], nProc)
+	}
+	for p := 0; p < nProc; p++ {
 		e.scheduleArrival(p)
 	}
-	return e
+	return e, nil
 }
 
 // scheduleArrival (re)inserts processor p's next arrival into the
@@ -532,6 +583,18 @@ func (e *engine) arrivals(t int64) {
 				break
 			}
 			e.pendingArr[p].push(a)
+			if e.preDests {
+				var d int32
+				if e.destSrc != nil && e.destSrc[p] != nil {
+					d = int32(e.destSrc[p].LastDest())
+				} else {
+					d = int32(e.pat.Dest(p, e.nProc, e.srcRNG[p]))
+				}
+				e.pendingDst[p].push(d)
+				if e.cfg.Recorder != nil {
+					e.cfg.Recorder(p, int(d), a)
+				}
+			}
 			e.totalQueued++
 			if a >= float64(e.measStart) && a < float64(e.measEnd) {
 				e.trackedArrived++
@@ -562,7 +625,11 @@ func (e *engine) createWorm(p int, t int64) {
 	a := e.pendingArr[p].pop()
 	id := e.alloc()
 	e.soa.src[id] = int32(p)
-	e.soa.dst[id] = int32(e.cfg.pattern().Dest(p, e.nProc, e.srcRNG[p]))
+	if e.preDests {
+		e.soa.dst[id] = e.pendingDst[p].pop()
+	} else {
+		e.soa.dst[id] = int32(e.pat.Dest(p, e.nProc, e.srcRNG[p]))
+	}
 	e.soa.arrival[id] = a
 	e.soa.state[id] = stateRouting
 	e.soa.tracked[id] = a >= float64(e.measStart) && a < float64(e.measEnd)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -92,10 +93,17 @@ func RunReference(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return newRefEngine(cfg).run(ctx)
+	if !cfg.Workload.IsDefault() || cfg.Trace != nil || cfg.Recorder != nil {
+		return nil, errors.New("sim: the reference engine supports only the default steady uniform Poisson workload")
+	}
+	e, err := newRefEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(ctx)
 }
 
-func newRefEngine(cfg Config) *refEngine {
+func newRefEngine(cfg Config) (*refEngine, error) {
 	net := cfg.Net
 	nProc := net.NumProcessors()
 	nCh := net.NumChannels()
@@ -127,9 +135,13 @@ func newRefEngine(cfg Config) *refEngine {
 	e.rng = master.Split(streamShuffle)
 	for p := 0; p < nProc; p++ {
 		e.srcRNG[p] = master.Split(streamDest(p))
-		e.sources[p] = traffic.NewPoissonSource(cfg.Lambda0, master.Split(streamArrival(p)))
+		src, err := traffic.NewPoissonSource(cfg.Lambda0, master.Split(streamArrival(p)))
+		if err != nil {
+			return nil, err
+		}
+		e.sources[p] = src
 	}
-	return e
+	return e, nil
 }
 
 func (e *refEngine) run(ctx context.Context) (*Result, error) {

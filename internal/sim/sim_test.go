@@ -137,7 +137,7 @@ func TestInvariantsUnderLoad(t *testing.T) {
 			MeasureCycles: 3000,
 			Policy:        policy,
 		}.FlitLoad(0.05)
-		e := newEngine(cfg)
+		e := mustEngine(t, cfg)
 		e.debugChecks = true
 		if _, err := e.run(context.Background()); err != nil {
 			t.Fatalf("policy %v: %v", policy, err)
@@ -150,7 +150,7 @@ func TestInvariantsUnderLoad(t *testing.T) {
 		WarmupCycles:  500,
 		MeasureCycles: 3000,
 	}.FlitLoad(0.08)
-	e := newEngine(cfg)
+	e := mustEngine(t, cfg)
 	e.debugChecks = true
 	if _, err := e.run(context.Background()); err != nil {
 		t.Fatal(err)

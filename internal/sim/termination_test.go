@@ -63,7 +63,7 @@ func TestTerminationZeroVariance(t *testing.T) {
 		Net: topology.MustFatTree(16), MsgFlits: 4, Seed: 1,
 		WarmupCycles: 0, MeasureCycles: 1000, BatchSize: 4,
 	}
-	e := newEngine(cfg)
+	e := mustEngine(t, cfg)
 	e.term = Termination{RelHalfWidth: 0.05}
 	for i := 0; i < 100; i++ {
 		e.lat.Add(21.5) // constant series: batch means all equal
@@ -83,7 +83,7 @@ func TestTerminationTooFewObservations(t *testing.T) {
 		Net: topology.MustFatTree(16), MsgFlits: 4, Seed: 1,
 		WarmupCycles: 0, MeasureCycles: 1000, // default batch size 64
 	}
-	e := newEngine(cfg)
+	e := mustEngine(t, cfg)
 	e.term = Termination{RelHalfWidth: 0.5}
 	for i := 0; i < 63; i++ {
 		e.lat.Add(10 + float64(i%3))

@@ -3,6 +3,8 @@ package sweep
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/workload"
 )
 
 // builtins maps the named specs shipped with the engine. Each is a plain
@@ -55,6 +57,39 @@ var builtins = map[string]Spec{
 		WithSim:     true,
 		Budget:      Quick,
 	},
+	// bursty contrasts the paper's steady Poisson workload against an
+	// MMPP on-off process of the same mean rate on one curve: the bursty
+	// curve saturates earlier (pinned directionally in the tests), which
+	// is exactly the regime where the steady-state model stops applying
+	// — its cells carry model_na instead of a prediction.
+	"bursty": {
+		Name:        "bursty",
+		Description: "Steady Poisson vs MMPP on-off burst arrivals at equal mean load, 64-PE fat-tree, s=16",
+		Topologies:  []TopologySpec{{Family: FamilyBFT, Sizes: []int{64}}},
+		MsgFlits:    []int{16},
+		Workloads: []workload.Spec{
+			{Name: "steady"},
+			{Name: "burst", Process: workload.ProcessMMPP, OnFrac: 0.25, BurstCycles: 200},
+		},
+		Loads:   LoadSpec{Fracs: []float64{0.3, 0.5, 0.7, 0.85}},
+		WithSim: true,
+		Budget:  Quick,
+	},
+	// hotspot skews destinations: 30% of traffic at one hot PE on top of
+	// the uniform background, against the uniform baseline.
+	"hotspot": {
+		Name:        "hotspot",
+		Description: "Uniform vs 30%-hotspot destinations, 64-PE fat-tree, s=16 (model n/a on the hotspot curve)",
+		Topologies:  []TopologySpec{{Family: FamilyBFT, Sizes: []int{64}}},
+		MsgFlits:    []int{16},
+		Workloads: []workload.Spec{
+			{Name: "uniform"},
+			{Name: "hot0", Pattern: workload.PatternHotspot, Hot: []int{0}, HotFrac: 0.3},
+		},
+		Loads:   LoadSpec{Fracs: []float64{0.3, 0.5, 0.7}},
+		WithSim: true,
+		Budget:  Quick,
+	},
 	// families sweeps the model across all three topology families
 	// (model-only: the torus has no simulator).
 	"families": {
@@ -99,6 +134,10 @@ func (s Spec) clone() Spec {
 	s.MsgFlits = append([]int(nil), s.MsgFlits...)
 	s.Policies = append([]string(nil), s.Policies...)
 	s.Variants = append([]Variant(nil), s.Variants...)
+	s.Workloads = append([]workload.Spec(nil), s.Workloads...)
+	for i := range s.Workloads {
+		s.Workloads[i].Hot = append([]int(nil), s.Workloads[i].Hot...)
+	}
 	s.Loads.Flits = append([]float64(nil), s.Loads.Flits...)
 	s.Loads.Fracs = append([]float64(nil), s.Loads.Fracs...)
 	return s

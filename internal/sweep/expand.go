@@ -32,9 +32,9 @@ const (
 )
 
 // Expand turns a validated spec into its deterministic scenario list:
-// topologies × sizes × message lengths × policies × variants × loads, in
-// declaration order, with exact duplicate cells (same cache key) dropped
-// on all but their first appearance.
+// topologies × sizes × message lengths × policies × variants × workloads
+// × loads, in declaration order, with exact duplicate cells (same cache
+// key) dropped on all but their first appearance.
 func Expand(s Spec) ([]Scenario, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -65,21 +65,24 @@ func Expand(s Spec) ([]Scenario, error) {
 						return nil, err
 					}
 					for _, v := range s.variants() {
-						for li, load := range loads {
-							sc := Scenario{
-								Index:     len(out),
-								Topology:  topo,
-								MsgFlits:  flits,
-								Policy:    pol,
-								Load:      load,
-								Variant:   v,
-								LoadIndex: li,
-								WithSim:   s.WithSim && (len(s.Variants) == 0 || v.WithSim),
-								Budget:    s.Budget,
-							}
-							if key := sc.Key(); !seen[key] {
-								seen[key] = true
-								out = append(out, sc)
+						for _, wl := range s.workloads() {
+							for li, load := range loads {
+								sc := Scenario{
+									Index:     len(out),
+									Topology:  topo,
+									MsgFlits:  flits,
+									Policy:    pol,
+									Load:      load,
+									Variant:   v,
+									LoadIndex: li,
+									WithSim:   s.WithSim && (len(s.Variants) == 0 || v.WithSim),
+									Budget:    s.Budget,
+									Workload:  wl,
+								}
+								if key := sc.Key(); !seen[key] {
+									seen[key] = true
+									out = append(out, sc)
+								}
 							}
 						}
 					}

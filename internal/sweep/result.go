@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/series"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // CurveInfo summarises one curve (topology × message length × policy ×
@@ -20,6 +21,9 @@ type CurveInfo struct {
 	// Variant names the model-ablation variant; empty for the paper's
 	// model.
 	Variant string `json:"variant,omitempty"`
+	// Workload labels the workload axis value; empty for the paper's
+	// steady uniform Poisson workload.
+	Workload string `json:"workload,omitempty"`
 	// Model is the model's name, e.g. "bft-1024/s=16".
 	Model string `json:"model"`
 	// SaturationLoad is in flits/cycle/processor; NaN when the search
@@ -79,15 +83,28 @@ func (r *Result) Table() *series.Table {
 			break
 		}
 	}
+	withWorkloads := false
+	for _, row := range r.Rows {
+		if !row.Scenario.Workload.IsDefault() {
+			withWorkloads = true
+			break
+		}
+	}
 	headers := []string{"topology", "flits", "policy"}
 	if withVariants {
 		headers = append(headers, "variant")
+	}
+	if withWorkloads {
+		headers = append(headers, "workload")
 	}
 	headers = append(headers, "flits/cyc/PE", "model L", "sim L", "±CI", "rel err", "cached")
 	tbl := &series.Table{Headers: headers}
 	for _, row := range r.Rows {
 		model := "sat"
-		if !row.ModelSaturated {
+		switch {
+		case row.ModelNA:
+			model = "n/a"
+		case !row.ModelSaturated:
 			model = fmt.Sprintf("%.4f", row.Model)
 		}
 		simCell, ciCell, errCell := "-", "-", "-"
@@ -112,6 +129,13 @@ func (r *Result) Table() *series.Table {
 		}
 		if withVariants {
 			cells = append(cells, row.Scenario.Variant.Name)
+		}
+		if withWorkloads {
+			wl := ""
+			if !row.Scenario.Workload.IsDefault() {
+				wl = row.Scenario.Workload.Label()
+			}
+			cells = append(cells, wl)
 		}
 		tbl.AddRow(append(cells,
 			fmt.Sprintf("%.6f", row.LoadFlits),
@@ -140,6 +164,9 @@ func (r *Result) Summary() string {
 		if c.Variant != "" {
 			label += " [" + c.Variant + "]"
 		}
+		if c.Workload != "" {
+			label += " {" + c.Workload + "}"
+		}
 		out += fmt.Sprintf("  %-28s D=%.2f saturation %s flits/cyc/PE\n",
 			label, c.AvgDist, sat)
 	}
@@ -149,22 +176,24 @@ func (r *Result) Summary() string {
 // jsonRow flattens a Row for serialisation; non-finite floats become
 // null/absent, which encoding/json cannot express natively.
 type jsonRow struct {
-	Topology       string   `json:"topology"`
-	Family         string   `json:"family"`
-	Size           int      `json:"size"`
-	K              int      `json:"k,omitempty"`
-	MsgFlits       int      `json:"msg_flits"`
-	Policy         string   `json:"policy"`
-	Variant        string   `json:"variant,omitempty"`
-	LoadFlits      *float64 `json:"load_flits"`
-	ModelLatency   *float64 `json:"model_latency"`
-	ModelSaturated bool     `json:"model_saturated,omitempty"`
-	SimLatency     *float64 `json:"sim_latency,omitempty"`
-	SimCI95        *float64 `json:"sim_ci95,omitempty"`
-	SimSaturated   bool     `json:"sim_saturated,omitempty"`
-	SimPrecision   *float64 `json:"sim_precision,omitempty"`
-	Seed           uint64   `json:"seed"`
-	Cached         bool     `json:"cached,omitempty"`
+	Topology       string         `json:"topology"`
+	Family         string         `json:"family"`
+	Size           int            `json:"size"`
+	K              int            `json:"k,omitempty"`
+	MsgFlits       int            `json:"msg_flits"`
+	Policy         string         `json:"policy"`
+	Variant        string         `json:"variant,omitempty"`
+	Workload       *workload.Spec `json:"workload,omitempty"`
+	LoadFlits      *float64       `json:"load_flits"`
+	ModelLatency   *float64       `json:"model_latency"`
+	ModelSaturated bool           `json:"model_saturated,omitempty"`
+	ModelNA        bool           `json:"model_na,omitempty"`
+	SimLatency     *float64       `json:"sim_latency,omitempty"`
+	SimCI95        *float64       `json:"sim_ci95,omitempty"`
+	SimSaturated   bool           `json:"sim_saturated,omitempty"`
+	SimPrecision   *float64       `json:"sim_precision,omitempty"`
+	Seed           uint64         `json:"seed"`
+	Cached         bool           `json:"cached,omitempty"`
 }
 
 // jsonCurve overrides the non-finite-capable fields: backends without a
@@ -228,10 +257,14 @@ func (r Row) jsonRow() jsonRow {
 		LoadFlits:      finitePtr(r.LoadFlits),
 		ModelLatency:   finitePtr(r.Model),
 		ModelSaturated: r.ModelSaturated,
+		ModelNA:        r.ModelNA,
 		SimLatency:     finitePtr(r.Sim),
 		SimSaturated:   r.SimSaturated,
 		Seed:           r.Scenario.Seed(),
 		Cached:         r.Cached,
+	}
+	if !r.Scenario.Workload.IsDefault() {
+		jr.Workload = r.Scenario.Workload
 	}
 	if !math.IsNaN(r.Sim) {
 		jr.SimCI95 = finitePtr(r.SimCI)
@@ -281,11 +314,13 @@ func (r *Row) UnmarshalJSON(data []byte) error {
 			Policy:   pol,
 			Variant:  Variant{Name: jr.Variant},
 			Budget:   Budget{Seed: jr.Seed},
+			Workload: jr.Workload,
 		},
 		Cell: Cell{
 			LoadFlits:      fromPtr(jr.LoadFlits),
 			Model:          fromPtr(jr.ModelLatency),
 			ModelSaturated: jr.ModelSaturated,
+			ModelNA:        jr.ModelNA,
 			Sim:            fromPtr(jr.SimLatency),
 			SimCI:          fromPtr(jr.SimCI95),
 			SimSaturated:   jr.SimSaturated,

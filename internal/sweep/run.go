@@ -412,6 +412,9 @@ func resolveCurves(ctx context.Context, scens []Scenario, backends []eval.Evalua
 			Policy: sc.Policy.String(), Variant: sc.Variant.Name,
 			AvgDist: math.NaN(), SaturationLoad: math.NaN(),
 		}
+		if !sc.Workload.IsDefault() {
+			info.Workload = sc.Workload.Label()
+		}
 		if desc != nil {
 			cd, err := desc.Curve(ctx, sc)
 			if err != nil {

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // Quick is sized for CI and iterative work, Full for report-quality
@@ -71,7 +72,16 @@ type Spec struct {
 	// not depend on model options, so when variants are listed the
 	// simulator runs only on cells of variants that set with_sim.
 	Variants []Variant `json:"variants,omitempty"`
-	Loads    LoadSpec  `json:"loads"`
+	// Workloads adds a workload axis: each workload re-runs every curve
+	// under a different arrival process / rate mix / destination pattern
+	// (see internal/workload). Empty means the paper's steady uniform
+	// Poisson workload only. Non-default workloads are outside the
+	// analytic model's assumptions, so their cells carry a
+	// model-not-applicable marker instead of a steady-state prediction;
+	// fractional loads stay anchored at the steady model's saturation so
+	// workloads compare at equal mean load.
+	Workloads []workload.Spec `json:"workloads,omitempty"`
+	Loads     LoadSpec        `json:"loads"`
 	// WithSim runs the flit-level simulator alongside the model.
 	WithSim bool `json:"with_sim"`
 	// Budget scales the simulation; ignored (and may be zero) when
@@ -236,5 +246,34 @@ func (s *Spec) Validate() error {
 	if s.Budget.Replicas < 0 {
 		return fmt.Errorf("sweep: bad budget replicas %d, must be >= 0", s.Budget.Replicas)
 	}
+	wkeys := make(map[string]string, len(s.Workloads))
+	for i := range s.Workloads {
+		w := &s.Workloads[i]
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("sweep: workloads[%d]: %w", i, err)
+		}
+		// Cache keys hash a workload's canonical key, not its name, so
+		// two identically parameterised workloads would silently collapse
+		// at expansion; reject them instead (mirrors the variant rule).
+		key := w.Canonical()
+		if prev, dup := wkeys[key]; dup {
+			return fmt.Errorf("sweep: workloads %q and %q are identical and would collapse to one curve",
+				prev, w.Label())
+		}
+		wkeys[key] = w.Label()
+	}
 	return nil
+}
+
+// workloads returns the workload list with the default (the paper's
+// steady uniform Poisson workload) applied.
+func (s *Spec) workloads() []*workload.Spec {
+	if len(s.Workloads) == 0 {
+		return []*workload.Spec{nil}
+	}
+	out := make([]*workload.Spec, len(s.Workloads))
+	for i := range s.Workloads {
+		out[i] = &s.Workloads[i]
+	}
+	return out
 }

@@ -1,0 +1,213 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// renewalSource is the shared machinery of the renewal-process sources:
+// interarrival gaps are drawn i.i.d. from draw, and the stream is the
+// running sum. A nil draw (rate 0) never fires.
+type renewalSource struct {
+	rate float64
+	next float64
+	draw func() float64
+}
+
+func newRenewal(rate float64, draw func() float64) renewalSource {
+	s := renewalSource{rate: rate, next: math.Inf(1), draw: draw}
+	if rate > 0 {
+		s.next = draw()
+	}
+	return s
+}
+
+// Rate returns the configured mean arrival rate.
+func (s *renewalSource) Rate() float64 { return s.rate }
+
+// Peek returns the time of the next arrival without consuming it.
+func (s *renewalSource) Peek() float64 { return s.next }
+
+// PopBefore consumes and returns the next arrival time if it is strictly
+// before limit; otherwise it returns (0, false).
+func (s *renewalSource) PopBefore(limit float64) (float64, bool) {
+	if s.next >= limit {
+		return 0, false
+	}
+	t := s.next
+	s.next += s.draw()
+	return t, true
+}
+
+func checkRate(kind string, rate float64) error {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 1) {
+		return fmt.Errorf("traffic: %s: arrival rate must be finite and non-negative, got %v", kind, rate)
+	}
+	return nil
+}
+
+// GammaSource is a renewal process with Gamma(shape) interarrivals of
+// mean 1/rate. Its squared coefficient of variation is 1/shape: shape>1
+// is smoother than Poisson, shape<1 burstier. shape=1 degenerates to
+// Poisson (with a different, equally valid, draw sequence).
+type GammaSource struct{ renewalSource }
+
+// NewGammaSource creates a Gamma-interarrival source with the given mean
+// rate (messages/cycle) and shape.
+func NewGammaSource(rate, shape float64, rng *RNG) (*GammaSource, error) {
+	if err := checkRate("gamma", rate); err != nil {
+		return nil, err
+	}
+	if shape <= 0 || math.IsNaN(shape) {
+		return nil, fmt.Errorf("traffic: gamma: shape must be > 0, got %v", shape)
+	}
+	scale := 1 / (shape * rate) // mean shape*scale = 1/rate
+	s := &GammaSource{}
+	s.renewalSource = newRenewal(rate, func() float64 { return rng.Gamma(shape) * scale })
+	return s, nil
+}
+
+// WeibullSource is a renewal process with Weibull(shape) interarrivals
+// of mean 1/rate. shape<1 gives a heavy-ish tail (bursty), shape>1 a
+// light tail; shape=1 degenerates to Poisson.
+type WeibullSource struct{ renewalSource }
+
+// NewWeibullSource creates a Weibull-interarrival source with the given
+// mean rate (messages/cycle) and shape.
+func NewWeibullSource(rate, shape float64, rng *RNG) (*WeibullSource, error) {
+	if err := checkRate("weibull", rate); err != nil {
+		return nil, err
+	}
+	if shape <= 0 || math.IsNaN(shape) {
+		return nil, fmt.Errorf("traffic: weibull: shape must be > 0, got %v", shape)
+	}
+	// E[X] = scale * Γ(1+1/k)  =>  scale = 1/(rate * Γ(1+1/k)).
+	scale := 1 / (rate * math.Gamma(1+1/shape))
+	s := &WeibullSource{}
+	s.renewalSource = newRenewal(rate, func() float64 {
+		u := 1 - rng.Float64() // (0,1]
+		return scale * math.Pow(-math.Log(u), 1/shape)
+	})
+	return s, nil
+}
+
+// WeibullSCV returns the squared coefficient of variation of Weibull
+// interarrivals with the given shape: Γ(1+2/k)/Γ(1+1/k)² − 1.
+func WeibullSCV(shape float64) float64 {
+	g1 := math.Gamma(1 + 1/shape)
+	return math.Gamma(1+2/shape)/(g1*g1) - 1
+}
+
+// MMPPSource is a two-state Markov-modulated Poisson process (an
+// interrupted Poisson process): the source alternates between an ON
+// state emitting Poisson arrivals at rate/onFrac and a silent OFF state,
+// with exponentially distributed sojourns chosen so the mean rate is
+// rate and the mean ON burst lasts burstCycles cycles. onFrac=1
+// degenerates to plain Poisson.
+type MMPPSource struct {
+	rng      *RNG
+	rate     float64 // mean rate over both states
+	lambdaOn float64 // arrival rate while ON
+	rOn      float64 // hazard ON->OFF (1/mean burst)
+	rOff     float64 // hazard OFF->ON (1/mean gap)
+	t        float64 // cursor: time of last arrival or state entry
+	onEnd    float64 // end of the current ON period (-1 while OFF)
+	next     float64
+}
+
+// NewMMPPSource creates an on-off bursty source: mean rate
+// (messages/cycle), onFrac the stationary fraction of time spent ON
+// (0 < onFrac <= 1), burstCycles the mean ON duration in cycles.
+func NewMMPPSource(rate, onFrac, burstCycles float64, rng *RNG) (*MMPPSource, error) {
+	if err := checkRate("mmpp", rate); err != nil {
+		return nil, err
+	}
+	if onFrac <= 0 || onFrac > 1 || math.IsNaN(onFrac) {
+		return nil, fmt.Errorf("traffic: mmpp: on_frac must be in (0, 1], got %v", onFrac)
+	}
+	if burstCycles <= 0 || math.IsNaN(burstCycles) {
+		return nil, fmt.Errorf("traffic: mmpp: burst_cycles must be > 0, got %v", burstCycles)
+	}
+	s := &MMPPSource{
+		rng:      rng,
+		rate:     rate,
+		lambdaOn: rate / onFrac,
+		rOn:      1 / burstCycles,
+		rOff:     onFrac / (burstCycles * (1 - onFrac)), // 1 / mean OFF
+		next:     math.Inf(1),
+	}
+	if rate == 0 {
+		return s, nil
+	}
+	if onFrac == 1 {
+		s.rOff = math.Inf(1) // OFF periods have zero length
+	}
+	// Start in the stationary state; sojourns are memoryless, so the
+	// residual is a fresh exponential.
+	if rng.Float64() < onFrac {
+		s.onEnd = s.t + rng.Exp(s.rOn)
+	} else {
+		s.t += rng.Exp(s.rOff)
+		s.onEnd = s.t + rng.Exp(s.rOn)
+	}
+	s.next = s.advance()
+	return s, nil
+}
+
+// advance walks the on/off state machine to the next arrival time.
+func (s *MMPPSource) advance() float64 {
+	for {
+		gap := s.rng.Exp(s.lambdaOn)
+		if s.t+gap <= s.onEnd {
+			s.t += gap
+			return s.t
+		}
+		// The candidate falls past the end of this ON period: discard it,
+		// jump over the OFF gap, and redraw inside the next burst.
+		s.t = s.onEnd
+		if !math.IsInf(s.rOff, 1) {
+			s.t += s.rng.Exp(s.rOff)
+		}
+		s.onEnd = s.t + s.rng.Exp(s.rOn)
+	}
+}
+
+// Rate returns the configured mean arrival rate.
+func (s *MMPPSource) Rate() float64 { return s.rate }
+
+// Peek returns the time of the next arrival without consuming it.
+func (s *MMPPSource) Peek() float64 { return s.next }
+
+// PopBefore consumes and returns the next arrival time if it is strictly
+// before limit; otherwise it returns (0, false).
+func (s *MMPPSource) PopBefore(limit float64) (float64, bool) {
+	if s.next >= limit {
+		return 0, false
+	}
+	t := s.next
+	s.next = s.advance()
+	return t, true
+}
+
+// IPPSCV returns the squared coefficient of variation of the
+// interarrival times of an interrupted Poisson process with mean rate
+// rate, ON fraction onFrac and mean burst burstCycles. It uses the exact
+// Kuczura H2 equivalence: the interarrival distribution is a mixture of
+// two exponentials whose rates are the roots of
+// μ² − (λ+ω1+ω2)μ + λω2 = 0.
+func IPPSCV(rate, onFrac, burstCycles float64) float64 {
+	if onFrac >= 1 {
+		return 1 // plain Poisson
+	}
+	lambda := rate / onFrac
+	w1 := 1 / burstCycles                       // ON -> OFF
+	w2 := onFrac / (burstCycles * (1 - onFrac)) // OFF -> ON
+	sum := lambda + w1 + w2
+	disc := math.Sqrt(sum*sum - 4*lambda*w2)
+	mu1 := (sum + disc) / 2
+	mu2 := (sum - disc) / 2
+	p := (lambda - mu2) / (mu1 - mu2)
+	m1 := p/mu1 + (1-p)/mu2
+	m2 := 2*p/(mu1*mu1) + 2*(1-p)/(mu2*mu2)
+	return m2/(m1*m1) - 1
+}

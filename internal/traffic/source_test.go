@@ -1,0 +1,160 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// drainInterarrivals pops the source until horizon and returns the
+// interarrival gaps.
+func drainInterarrivals(t *testing.T, src Source, horizon float64) []float64 {
+	t.Helper()
+	var gaps []float64
+	prev := 0.0
+	for {
+		a, ok := src.PopBefore(horizon)
+		if !ok {
+			break
+		}
+		if a < prev {
+			t.Fatalf("arrivals out of order: %v after %v", a, prev)
+		}
+		gaps = append(gaps, a-prev)
+		prev = a
+	}
+	return gaps
+}
+
+// empiricalSCV returns mean and squared coefficient of variation of xs.
+func empiricalSCV(xs []float64) (mean, scv float64) {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(xs))
+	mean = sum / n
+	m2 := sumSq / n
+	return mean, m2/(mean*mean) - 1
+}
+
+func TestGammaSourceMeanAndSCV(t *testing.T) {
+	for _, shape := range []float64{0.5, 2, 4} {
+		src, err := NewGammaSource(0.1, shape, NewRNG(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := drainInterarrivals(t, src, 500_000)
+		mean, scv := empiricalSCV(gaps)
+		if math.Abs(mean-10) > 0.5 {
+			t.Errorf("shape %v: mean gap %v, want ~10", shape, mean)
+		}
+		want := 1 / shape
+		if math.Abs(scv-want) > 0.15*want {
+			t.Errorf("shape %v: SCV %v, want ~%v", shape, scv, want)
+		}
+	}
+}
+
+func TestWeibullSourceMeanAndSCV(t *testing.T) {
+	for _, shape := range []float64{0.7, 1.5} {
+		src, err := NewWeibullSource(0.1, shape, NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps := drainInterarrivals(t, src, 500_000)
+		mean, scv := empiricalSCV(gaps)
+		if math.Abs(mean-10) > 0.5 {
+			t.Errorf("shape %v: mean gap %v, want ~10", shape, mean)
+		}
+		want := WeibullSCV(shape)
+		if math.Abs(scv-want) > 0.2*want {
+			t.Errorf("shape %v: SCV %v, want ~%v", shape, scv, want)
+		}
+	}
+}
+
+func TestWeibullSCVShapeOneIsPoisson(t *testing.T) {
+	if got := WeibullSCV(1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("WeibullSCV(1) = %v, want 1", got)
+	}
+}
+
+func TestMMPPSourceMeanRateAndBurstiness(t *testing.T) {
+	const rate, onFrac, burst = 0.05, 0.25, 200.0
+	src, err := NewMMPPSource(rate, onFrac, burst, NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 2_000_000.0
+	gaps := drainInterarrivals(t, src, horizon)
+	got := float64(len(gaps)) / horizon
+	if math.Abs(got-rate) > 0.05*rate {
+		t.Errorf("mean rate %v, want ~%v", got, rate)
+	}
+	_, scv := empiricalSCV(gaps)
+	want := IPPSCV(rate, onFrac, burst)
+	if want <= 1.5 {
+		t.Fatalf("IPPSCV = %v: expected a clearly bursty process", want)
+	}
+	if math.Abs(scv-want) > 0.25*want {
+		t.Errorf("SCV %v, want ~%v", scv, want)
+	}
+}
+
+func TestMMPPSourceFullOnIsPoisson(t *testing.T) {
+	src, err := NewMMPPSource(0.05, 1, 200, NewRNG(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := drainInterarrivals(t, src, 1_000_000)
+	_, scv := empiricalSCV(gaps)
+	if math.Abs(scv-1) > 0.1 {
+		t.Errorf("onFrac=1 SCV %v, want ~1 (Poisson)", scv)
+	}
+	if got := IPPSCV(0.05, 1, 200); math.Abs(got-1) > 1e-9 {
+		t.Errorf("IPPSCV(onFrac=1) = %v, want 1", got)
+	}
+}
+
+func TestSourceConstructorsRejectBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"gamma negative rate", errOf(NewGammaSource(-1, 2, NewRNG(1)))},
+		{"gamma zero shape", errOf(NewGammaSource(0.1, 0, NewRNG(1)))},
+		{"weibull NaN rate", errOf(NewWeibullSource(math.NaN(), 1, NewRNG(1)))},
+		{"weibull negative shape", errOf(NewWeibullSource(0.1, -2, NewRNG(1)))},
+		{"mmpp negative rate", errOf(NewMMPPSource(-0.1, 0.5, 100, NewRNG(1)))},
+		{"mmpp onFrac 0", errOf(NewMMPPSource(0.1, 0, 100, NewRNG(1)))},
+		{"mmpp onFrac >1", errOf(NewMMPPSource(0.1, 1.5, 100, NewRNG(1)))},
+		{"mmpp burst 0", errOf(NewMMPPSource(0.1, 0.5, 0, NewRNG(1)))},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func errOf[T any](_ T, err error) error { return err }
+
+func TestSourcesAreDeterministic(t *testing.T) {
+	build := func() []Source {
+		g, _ := NewGammaSource(0.1, 2, NewRNG(5))
+		w, _ := NewWeibullSource(0.1, 1.5, NewRNG(5))
+		m, _ := NewMMPPSource(0.1, 0.25, 100, NewRNG(5))
+		return []Source{g, w, m}
+	}
+	a, b := build(), build()
+	for i := range a {
+		for j := 0; j < 1000; j++ {
+			x, okA := a[i].PopBefore(1e9)
+			y, okB := b[i].PopBefore(1e9)
+			if okA != okB || x != y {
+				t.Fatalf("source %d diverges at pop %d: %v vs %v", i, j, x, y)
+			}
+		}
+	}
+}

@@ -93,6 +93,69 @@ func (r *RNG) Exp(rate float64) float64 {
 	return -math.Log(1-u) / rate
 }
 
+// Normal returns a standard normal variate (Box–Muller). Each call
+// consumes exactly two uniforms, keeping streams reproducible.
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	// 1-u1 is in (0,1], avoiding log(0).
+	return math.Sqrt(-2*math.Log(1-u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Gamma returns a Gamma(shape, 1) variate via Marsaglia–Tsang squeeze
+// rejection, with the standard U^{1/k} boost for shape < 1. Panics if
+// shape <= 0.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 || math.IsNaN(shape) {
+		panic("traffic: Gamma with shape <= 0")
+	}
+	if shape < 1 {
+		u := 1 - r.Float64() // (0,1]
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Source is an open-loop arrival process for one processing element: a
+// monotone stream of arrival times in cycles. PoissonSource is the
+// paper's workload; internal/workload builds the bursty and trace-replay
+// variants behind the same interface.
+type Source interface {
+	// Rate returns the configured mean arrival rate (messages/cycle).
+	Rate() float64
+	// Peek returns the time of the next arrival without consuming it
+	// (+Inf when the stream is exhausted or silent).
+	Peek() float64
+	// PopBefore consumes and returns the next arrival time if it is
+	// strictly before limit; otherwise (0, false). Repeated calls drain
+	// all arrivals in [0, limit).
+	PopBefore(limit float64) (float64, bool)
+}
+
+// DestSource is a Source whose arrivals carry their own destinations
+// (trace replay): LastDest reports the destination of the arrival most
+// recently returned by PopBefore.
+type DestSource interface {
+	Source
+	LastDest() int
+}
+
 // PoissonSource produces a stream of arrival times for one processing
 // element, as a continuous-time Poisson process with the configured rate in
 // messages per cycle.
@@ -103,16 +166,18 @@ type PoissonSource struct {
 }
 
 // NewPoissonSource creates a source with the given arrival rate
-// (messages/cycle) and seed. A rate of 0 yields a source that never fires.
-func NewPoissonSource(rate float64, rng *RNG) *PoissonSource {
-	if rate < 0 || math.IsNaN(rate) {
-		panic(fmt.Sprintf("traffic: negative or NaN arrival rate %v", rate))
+// (messages/cycle) and seed. A rate of 0 yields a source that never
+// fires; a negative or NaN rate is an error (it would otherwise take
+// down a whole sweepd shard on a malformed remote spec).
+func NewPoissonSource(rate float64, rng *RNG) (*PoissonSource, error) {
+	if rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 1) {
+		return nil, fmt.Errorf("traffic: arrival rate must be finite and non-negative, got %v", rate)
 	}
 	s := &PoissonSource{rng: rng, rate: rate, next: math.Inf(1)}
 	if rate > 0 {
 		s.next = rng.Exp(rate)
 	}
-	return s
+	return s, nil
 }
 
 // Rate returns the configured arrival rate.

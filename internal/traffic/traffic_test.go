@@ -94,10 +94,28 @@ func TestExpPanicsOnBadRate(t *testing.T) {
 	NewRNG(1).Exp(0)
 }
 
+// mustPoisson builds a Poisson source, failing the test on a bad rate.
+func mustPoisson(t *testing.T, rate float64, rng *RNG) *PoissonSource {
+	t.Helper()
+	src, err := NewPoissonSource(rate, rng)
+	if err != nil {
+		t.Fatalf("NewPoissonSource(%v): %v", rate, err)
+	}
+	return src
+}
+
+func TestPoissonSourceRejectsBadRate(t *testing.T) {
+	for _, rate := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoissonSource(rate, NewRNG(1)); err == nil {
+			t.Errorf("NewPoissonSource(%v): expected error", rate)
+		}
+	}
+}
+
 func TestPoissonSourceInterarrivalMean(t *testing.T) {
 	rng := NewRNG(11)
 	const rate = 0.02
-	src := NewPoissonSource(rate, rng)
+	src := mustPoisson(t, rate, rng)
 	var count int
 	const horizon = 1_000_000.0
 	for {
@@ -114,7 +132,7 @@ func TestPoissonSourceInterarrivalMean(t *testing.T) {
 }
 
 func TestPoissonSourceOrdering(t *testing.T) {
-	src := NewPoissonSource(0.5, NewRNG(3))
+	src := mustPoisson(t, 0.5, NewRNG(3))
 	prev := -1.0
 	for i := 0; i < 1000; i++ {
 		tt, ok := src.PopBefore(math.Inf(1))
@@ -129,7 +147,7 @@ func TestPoissonSourceOrdering(t *testing.T) {
 }
 
 func TestPoissonSourceZeroRate(t *testing.T) {
-	src := NewPoissonSource(0, NewRNG(1))
+	src := mustPoisson(t, 0, NewRNG(1))
 	if _, ok := src.PopBefore(1e12); ok {
 		t.Error("zero-rate source must never fire")
 	}
@@ -142,7 +160,7 @@ func TestPoissonSourceZeroRate(t *testing.T) {
 }
 
 func TestPoissonSourcePopBeforeLimit(t *testing.T) {
-	src := NewPoissonSource(1.0, NewRNG(8))
+	src := mustPoisson(t, 1.0, NewRNG(8))
 	first := src.Peek()
 	if _, ok := src.PopBefore(first); ok {
 		t.Error("PopBefore(limit == next) must not pop (strict inequality)")
@@ -260,6 +278,5 @@ func TestPatternPanics(t *testing.T) {
 	mustPanic("uniform n=1", func() { Uniform{}.Dest(0, 1, NewRNG(1)) })
 	mustPanic("bitcomplement non-pow2", func() { BitComplement{}.Dest(0, 12, nil) })
 	mustPanic("transpose non-square", func() { Transpose{}.Dest(0, 12, nil) })
-	mustPanic("negative rate", func() { NewPoissonSource(-1, NewRNG(1)) })
 	mustPanic("Intn 0", func() { NewRNG(1).Intn(0) })
 }

@@ -36,7 +36,14 @@
 //     over (cost, latency, sustainable load), simulator certification
 //     of the frontier only — answering "which network sustains this
 //     load under this latency bound" without sweeping a grid (see
-//     docs/plan.md).
+//     docs/plan.md); and
+//   - a workload subsystem (WorkloadSpec, cmd/trace): declarative
+//     bursty arrival processes (Gamma, Weibull, MMPP on-off),
+//     per-source rate mixes, destination patterns (hotspot, locality,
+//     bitcomplement, transpose), and deterministic NDJSON trace
+//     record/replay, threaded through the simulator, sweeps and plans;
+//     the default spec is bit-identical to the paper's steady uniform
+//     Poisson workload (see docs/workload.md).
 //
 // This facade re-exports the main entry points; the implementation lives
 // under internal/ (core, analytic, sim, topology, eval, sweep, …).
@@ -71,6 +78,7 @@ package repro
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/analytic"
@@ -84,6 +92,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/sweep"
 	"repro/internal/topology"
+	"repro/internal/workload"
 )
 
 // Re-exported types. The aliases keep godoc for the full API in one
@@ -123,6 +132,18 @@ type (
 	// its measurement window once the latency estimate's relative 95%
 	// half-width drops to RelHalfWidth.
 	SimTermination = sim.Termination
+
+	// WorkloadSpec declares a simulator workload: arrival process,
+	// per-source rate mix, destination pattern, or a recorded trace to
+	// replay (see docs/workload.md). The zero value is the paper's
+	// steady uniform Poisson workload, bit-identical to a run with no
+	// workload at all. Set it on SimConfig.Workload, a sweep spec's
+	// workloads axis, or a plan spec's workload field.
+	WorkloadSpec = workload.Spec
+	// WorkloadTrace is a recorded arrival trace: a header carrying the
+	// full recording recipe plus every accepted arrival, replayable
+	// bit-identically (see cmd/trace and docs/workload.md).
+	WorkloadTrace = workload.Trace
 
 	// Budget scales experiment simulation effort.
 	Budget = exp.Budget
@@ -261,6 +282,15 @@ func Simulate(ctx context.Context, cfg SimConfig, opts ...SimOption) (*SimResult
 func SimulateContext(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 	return sim.Run(ctx, cfg)
 }
+
+// ReadWorkloadTrace parses an NDJSON arrival trace, validating it
+// strictly (monotone cycles, in-range endpoints, matching message
+// lengths).
+func ReadWorkloadTrace(r io.Reader) (*WorkloadTrace, error) { return workload.ReadTrace(r) }
+
+// WriteWorkloadTrace writes a trace in the canonical NDJSON form; equal
+// traces produce byte-identical files.
+func WriteWorkloadTrace(w io.Writer, tr *WorkloadTrace) error { return workload.WriteTrace(w, tr) }
 
 // Figure3 regenerates the paper's Figure 3 (see exp.Figure3Config;
 // zero-value config uses the paper's parameters with a CI-sized budget).

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# workload-smoke: end-to-end smoke of the workload subsystem's
+# determinism contract.
+#
+#  1. Record a 512-PE bursty (MMPP on-off) run to an NDJSON arrival
+#     trace, writing the recording Result in canonical text form.
+#  2. Replay the trace; the replayed Result must be bit-identical to
+#     the recording run's (a plain file diff).
+#  3. Sanity-check the trace: stats must report a super-Poisson
+#     interarrival SCV (> 1), or the "bursty" workload is not bursty.
+#  4. Emit BENCH_workload.json: events/sec recorded and replayed.
+#
+# CI runs this via `make workload-smoke`.
+set -eu
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/trace" ./cmd/trace
+
+WL='{"process":"mmpp","on_frac":0.25,"burst_cycles":200}'
+
+# 512 processors = a 9-dimension binary hypercube (fat-tree sizes are
+# powers of four).
+"$WORK/trace" record -o "$WORK/burst512.ndjson" -cube 9 -flits 16 \
+    -load 0.08 -warmup 4000 -measure 20000 -seed 1 \
+    -workload "$WL" -result-out "$WORK/recorded.txt" -json \
+    >"$WORK/record.json"
+
+"$WORK/trace" replay -trace "$WORK/burst512.ndjson" \
+    -result-out "$WORK/replayed.txt" -json >"$WORK/replay.json"
+
+# The replayed Result must be bit-identical to the recording run's.
+if ! diff "$WORK/recorded.txt" "$WORK/replayed.txt"; then
+    echo "workload-smoke: replay diverged from recording" >&2
+    exit 1
+fi
+
+# The recorded process must actually be bursty: pooled interarrival
+# SCV > 1 (Poisson would be ~1).
+SCV="$("$WORK/trace" stats -trace "$WORK/burst512.ndjson" -top 1 \
+    | sed -n 's/.*"interarrival_scv": \([0-9.]*\),.*/\1/p')"
+if [ -z "$SCV" ] || [ "$(printf '%.0f' "$SCV")" -lt 2 ]; then
+    echo "workload-smoke: trace SCV $SCV not clearly bursty" >&2
+    exit 1
+fi
+
+EVENTS="$(sed -n 's/.*"events":\([0-9]*\),.*/\1/p' "$WORK/record.json")"
+REC_EPS="$(sed -n 's/.*"events_per_sec":\([0-9.]*\).*/\1/p' "$WORK/record.json")"
+REP_EPS="$(sed -n 's/.*"events_per_sec":\([0-9.]*\).*/\1/p' "$WORK/replay.json")"
+
+cat >BENCH_workload.json <<EOF
+{
+  "benchmark": "workload-smoke",
+  "workload": $WL,
+  "processors": 512,
+  "msg_flits": 16,
+  "events": $EVENTS,
+  "interarrival_scv": $SCV,
+  "record_events_per_sec": $REC_EPS,
+  "replay_events_per_sec": $REP_EPS,
+  "replay_bit_identical": true
+}
+EOF
+
+echo "workload-smoke: $EVENTS events recorded and replayed bit-identically (SCV $SCV, record $REC_EPS ev/s, replay $REP_EPS ev/s)"
