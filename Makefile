@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke obs-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -63,6 +63,15 @@ plan-smoke:
 workload-smoke:
 	bash scripts/workload_smoke.sh
 	@cat BENCH_workload.json
+
+# Smoke-test fleet-wide observability: a traced dispatched figure3 over
+# 2 shards must reassemble into one well-formed span tree (obsreport
+# -check), /metrics must parse and carry the engine counters, and
+# tracing must cost <= 5% against the untraced run, emitting
+# BENCH_obs.json (points/sec with tracing on and off).
+obs-smoke:
+	bash scripts/obs_smoke.sh
+	@cat BENCH_obs.json
 
 lint:
 	$(GO) vet ./...

@@ -18,6 +18,7 @@
 //	                                             # search over a sweepd fleet
 //	plan -spec builtin:bft-capacity -addr :8713  # submit to a server's /v1/plan
 //	plan -spec builtin:bft-capacity -cache-dir d # persistent probe cache
+//	plan -spec builtin:bft-capacity -trace-out t.ndjson   # NDJSON span trace
 //
 // Progress streams to stderr; results go to stdout. With -shards the
 // search runs in this process but every evaluation executes on the
@@ -43,6 +44,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/dispatch"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -62,6 +64,7 @@ func main() {
 		shards   = flag.String("shards", "", "execute the search over these sweepd shard(s), comma-separated")
 		cacheDir = flag.String("cache-dir", "", "persist the probe cache to this directory (empty = in-memory)")
 		benchOut = flag.String("bench-out", "", "write a candidates/sec benchmark summary JSON to this file")
+		traceOut = flag.String("trace-out", "", "write NDJSON span traces to this file (see docs/observability.md)")
 	)
 	flag.Parse()
 	if *addr != "" && *shards != "" {
@@ -95,6 +98,19 @@ func main() {
 
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
+
+	if *traceOut != "" {
+		tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeTracer(); err != nil {
+				log.Printf("closing trace: %v", err)
+			}
+		}()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	start := time.Now()
 	var res *plan.Result
@@ -192,8 +208,21 @@ func runLocal(ctx context.Context, spec plan.Spec, shards, cacheDir string, stre
 }
 
 // submit posts the spec to a server's /v1/plan and consumes the NDJSON
-// update stream.
-func submit(ctx context.Context, addr string, spec plan.Spec, stream, quiet bool) (*plan.Result, error) {
+// update stream. With a tracer on ctx the submission becomes a root
+// span whose IDs travel in the request headers, so the server's spans
+// stitch under it.
+func submit(ctx context.Context, addr string, spec plan.Spec, stream, quiet bool) (res *plan.Result, err error) {
+	name := spec.Name
+	if name == "" {
+		name = "anonymous"
+	}
+	ctx, span := obs.StartSpanKeyed(ctx, "plan.submit", name)
+	defer func() {
+		if err != nil {
+			span.SetAttr(obs.String("error", err.Error()))
+		}
+		span.End()
+	}()
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -208,6 +237,7 @@ func submit(ctx context.Context, addr string, spec plan.Spec, stream, quiet bool
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := (&http.Client{}).Do(req)
 	if err != nil {
 		return nil, err
@@ -227,7 +257,6 @@ func submit(ctx context.Context, addr string, spec plan.Spec, stream, quiet bool
 	// The final done line carries the whole Result (every candidate),
 	// so the line cap must scale to large design spaces, not row size.
 	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
-	var res *plan.Result
 	for sc.Scan() {
 		var u plan.Update
 		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {

@@ -19,6 +19,7 @@
 //	sweep -spec builtin:figure3 -addr :8713 -batch 32   # batched transport
 //	sweep -spec builtin:figure3 -shards :8713,:8714,:8715   # dispatch ranges
 //	sweep -spec builtin:figure3 -cache-dir d     # persistent result store
+//	sweep -spec builtin:figure3 -trace-out t.ndjson   # NDJSON span trace
 //
 // Progress streams to stderr; results go to stdout. With -stream each
 // cell is emitted as one JSON line the moment it completes (completion
@@ -53,6 +54,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/dispatch"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -93,6 +95,7 @@ func main() {
 		shards   = flag.String("shards", "", "dispatch grid ranges across these sweepd shard(s), comma-separated (distributed scheduler)")
 		batch    = flag.Int("batch", 0, "with -addr: coalesce cells into batches of this size; with -shards: cells per dispatched range (0 = auto)")
 		cacheDir = flag.String("cache-dir", "", "persist the result cache to this directory (empty = in-memory)")
+		traceOut = flag.String("trace-out", "", "write NDJSON span traces to this file (see docs/observability.md)")
 	)
 	flag.Parse()
 	if *addr != "" && *shards != "" {
@@ -128,6 +131,19 @@ func main() {
 
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
+
+	if *traceOut != "" {
+		tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeTracer(); err != nil {
+				log.Printf("closing trace: %v", err)
+			}
+		}()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	var cache sweep.CacheStore
 	if *cacheDir != "" {

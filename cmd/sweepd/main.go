@@ -16,6 +16,9 @@
 //	                                        # …and keep it bounded while serving
 //	sweepd -compact -cache-dir d            # compact the store and exit
 //	sweepd -shards :8714,:8715,:8716        # front-end: dispatch sweeps
+//	sweepd -trace-out trace.ndjson          # NDJSON span traces
+//	sweepd -log-level debug                 # structured logs, every request
+//	sweepd -debug-addr 127.0.0.1:6060       # pprof on a separate listener
 //
 // Endpoints (see docs/serve.md): POST /v1/sweep (NDJSON stream),
 // POST /v1/plan (capacity-planner searches, see docs/plan.md),
@@ -33,13 +36,25 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: new connections are
 // refused, in-flight streams get -grace to finish, then connections are
-// force-closed (which cancels their sweeps) and the store is flushed.
+// force-closed (which cancels their sweeps) and the store and any
+// -trace-out tracer are flushed.
+//
+// Observability (see docs/observability.md): -trace-out writes NDJSON
+// span traces (request spans plus the engine spans under them, stitched
+// to the caller's trace via the X-Obs-Trace/X-Obs-Span headers);
+// -log-level selects the structured-log threshold (debug logs every
+// request); -debug-addr serves net/http/pprof on a separate listener,
+// so profiling never rides the public mux.
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -63,8 +78,17 @@ func main() {
 		compact   = flag.Bool("compact", false, "compact -cache-dir into one segment and exit")
 		shardList = flag.String("shards", "", "front-end mode: dispatch /v1/sweep across these downstream sweepd shard(s), comma-separated")
 		batch     = flag.Int("batch", 0, "front-end mode: cells per dispatched range (0 = auto)")
+		traceOut  = flag.String("trace-out", "", "write NDJSON span traces to this file, flushed on shutdown")
+		logLevel  = flag.String("log-level", "info", "structured-log threshold: debug, info, warn or error (debug logs every request)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (never on the public mux)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		log.Fatalf("bad -log-level %q: %v", *logLevel, err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var cache sweep.CacheStore = sweep.NewCache()
 	if *cacheDir != "" {
@@ -74,13 +98,13 @@ func main() {
 		}
 		defer func() {
 			if err := st.Close(); err != nil {
-				log.Printf("closing store: %v", err)
+				logger.Error("closing store", "err", err)
 			}
 		}()
 		if dropped := st.Dropped(); dropped > 0 {
-			log.Printf("store recovery dropped %d corrupt line(s)", dropped)
+			logger.Warn("store recovery dropped corrupt lines", "dropped", dropped)
 		}
-		log.Printf("store: %d cell(s) recovered from %s", st.Recovered(), *cacheDir)
+		logger.Info("store recovered", "cells", st.Recovered(), "dir", *cacheDir)
 		if *maxBytes > 0 {
 			// Startup prune: the daemon owns the directory exclusively for
 			// its whole lifetime, so pruning here — and periodically below —
@@ -90,14 +114,14 @@ func main() {
 				log.Fatal(err)
 			}
 			size, _ := st.DiskBytes()
-			log.Printf("store pruned to %d byte(s) (bound %d): %d cell(s) evicted, %d live",
-				size, *maxBytes, evicted, st.Len())
+			logger.Info("store pruned", "bytes", size, "bound", *maxBytes,
+				"evicted", evicted, "live", st.Len())
 			if *pruneTick > 0 {
 				stop := st.StartAutoPrune(*maxBytes, *pruneTick, func(err error) {
-					log.Printf("auto-prune: %v", err)
+					logger.Error("auto-prune", "err", err)
 				})
 				defer stop()
-				log.Printf("store auto-prune: every %s to %d byte(s)", *pruneTick, *maxBytes)
+				logger.Info("store auto-prune enabled", "interval", *pruneTick, "bound", *maxBytes)
 			}
 		} else if *pruneTick > 0 {
 			log.Fatal("-prune-interval needs -cache-max-bytes")
@@ -106,7 +130,7 @@ func main() {
 			if err := st.Compact(); err != nil {
 				log.Fatal(err)
 			}
-			log.Printf("store compacted: %d live cell(s)", st.Len())
+			logger.Info("store compacted", "live", st.Len())
 			return
 		}
 		cache = st
@@ -118,7 +142,24 @@ func main() {
 		log.Fatal("-prune-interval needs -cache-dir")
 	}
 
-	opts := []serve.Option{serve.WithCache(cache), serve.WithWorkers(*workers)}
+	opts := []serve.Option{
+		serve.WithCache(cache),
+		serve.WithWorkers(*workers),
+		serve.WithLogger(logger),
+	}
+	if *traceOut != "" {
+		tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := closeTracer(); err != nil {
+				logger.Error("closing trace", "err", err)
+			}
+		}()
+		opts = append(opts, serve.WithTracer(tracer))
+		logger.Info("tracing enabled", "file", *traceOut)
+	}
 	if *shardList != "" {
 		shards, err := cliutil.ParseStrings(*shardList)
 		if err != nil {
@@ -132,21 +173,39 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("front-end: dispatching sweeps and plans across %d shard(s)", len(d.Addrs()))
+		logger.Info("front-end: dispatching sweeps and plans", "shards", len(d.Addrs()))
 		opts = append(opts, serve.WithSweeper(d))
+	}
+
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener: the public mux
+		// never exposes /debug, whatever else registers on the default
+		// mux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Error("pprof listener", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	err := serve.ListenAndServe(ctx, *addr, *grace, opts...)
 	if err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}
 	if err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
 	} else {
-		log.Printf("shutdown: clean")
+		logger.Info("shutdown: clean")
 	}
 }

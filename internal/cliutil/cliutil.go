@@ -1,9 +1,11 @@
 // Package cliutil holds the small helpers shared by the cmd/ binaries:
 // logger setup, comma-separated list parsing, experiment budget
-// selection, table-or-CSV output, spec dumping, and timeout contexts.
+// selection, table-or-CSV output, spec dumping, timeout contexts, and
+// trace-file tracers.
 package cliutil
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/series"
 )
 
@@ -110,6 +113,28 @@ func ParseStrings(s string) ([]string, error) {
 		return nil, fmt.Errorf("cliutil: empty list %q", s)
 	}
 	return out, nil
+}
+
+// OpenTracer opens an NDJSON span tracer writing to path, buffered, for
+// the -trace-out flag convention. The returned close function flushes
+// the tracer and closes the file, returning the first error seen on any
+// write; it must be called before the process exits or the tail of the
+// trace is lost.
+func OpenTracer(path string) (*obs.Tracer, func() error, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cliutil: opening trace file: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 64<<10)
+	t := obs.NewTracer(bw)
+	closeFn := func() error {
+		err := t.Close() // flushes bw, reports sticky write errors
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return t, closeFn, nil
 }
 
 // Budget returns the Full budget when full is set, Quick otherwise, with

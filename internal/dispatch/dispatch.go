@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -59,6 +60,36 @@ type Dispatcher struct {
 	idle     time.Duration
 
 	cacheHits, cells, batches, requeues, failures, ejected atomic.Int64
+
+	// queueDepth gauges backpressure: cold cells queued or in flight
+	// across every active sweep (grows at dispatch start, shrinks as
+	// cells deliver). healthMu guards the per-shard health states.
+	queueDepth atomic.Int64
+	healthMu   sync.Mutex
+	health     map[string]ShardHealth
+}
+
+// ShardHealth is one shard's scheduling state as last observed.
+type ShardHealth int
+
+const (
+	// ShardHealthy marks a shard whose last range dispatch succeeded.
+	ShardHealthy ShardHealth = iota
+	// ShardBackoff marks a shard sitting out a failure backoff.
+	ShardBackoff
+	// ShardEjected marks a shard dropped for the rest of a sweep.
+	ShardEjected
+)
+
+// String renders the state for /healthz payloads.
+func (h ShardHealth) String() string {
+	switch h {
+	case ShardBackoff:
+		return "backoff"
+	case ShardEjected:
+		return "ejected"
+	}
+	return "healthy"
 }
 
 // Option configures a Dispatcher.
@@ -131,8 +162,54 @@ func New(addrs []string, opts ...Option) (*Dispatcher, error) {
 	for _, opt := range opts {
 		opt(d)
 	}
+	d.health = make(map[string]ShardHealth, len(d.addrs))
+	for _, addr := range d.addrs {
+		d.health[addr] = ShardHealthy
+	}
 	return d, nil
 }
+
+// setHealth records a shard's latest scheduling state.
+func (d *Dispatcher) setHealth(addr string, h ShardHealth) {
+	d.healthMu.Lock()
+	d.health[addr] = h
+	d.healthMu.Unlock()
+}
+
+// Health returns the per-shard scheduling states as last observed. A
+// shard ejected from one sweep is retried fresh by the next; the map
+// reflects the most recent verdicts.
+func (d *Dispatcher) Health() map[string]string {
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	out := make(map[string]string, len(d.health))
+	for addr, h := range d.health {
+		out[addr] = h.String()
+	}
+	return out
+}
+
+// HealthSummary counts shards per state — the /healthz and /metrics
+// fleet-health rollup.
+func (d *Dispatcher) HealthSummary() (healthy, backoff, ejected int) {
+	d.healthMu.Lock()
+	defer d.healthMu.Unlock()
+	for _, h := range d.health {
+		switch h {
+		case ShardBackoff:
+			backoff++
+		case ShardEjected:
+			ejected++
+		default:
+			healthy++
+		}
+	}
+	return healthy, backoff, ejected
+}
+
+// QueueDepth gauges dispatch backpressure: cold cells queued or in
+// flight across every active sweep.
+func (d *Dispatcher) QueueDepth() int64 { return d.queueDepth.Load() }
 
 // Addrs returns the normalized shard addresses.
 func (d *Dispatcher) Addrs() []string { return append([]string(nil), d.addrs...) }
@@ -206,13 +283,18 @@ func (d *Dispatcher) Evaluate(ctx context.Context, sc sweep.Scenario) (sweep.Cel
 		key = d.salt + sc.Key()
 		if cell, ok := d.cache.Get(key); ok {
 			d.cacheHits.Add(1)
+			_, span := obs.StartSpanKeyed(ctx, "dispatch.eval", sc.Key())
+			span.End(obs.Bool("cached", true))
 			return cell, true, nil
 		}
 	}
-	pt, err := d.rb.Evaluate(ctx, sc)
+	evalCtx, span := obs.StartSpanKeyed(ctx, "dispatch.eval", sc.Key())
+	pt, err := d.rb.Evaluate(evalCtx, sc)
 	if err != nil {
+		span.End(obs.Bool("cached", false), obs.String("error", err.Error()))
 		return eval.Point{}, false, err
 	}
+	span.End(obs.Bool("cached", false))
 	if d.cache != nil {
 		d.cache.Put(key, pt)
 	}
@@ -229,8 +311,12 @@ func (d *Dispatcher) Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, e
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpanKeyed(ctx, "dispatch.sweep", specTraceKey(spec))
+	defer func() { span.End() }()
+	span.SetAttr(obs.Int("cells", len(scens)))
 	curves, err := d.resolveCurves(ctx, scens)
 	if err != nil {
+		span.SetAttr(obs.String("error", err.Error()))
 		return nil, err
 	}
 	res := &sweep.Result{Spec: spec, Rows: make([]sweep.Row, len(scens)), Curves: curves}
@@ -247,8 +333,11 @@ func (d *Dispatcher) Run(ctx context.Context, spec sweep.Spec) (*sweep.Result, e
 		return true
 	})
 	if err != nil {
+		span.SetAttr(obs.String("error", err.Error()))
 		return nil, err
 	}
+	span.SetAttr(obs.Int("cache_hits", res.CacheHits))
+	span.SetAttr(obs.Int("cache_misses", res.CacheMisses))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -271,6 +360,9 @@ func (d *Dispatcher) Stream(ctx context.Context, spec sweep.Spec) <-chan sweep.P
 			emit(ctx, out, sweep.PointResult{Err: err})
 			return
 		}
+		ctx, span := obs.StartSpanKeyed(ctx, "dispatch.sweep", specTraceKey(spec))
+		defer func() { span.End() }()
+		span.SetAttr(obs.Int("cells", len(scens)))
 		// The reorder buffer: rows delivered out of grid order wait for
 		// their predecessors.
 		next := 0
@@ -290,10 +382,20 @@ func (d *Dispatcher) Stream(ctx context.Context, spec sweep.Spec) <-chan sweep.P
 			}
 		})
 		if err != nil && ctx.Err() == nil {
+			span.SetAttr(obs.String("error", err.Error()))
 			emit(ctx, out, sweep.PointResult{Err: err})
 		}
 	}()
 	return out
+}
+
+// specTraceKey roots a dispatched sweep's trace at a stable key, so
+// repeated dispatches of the same named spec are diffable.
+func specTraceKey(spec sweep.Spec) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return "anonymous"
 }
 
 // span is a half-open range [start, end) of grid indices.
@@ -372,6 +474,9 @@ func (d *Dispatcher) dispatch(ctx context.Context, spec sweep.Spec, scens []swee
 	if len(cold) == 0 {
 		return nil // fully warm: nothing to dispatch
 	}
+	remaining := len(cold)
+	d.queueDepth.Add(int64(len(cold)))
+	defer func() { d.queueDepth.Add(-int64(remaining)) }()
 
 	r := &run{
 		d: d, spec: spec, scens: scens, keys: keys,
@@ -401,11 +506,11 @@ func (d *Dispatcher) dispatch(ctx context.Context, spec sweep.Spec, scens []swee
 		<-allDead // no worker outlives the sweep
 	}()
 
-	remaining := len(cold)
 	for remaining > 0 && runCtx.Err() == nil {
 		select {
 		case ir := <-r.resc:
 			remaining--
+			d.queueDepth.Add(-1)
 			if !deliver(ir.idx, ir.row) {
 				return nil // consumer gone; deferred cancel unwinds the workers
 			}
@@ -420,6 +525,7 @@ func (d *Dispatcher) dispatch(ctx context.Context, spec sweep.Spec, scens []swee
 				select {
 				case ir := <-r.resc:
 					remaining--
+					d.queueDepth.Add(-1)
 					if !deliver(ir.idx, ir.row) {
 						return nil
 					}
@@ -450,6 +556,7 @@ func (r *run) worker(addr string) {
 		got, err := r.dispatchSpan(addr, sp)
 		if err == nil {
 			fails = 0
+			r.d.setHealth(addr, ShardHealthy)
 			continue
 		}
 		var perm *permanentError
@@ -471,8 +578,10 @@ func (r *run) worker(addr string) {
 		r.d.failures.Add(1)
 		if fails >= r.d.maxFails {
 			r.d.ejected.Add(1)
+			r.d.setHealth(addr, ShardEjected)
 			return
 		}
+		r.d.setHealth(addr, ShardBackoff)
 		delay := r.d.backoff << (fails - 1)
 		if delay > 5*time.Second {
 			delay = 5 * time.Second
@@ -501,8 +610,17 @@ func (e *permanentError) Unwrap() error { return e.err }
 // caller requeues exactly the remainder. Transient failures (connection
 // errors, 5xx, torn/short streams, watchdog expiry) come back as plain
 // errors; scenario verdicts and protocol breaches as permanentError.
-func (r *run) dispatchSpan(addr string, sp span) (map[int]bool, error) {
+func (r *run) dispatchSpan(addr string, sp span) (got map[int]bool, err error) {
 	r.d.batches.Add(1)
+	spanCtx, rspan := obs.StartSpanKeyed(r.ctx, "dispatch.range",
+		fmt.Sprintf("%s:%d-%d", addr, sp.start, sp.end))
+	defer func() {
+		if err != nil {
+			rspan.SetAttr(obs.String("error", err.Error()))
+		}
+		rspan.End(obs.String("shard", addr), obs.Int("start", sp.start),
+			obs.Int("end", sp.end), obs.Int("cells", len(got)))
+	}()
 	body, err := json.Marshal(partRequest{Spec: r.spec, Start: sp.start, End: sp.end})
 	if err != nil {
 		return nil, &permanentError{fmt.Errorf("dispatch: encoding part request: %w", err)}
@@ -510,7 +628,7 @@ func (r *run) dispatchSpan(addr string, sp span) (map[int]bool, error) {
 	// The watchdog steals from shards that stall without dying: a stream
 	// idle past the bound has its request cancelled, which surfaces as a
 	// read error below and requeues the remainder.
-	reqCtx, cancelReq := context.WithCancel(r.ctx)
+	reqCtx, cancelReq := context.WithCancel(spanCtx)
 	defer cancelReq()
 	var watchdog *time.Timer
 	if r.d.idle > 0 {
@@ -522,6 +640,7 @@ func (r *run) dispatchSpan(addr string, sp span) (map[int]bool, error) {
 		return nil, &permanentError{fmt.Errorf("dispatch: %s: %w", addr, err)}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(reqCtx, req.Header)
 	resp, err := r.d.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", addr, err)
@@ -538,7 +657,7 @@ func (r *run) dispatchSpan(addr string, sp span) (map[int]bool, error) {
 		return nil, &permanentError{err}
 	}
 	want := sp.end - sp.start
-	got := make(map[int]bool, want)
+	got = make(map[int]bool, want)
 	dec := json.NewDecoder(resp.Body)
 	for {
 		var it eval.BatchItem

@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sweep"
 )
@@ -505,5 +507,90 @@ func TestDispatcherEvaluate(t *testing.T) {
 	// sweep already warmed: the two paths share one salt.
 	if _, cached, _ := d.Evaluate(context.Background(), res.Rows[1].Scenario); !cached {
 		t.Error("dispatched sweep's cell missed the cache via Evaluate")
+	}
+}
+
+// TestCrossShardTraceStitching pins the fleet-wide tracing contract: a
+// dispatched sweep traced at the coordinator, with every shard writing
+// its own trace file, must reassemble into one well-formed tree after
+// the files are concatenated — every shard-side span parented into the
+// coordinator's dispatch.range spans through the propagated headers —
+// even when a shard is killed mid-sweep and its ranges fail over.
+func TestCrossShardTraceStitching(t *testing.T) {
+	const shards = 2
+	shardBufs := make([]*bytes.Buffer, shards)
+	shardTracers := make([]*obs.Tracer, shards)
+	srvs := make([]*httptest.Server, shards)
+	addrs := make([]string, shards)
+	for i := range srvs {
+		shardBufs[i] = &bytes.Buffer{}
+		shardTracers[i] = obs.NewTracer(shardBufs[i])
+		srv := httptest.NewServer(serve.New(
+			serve.WithCache(sweep.NewCache()),
+			serve.WithTracer(shardTracers[i])))
+		t.Cleanup(srv.Close)
+		srvs[i] = srv
+		addrs[i] = srv.URL
+	}
+	d := newDispatcher(t, addrs,
+		WithBatch(2),
+		WithCache(sweep.NewCache()),
+		WithShardBackoff(5*time.Millisecond),
+		WithMaxShardFailures(2),
+	)
+
+	var coordBuf bytes.Buffer
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer(&coordBuf))
+	rows, killed := 0, false
+	for pr := range d.Stream(ctx, modelOnlySpec()) {
+		if pr.Err != nil {
+			t.Fatal(pr.Err)
+		}
+		rows++
+		if !killed && rows == 2 {
+			killed = true
+			srvs[1].CloseClientConnections()
+			srvs[1].Close()
+		}
+	}
+	if rows != 12 {
+		t.Fatalf("sweep delivered %d rows, want 12", rows)
+	}
+	// Quiesce the survivor before reading its trace buffer: handlers
+	// may still be ending their request spans after the client has the
+	// last byte.
+	srvs[0].Close()
+
+	var all []obs.Event
+	sources := append([]*bytes.Buffer{&coordBuf}, shardBufs...)
+	for i, buf := range sources {
+		evs, err := obs.ReadEvents(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trace source %d: %v", i, err)
+		}
+		all = append(all, evs...)
+	}
+	f := obs.BuildForest(all)
+	if err := obs.CheckForest(f); err != nil {
+		t.Fatalf("concatenated fleet trace is not well-formed: %v", err)
+	}
+	if len(f.Traces) != 1 {
+		t.Fatalf("expected one stitched trace, got %d", len(f.Traces))
+	}
+	if root := f.Roots[0]; root.Event.Name != "dispatch.sweep" {
+		t.Errorf("root span is %q, want dispatch.sweep", root.Event.Name)
+	}
+	names := make(map[string]int)
+	for _, ev := range all {
+		names[ev.Name]++
+	}
+	if names["dispatch.range"] == 0 {
+		t.Error("no dispatch.range spans in the coordinator trace")
+	}
+	if names["serve:/v1/sweep/part"] == 0 {
+		t.Error("no shard-side request spans made it into the trace")
+	}
+	if names["eval.cell"] == 0 {
+		t.Error("no shard-side eval.cell spans made it into the trace")
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the client side of the batched wire protocol: POST
@@ -222,7 +224,17 @@ func (b *BatchBackend) flushWindow() {
 // request context is independent of any single caller: it ends only
 // when every caller in the batch has walked away.
 func (b *BatchBackend) flush(batch []*batchCall) {
-	ctx, cancel := context.WithCancel(context.Background())
+	// The request context outlives any single caller, but the batch
+	// still joins the first traced caller's trace so its server-side
+	// spans stitch into that sweep's tree.
+	base := context.Background()
+	for _, c := range batch {
+		if _, _, ok := obs.TraceIDs(c.ctx); ok {
+			base = obs.CopyTrace(base, c.ctx)
+			break
+		}
+	}
+	ctx, cancel := context.WithCancel(base)
 	defer cancel()
 	var live atomic.Int64
 	live.Store(int64(len(batch)))
@@ -344,6 +356,7 @@ func (b *BatchBackend) postBatch(ctx context.Context, url string, body []byte, n
 		return nil, false, 0, fmt.Errorf("eval: batch: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return nil, true, 0, fmt.Errorf("eval: batch: %s: %w", url, err)

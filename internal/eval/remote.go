@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RemoteBackend is a client-side Evaluator: it answers scenarios by
@@ -200,6 +202,7 @@ func (b *RemoteBackend) post(ctx context.Context, url string, body []byte, out a
 		return false, 0, fmt.Errorf("eval: remote: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.Inject(ctx, req.Header)
 	resp, err := b.client.Do(req)
 	if err != nil {
 		return true, 0, fmt.Errorf("eval: remote: %s: %w", url, err)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -140,10 +141,17 @@ func (b *SimBackend) Evaluate(ctx context.Context, sc Scenario) (Point, error) {
 	if sc.Budget.Replicas > 1 {
 		opts = append(opts, sim.WithReplicas(sc.Budget.Replicas))
 	}
-	res, err := sim.Run(ctx, cfg, opts...)
+	simCtx, span := obs.StartSpanKeyed(ctx, "sim.run", sc.Key())
+	res, err := sim.Run(simCtx, cfg, opts...)
 	if err != nil {
+		span.End(obs.String("error", err.Error()))
 		return Point{}, err
 	}
+	span.End(
+		obs.Int("cycles", res.Cycles),
+		obs.Int("replicas", res.Replicas),
+		obs.Bool("early_stopped", res.EarlyStopped),
+		obs.Bool("saturated", res.Saturated))
 	pt := NewPoint()
 	pt.LoadFlits = load
 	pt.Sim = res.LatencyMean

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+)
+
+// Trace context crosses process boundaries in two headers. A client
+// whose context carries a span injects them; a server extracts them
+// and parents its request span on the remote span, stitching the
+// coordinator's tree and every shard's tree into one trace.
+const (
+	// TraceHeader carries the trace ID.
+	TraceHeader = "X-Obs-Trace"
+	// SpanHeader carries the client-side parent span ID.
+	SpanHeader = "X-Obs-Span"
+)
+
+// Inject copies the trace context carried by ctx into h. A context
+// without a trace leaves h untouched, so it is safe to call
+// unconditionally on every outbound request.
+func Inject(ctx context.Context, h http.Header) {
+	tc, ok := ctx.Value(ctxKey{}).(traceCtx)
+	if !ok || tc.trace == "" {
+		return
+	}
+	h.Set(TraceHeader, tc.trace)
+	if tc.span != "" {
+		h.Set(SpanHeader, tc.span)
+	}
+}
+
+// Extract returns a context carrying the trace context found in h,
+// sinking to t. Without trace headers it degrades to WithTracer(ctx,
+// t); with neither headers nor a tracer it returns ctx unchanged, so
+// the untraced request path stays allocation-free.
+func Extract(ctx context.Context, t *Tracer, h http.Header) context.Context {
+	trace := h.Get(TraceHeader)
+	if trace == "" {
+		return WithTracer(ctx, t)
+	}
+	return withRemote(ctx, t, trace, h.Get(SpanHeader))
+}

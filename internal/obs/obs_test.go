@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Disabled tracing must cost nothing: no allocations, no goroutines,
+// same context back. Pinned like sim's TestSteadyStateAllocs so a
+// regression that puts garbage on the untraced hot path fails CI.
+func TestDisabledPathAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := StartSpanKeyed(ctx, "eval.cell", "family=bft size=64")
+		sp.SetAttr(Bool("cached", true))
+		sp.End()
+		if c2 != ctx {
+			t.Fatal("disabled StartSpan must return ctx unchanged")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates %.1f/op, want 0", allocs)
+	}
+	h := http.Header{}
+	allocs = testing.AllocsPerRun(1000, func() {
+		Inject(ctx, h)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Inject allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// The tracer owns no goroutines: heavy concurrent span traffic must
+// leave the goroutine count where it started.
+func TestTracerGoroutineLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	ctx := WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_, sp := StartSpan(ctx, "work")
+				sp.End(Int("i", i), Int("j", j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(events) != 8*200 {
+		t.Fatalf("got %d events, want %d", len(events), 8*200)
+	}
+}
+
+// Keyed span IDs are a pure function of (trace, parent, name, key), so
+// two identical runs produce identical IDs — the diffability contract.
+func TestDeterministicKeyedIDs(t *testing.T) {
+	run := func() []Event {
+		var buf bytes.Buffer
+		tr := NewTracer(&buf)
+		ctx := WithTracer(context.Background(), tr)
+		rctx, root := StartSpanKeyed(ctx, "sweep.run", "figure3")
+		for _, key := range []string{"cell-a", "cell-b"} {
+			_, sp := StartSpanKeyed(rctx, "eval.cell", key)
+			sp.End(Bool("cached", false))
+		}
+		root.End(Int("cells", 2))
+		events, err := ReadEvents(&buf)
+		if err != nil {
+			t.Fatalf("ReadEvents: %v", err)
+		}
+		return events
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 3 {
+		t.Fatalf("got %d and %d events, want 3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Span != b[i].Span || a[i].Trace != b[i].Trace || a[i].Parent != b[i].Parent {
+			t.Fatalf("event %d differs across runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if a[0].Parent != a[2].Span || a[0].Trace != a[2].Span {
+		t.Fatalf("cell span not parented on root: %+v root %+v", a[0], a[2])
+	}
+}
+
+// Header propagation: a server extracting what a client injected must
+// parent its spans inside the client's trace.
+func TestHTTPPropagationStitches(t *testing.T) {
+	var coord, shard bytes.Buffer
+	ctr := NewTracer(&coord)
+	cctx := WithTracer(context.Background(), ctr)
+	cctx, root := StartSpanKeyed(cctx, "dispatch.sweep", "figure3")
+	rangeCtx, rangeSpan := StartSpanKeyed(cctx, "dispatch.range", "shardA:0-4")
+
+	h := http.Header{}
+	Inject(rangeCtx, h)
+	if h.Get(TraceHeader) == "" || h.Get(SpanHeader) == "" {
+		t.Fatalf("Inject left headers empty: %v", h)
+	}
+
+	str := NewTracer(&shard)
+	sctx := Extract(context.Background(), str, h)
+	_, req := StartSpan(sctx, "serve:/v1/sweep/part")
+	_, cell := StartSpanKeyed(sctx, "eval.cell", "cell-a")
+	cell.End(Bool("cached", false))
+	req.End(Int("status", 200))
+	rangeSpan.End(String("shard", "shardA"))
+	root.End()
+
+	cev, err := ReadEvents(&coord)
+	if err != nil {
+		t.Fatalf("coord events: %v", err)
+	}
+	sev, err := ReadEvents(&shard)
+	if err != nil {
+		t.Fatalf("shard events: %v", err)
+	}
+	all := append(cev, sev...)
+	f := BuildForest(all)
+	if err := CheckForest(f); err != nil {
+		t.Fatalf("stitched forest not well-formed: %v", err)
+	}
+	if len(f.Traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(f.Traces))
+	}
+	if len(f.Roots) != 1 || f.Roots[0].Event.Name != "dispatch.sweep" {
+		t.Fatalf("unexpected roots: %+v", f.Roots)
+	}
+}
+
+// End-before-parent and orphan detection.
+func TestCheckForestOrphans(t *testing.T) {
+	events := []Event{
+		{Trace: "t1", Span: "a", Name: "root"},
+		{Trace: "t1", Span: "b", Parent: "missing", Name: "child"},
+	}
+	f := BuildForest(events)
+	if err := CheckForest(f); err == nil {
+		t.Fatal("CheckForest accepted an orphan")
+	}
+}
+
+func TestAnalyzeReport(t *testing.T) {
+	events := []Event{
+		{Trace: "t", Span: "r", Name: "sweep.run", DurUS: 1000},
+		{Trace: "t", Span: "g1", Parent: "r", Name: "dispatch.range", DurUS: 700,
+			Attrs: map[string]any{"shard": "s1", "cells": float64(3)}},
+		{Trace: "t", Span: "g2", Parent: "r", Name: "dispatch.range", DurUS: 200,
+			Attrs: map[string]any{"shard": "s2", "cells": float64(1)}},
+		{Trace: "t", Span: "c1", Parent: "g1", Name: "eval.cell", DurUS: 600,
+			Attrs: map[string]any{"cached": false}},
+		{Trace: "t", Span: "c2", Parent: "g2", Name: "eval.cell", DurUS: 10,
+			Attrs: map[string]any{"cached": true}},
+	}
+	r := Analyze(events)
+	if r.Orphans != 0 || r.Traces != 1 || r.Spans != 5 {
+		t.Fatalf("bad counts: %+v", r)
+	}
+	if r.CacheHits != 1 || r.CacheMisses != 1 {
+		t.Fatalf("cache counts: hits=%d misses=%d", r.CacheHits, r.CacheMisses)
+	}
+	if len(r.Shards) != 2 || r.Shards[0].Addr != "s1" || r.Shards[0].Cells != 3 {
+		t.Fatalf("shard stats: %+v", r.Shards)
+	}
+	want := []string{"sweep.run", "dispatch.range", "eval.cell"}
+	if len(r.CritPath) != len(want) {
+		t.Fatalf("critical path: %+v", r.CritPath)
+	}
+	for i, st := range r.CritPath {
+		if st.Name != want[i] {
+			t.Fatalf("critical path step %d = %s, want %s", i, st.Name, want[i])
+		}
+	}
+	var buf bytes.Buffer
+	r.Format(&buf)
+	out := buf.String()
+	for _, needle := range []string{"cache:", "per-layer time:", "per-shard skew:", "critical path:"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("formatted report missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestCountersRegistry(t *testing.T) {
+	c := NewCounter("obs_test_events_total")
+	if again := NewCounter("obs_test_events_total"); again != c {
+		t.Fatal("NewCounter not idempotent")
+	}
+	c.Add(3)
+	c.Add(4)
+	if got := Counters()["obs_test_events_total"]; got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	text := "# HELP x y\n# TYPE x counter\nx 3\nhttp_req{path=\"/v1/eval\"} 2\n"
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	if m["x"] != 3 || m[`http_req{path="/v1/eval"}`] != 2 {
+		t.Fatalf("parsed: %v", m)
+	}
+	if _, err := ParseMetrics(strings.NewReader("bad line without value\n")); err == nil {
+		t.Fatal("ParseMetrics accepted a malformed line")
+	}
+	if _, err := ParseMetrics(strings.NewReader("x 1\nx 2\n")); err == nil {
+		t.Fatal("ParseMetrics accepted duplicate samples")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/solve"
 	"repro/internal/sweep"
@@ -115,12 +116,28 @@ var errAbandoned = errors.New("plan: consumer gone")
 // Pareto extraction, sim certification. progress (nillable) and emits
 // (each nillable) both observe updates; emits aborting the run by
 // returning false.
-func (p *Planner) run(ctx context.Context, spec Spec, progress func(Update), emits ...func(Update) bool) (*Result, error) {
+func (p *Planner) run(ctx context.Context, spec Spec, progress func(Update), emits ...func(Update) bool) (res *Result, err error) {
 	start := time.Now()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	d := spec.withDefaults()
+	ctx, span := obs.StartSpanKeyed(ctx, "plan.run", planTraceKey(d))
+	defer func() {
+		if span == nil {
+			return
+		}
+		if err != nil {
+			span.SetAttr(obs.String("error", err.Error()))
+		}
+		if res != nil {
+			span.SetAttr(obs.Int("candidates", res.Stats.Candidates))
+			span.SetAttr(obs.Int("pruned", res.Stats.Pruned))
+			span.SetAttr(obs.Int("frontier", res.Stats.FrontierSize))
+			span.SetAttr(obs.Int("certified", res.Stats.Certified))
+		}
+		span.End()
+	}()
 	notify := func(u Update) error {
 		if progress != nil {
 			progress(u)
@@ -133,43 +150,55 @@ func (p *Planner) run(ctx context.Context, spec Spec, progress func(Update), emi
 		return nil
 	}
 
-	res := &Result{Spec: d}
+	res = &Result{Spec: d}
 
 	// Phase 1 — coarse analytic grid: the whole discrete space at the
 	// prune fractions, executed through the engine (sharded across the
 	// fleet under a dispatcher), pruning infeasible candidates and
 	// bracketing the knee of the survivors.
-	grid, err := p.engine.Run(ctx, d.pruneSpec())
-	if err != nil {
-		return nil, fmt.Errorf("plan: coarse grid: %w", err)
+	coarseCtx, coarseSpan := obs.StartSpanKeyed(ctx, "plan.coarse", "")
+	grid, gridErr := p.engine.Run(coarseCtx, d.pruneSpec())
+	if gridErr != nil {
+		coarseSpan.End(obs.String("error", gridErr.Error()))
+		return nil, fmt.Errorf("plan: coarse grid: %w", gridErr)
 	}
 	res.Stats.CoarseCells = len(grid.Rows)
 	res.Stats.CoarseCacheHits = grid.CacheHits
 
 	cands, err := p.seed(d, grid)
 	if err != nil {
+		coarseSpan.End(obs.String("error", err.Error()))
 		return nil, err
 	}
 	res.Stats.Candidates = len(cands)
 	for i := range cands {
 		if cands[i].c.Pruned {
 			res.Stats.Pruned++
+			traceDecision(coarseCtx, cands[i].c, "pruned", cands[i].c.PruneReason)
 			if err := notify(Update{Phase: PhasePrune, Candidate: snapshot(cands[i].c)}); err != nil {
+				coarseSpan.End()
 				return nil, abandonErr(ctx)
 			}
 		}
 	}
+	coarseSpan.End(
+		obs.Int("cells", res.Stats.CoarseCells),
+		obs.Int("cache_hits", res.Stats.CoarseCacheHits),
+		obs.Int("candidates", res.Stats.Candidates))
 
 	// Phase 2 — refinement: bisection on the load axis per surviving
 	// candidate, bounded-parallel (each candidate's probes are
 	// sequential; the fleet parallelism comes from refining many
 	// candidates at once).
-	if err := p.refine(ctx, d, cands, res, notify); err != nil {
+	refineCtx, refineSpan := obs.StartSpanKeyed(ctx, "plan.refine", "")
+	if err := p.refine(refineCtx, d, cands, res, notify); err != nil {
+		refineSpan.End(obs.String("error", err.Error()))
 		if errors.Is(err, errAbandoned) {
 			return nil, abandonErr(ctx)
 		}
 		return nil, err
 	}
+	refineSpan.End(obs.Int("probes", res.Stats.Probes))
 
 	// Phase 3 — Pareto frontier over (cost, latency, sustainable load).
 	frontier := pareto(cands)
@@ -183,12 +212,17 @@ func (p *Planner) run(ctx context.Context, spec Spec, progress func(Update), emi
 	// Phase 4 — certification: the simulator re-evaluates only the
 	// frontier candidates at their operating points.
 	if !d.SkipCertify {
-		if err := p.certify(ctx, d, frontier, res, notify); err != nil {
+		certifyCtx, certifySpan := obs.StartSpanKeyed(ctx, "plan.certify", "")
+		if err := p.certify(certifyCtx, d, frontier, res, notify); err != nil {
+			certifySpan.End(obs.String("error", err.Error()))
 			if errors.Is(err, errAbandoned) {
 				return nil, abandonErr(ctx)
 			}
 			return nil, err
 		}
+		certifySpan.End(
+			obs.Int("sim_evals", res.Stats.SimEvals),
+			obs.Int("certified", res.Stats.Certified))
 	}
 
 	for _, e := range frontier {
@@ -301,6 +335,34 @@ func prune(c *Candidate, reason string) {
 	c.PruneReason = reason
 }
 
+// planTraceKey names the plan's root span: the spec name when one is
+// set, so repeated runs of a named plan trace identically.
+func planTraceKey(d Spec) string {
+	if d.Name != "" {
+		return d.Name
+	}
+	return "anonymous"
+}
+
+// traceDecision emits one "plan.decision" span: the candidate, the
+// verdict (pruned / refined / certified / not-certified) and the
+// constraint that produced it. Keyed by candidate and verdict, so the
+// decision record is byte-stable across runs.
+func traceDecision(ctx context.Context, c *Candidate, verdict, constraint string) {
+	_, sp := obs.StartSpanKeyed(ctx, "plan.decision", c.Key()+"/"+verdict)
+	if sp == nil {
+		return
+	}
+	attrs := []obs.Attr{
+		obs.String("candidate", c.Key()),
+		obs.String("verdict", verdict),
+	}
+	if constraint != "" {
+		attrs = append(attrs, obs.String("constraint", constraint))
+	}
+	sp.End(attrs...)
+}
+
 // refine locates every surviving candidate's knee: the largest load
 // satisfying the constraints, bisected to the spec's tolerance with
 // internal/solve, probing the Engine off the fixed grid. Candidates
@@ -367,12 +429,14 @@ func (p *Planner) refine(ctx context.Context, d Spec, cands []candidate, res *Re
 		res.Stats.Probes += msg.e.c.Probes
 		if msg.e.c.Pruned {
 			res.Stats.Pruned++
+			traceDecision(ctx, msg.e.c, "pruned", msg.e.c.PruneReason)
 			if err := notify(Update{Phase: PhasePrune, Candidate: snapshot(msg.e.c)}); err != nil {
 				firstErr = err
 				cancel()
 			}
 			continue
 		}
+		traceDecision(ctx, msg.e.c, "refined", "")
 		if err := notify(Update{Phase: PhaseRefine, Candidate: snapshot(msg.e.c)}); err != nil {
 			firstErr = err
 			cancel()
@@ -607,6 +671,7 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 		c := e.c
 		if c.Topology.Family == eval.FamilyTorus {
 			c.CertifyNote = "no simulator topology"
+			traceDecision(ctx, c, "not-certified", c.CertifyNote)
 			if err := notify(Update{Phase: PhaseCertify, Candidate: snapshot(c)}); err != nil {
 				return err
 			}
@@ -633,6 +698,13 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 		}
 		if c.Certified {
 			res.Stats.Certified++
+			traceDecision(ctx, c, "certified", c.CertifyNote)
+		} else {
+			constraint := "no finite sim latency"
+			if c.SimSaturated {
+				constraint = "sim saturated at the operating load"
+			}
+			traceDecision(ctx, c, "not-certified", constraint)
 		}
 		if err := notify(Update{Phase: PhaseCertify, Candidate: snapshot(c)}); err != nil {
 			return err

@@ -2,12 +2,15 @@ package serve
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // This file is the observability surface of the sweep service: a
@@ -76,9 +79,9 @@ func (m *metricsRegistry) add(name string, delta int64) {
 	m.mu.Unlock()
 }
 
-// render writes the registry in the Prometheus text format, endpoints
-// and counters in sorted order so the output is deterministic.
-func (m *metricsRegistry) render(w *strings.Builder, extra map[string]int64) {
+// render writes the registry in the Prometheus text format, endpoints,
+// counters and gauges in sorted order so the output is deterministic.
+func (m *metricsRegistry) render(w *strings.Builder, extra, gauges map[string]int64) {
 	m.mu.Lock()
 	paths := make([]string, 0, len(m.endpoints))
 	for p := range m.endpoints {
@@ -128,6 +131,15 @@ func (m *metricsRegistry) render(w *strings.Builder, extra map[string]int64) {
 	for _, n := range names {
 		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, merged[n])
 	}
+
+	gnames := make([]string, 0, len(gauges))
+	for n := range gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", n, n, gauges[n])
+	}
 }
 
 // statusRecorder captures the status code a handler writes, delegating
@@ -156,10 +168,18 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// instrument wraps a handler with per-endpoint accounting under the
-// given path label.
+// instrument wraps a handler with per-endpoint accounting, the request
+// span (parented on the client's span when trace headers arrive) and
+// the request-scoped structured log record. With no tracer, no logger
+// and no inbound trace headers the wrapper adds nothing to the hot
+// path beyond the existing metrics observation.
 func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.Extract(r.Context(), s.tracer, r.Header)
+		ctx, span := obs.StartSpan(ctx, "serve:"+path)
+		if ctx != r.Context() {
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
 		h(rec, r)
@@ -167,7 +187,26 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		if status == 0 {
 			status = http.StatusOK
 		}
-		s.metrics.observe(path, status, time.Since(start))
+		elapsed := time.Since(start)
+		span.End(obs.Int("status", status))
+		s.metrics.observe(path, status, elapsed)
+		if s.log != nil {
+			lvl := slog.LevelDebug
+			switch {
+			case status >= 500:
+				lvl = slog.LevelError
+			case status >= 400:
+				lvl = slog.LevelWarn
+			}
+			attrs := []any{
+				"endpoint", path, "status", status,
+				"dur_ms", elapsed.Milliseconds(), "remote", r.RemoteAddr,
+			}
+			if trace, _, ok := obs.TraceIDs(ctx); ok {
+				attrs = append(attrs, "trace", trace)
+			}
+			s.log.Log(ctx, lvl, "request", attrs...)
+		}
 	}
 }
 
@@ -178,17 +217,44 @@ type statsSource interface {
 	StatsMap() map[string]int64
 }
 
-// handleMetrics renders the registry in the Prometheus text format.
+// handleMetrics renders the registry in the Prometheus text format:
+// per-endpoint traffic, the server's own counters, the process-wide obs
+// counters (sim engine, store prune), dispatch scheduler counters, and
+// the gauge block (cache size, store disk usage, shard health, queue
+// depth).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var extra map[string]int64
+	extra := make(map[string]int64)
+	for name, v := range obs.Counters() {
+		extra[name] = v
+	}
 	if src, ok := s.sweeper.(statsSource); ok {
-		extra = make(map[string]int64)
 		for name, v := range src.StatsMap() {
 			extra["sweep_dispatch_"+name] = v
 		}
 	}
+	gauges := make(map[string]int64)
+	if cs, ok := s.cache.(cacheStats); ok {
+		hits, misses := cs.Stats()
+		extra["sweep_cache_hits_total"] = hits
+		extra["sweep_cache_misses_total"] = misses
+		gauges["sweep_cache_cells"] = int64(cs.Len())
+	}
+	if sg, ok := s.cache.(storeGauges); ok {
+		if n, err := sg.DiskBytes(); err == nil {
+			gauges["sweep_store_disk_bytes"] = n
+		}
+		gauges["sweep_store_recovered_cells"] = int64(sg.Recovered())
+		gauges["sweep_store_dropped_lines"] = int64(sg.Dropped())
+	}
+	if hs, ok := s.sweeper.(healthSource); ok {
+		healthy, backoff, ejected := hs.HealthSummary()
+		gauges["sweep_dispatch_shards_healthy"] = int64(healthy)
+		gauges["sweep_dispatch_shards_backoff"] = int64(backoff)
+		gauges["sweep_dispatch_shards_ejected"] = int64(ejected)
+		gauges["sweep_dispatch_queue_depth"] = hs.QueueDepth()
+	}
 	var b strings.Builder
-	s.metrics.render(&b, extra)
+	s.metrics.render(&b, extra, gauges)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"runtime/debug"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/sweep"
 )
@@ -74,6 +76,8 @@ type Server struct {
 	workers int
 	started time.Time
 	metrics *metricsRegistry
+	tracer  *obs.Tracer
+	log     *slog.Logger
 	// expansions memoizes grid expansions across a dispatched sweep's
 	// /v1/sweep/part range requests.
 	expansions expansions
@@ -92,6 +96,18 @@ func WithWorkers(n int) Option { return func(s *Server) { s.workers = n } }
 // WithRunner replaces the server's runner wholesale (custom backends,
 // progress hooks); WithCache and WithWorkers are ignored when set.
 func WithRunner(r *sweep.Runner) Option { return func(s *Server) { s.runner = r } }
+
+// WithTracer attaches an obs tracer: every request gets a span —
+// parented on the client's span when the request carries the
+// X-Obs-Trace/X-Obs-Span headers — and handlers propagate the trace
+// context into the engine layers below, so shard-side traces stitch
+// into the coordinator's tree.
+func WithTracer(t *obs.Tracer) Option { return func(s *Server) { s.tracer = t } }
+
+// WithLogger attaches a structured logger: one request-scoped record
+// per served request (endpoint, status, duration, remote addr, trace
+// ID). Level filtering belongs to the logger's handler.
+func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
 
 // WithSweeper routes /v1/sweep through the given scheduler instead of
 // the local runner: a front-end sweepd built over the dispatch
@@ -327,6 +343,23 @@ type cacheStats interface {
 	Stats() (hits, misses int64)
 }
 
+// storeGauges is the persistent store's extended surface (disk usage,
+// recovery and prune accounting); store.Store provides it.
+type storeGauges interface {
+	DiskBytes() (int64, error)
+	Recovered() int
+	Dropped() int
+	PrunedBytes() int64
+}
+
+// healthSource is the fleet-health surface of a sweeper: the dispatch
+// coordinator implements it, so a front-end reports shard health and
+// queue-depth backpressure on /healthz and /metrics.
+type healthSource interface {
+	HealthSummary() (healthy, backoff, ejected int)
+	QueueDepth() int64
+}
+
 // The module version (and VCS revision, when the binary was built from
 // a checkout), resolved once per process.
 var buildVersion, buildRevision = func() (version, revision string) {
@@ -365,6 +398,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		payload["cache_cells"] = cs.Len()
 		payload["cache_hits"] = hits
 		payload["cache_misses"] = misses
+	}
+	if sg, ok := s.cache.(storeGauges); ok {
+		if n, err := sg.DiskBytes(); err == nil {
+			payload["store_disk_bytes"] = n
+		}
+	}
+	if hs, ok := s.sweeper.(healthSource); ok {
+		healthy, backoff, ejected := hs.HealthSummary()
+		payload["dispatch_shards"] = map[string]int{
+			"healthy": healthy, "backoff": backoff, "ejected": ejected,
+		}
+		payload["dispatch_queue_depth"] = hs.QueueDepth()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(payload)

@@ -10,11 +10,13 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/dispatch"
 	"repro/internal/eval"
+	"repro/internal/obs"
 	"repro/internal/sweep"
 )
 
@@ -624,4 +626,49 @@ func TestSweepClientDisconnectLeaksNoGoroutines(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// TestMetricsConcurrentScrapes races /metrics scrapes against live
+// traffic: every scrape must come back 200 and parse as Prometheus
+// text while the counters, histograms and gauges underneath it move.
+// Run under -race (make test), this pins the render path's safety.
+func TestMetricsConcurrentScrapes(t *testing.T) {
+	srv := newTestServer(t, WithCache(sweep.NewCache()))
+	const workers, iters = 4, 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Post(srv.URL+"/v1/eval", "application/json",
+					strings.NewReader(`{"topology":{"family":"bft","size":16},"msg_flits":4,"load":{"value":0.01}}`))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape returned %s", resp.Status)
+				}
+				if _, err := obs.ParseMetrics(resp.Body); err != nil {
+					t.Errorf("scrape did not parse: %v", err)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -6,11 +6,25 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"strconv"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
+)
+
+// Process-wide engine counters, rendered on /metrics by the serve
+// layer. Engines accumulate locally and flush once per run, so the
+// cycle loop never touches an atomic.
+var (
+	simEventsPopped  = obs.NewCounter("sim_events_popped_total")
+	simIdleSkipped   = obs.NewCounter("sim_idle_cycles_skipped_total")
+	simEarlySaved    = obs.NewCounter("sim_earlystop_cycles_saved_total")
+	simMergeMicros   = obs.NewCounter("sim_replica_merge_micros_total")
+	simRunsCompleted = obs.NewCounter("sim_runs_total")
 )
 
 type wormState uint8
@@ -183,6 +197,10 @@ type engine struct {
 	queueIntegral      float64
 	lastProgress       int64
 
+	// Observability accumulators (flushed to the obs counters in finish).
+	obsPopped   int64
+	obsIdleSkip int64
+
 	debugChecks bool // same-package tests enable per-cycle invariants
 }
 
@@ -260,7 +278,9 @@ func runReplicas(ctx context.Context, cfg Config, o runOptions) (*Result, error)
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			_, sp := obs.StartSpanKeyed(rctx, "sim.replica", strconv.Itoa(r))
 			results[r], errs[r] = engines[r].run(rctx)
+			sp.End(obs.Int("replica", r), obs.Bool("failed", errs[r] != nil))
 			if errs[r] != nil {
 				cancel()
 			}
@@ -284,7 +304,10 @@ func runReplicas(ctx context.Context, cfg Config, o runOptions) (*Result, error)
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	return mergeReplicas(engines, results), nil
+	mergeStart := time.Now()
+	res := mergeReplicas(engines, results)
+	simMergeMicros.Add(time.Since(mergeStart).Microseconds())
+	return res, nil
 }
 
 // mergeReplicas pools the replica accumulators into one Result: batch
@@ -513,6 +536,7 @@ func (e *engine) run(ctx context.Context) (*Result, error) {
 				next = e.arrHeap[0].cycle
 			}
 			if next > t {
+				e.obsIdleSkip += next - t
 				t = next
 				e.lastProgress = t
 				if t >= e.measEnd {
@@ -576,6 +600,7 @@ func (e *engine) ciConverged() bool {
 func (e *engine) arrivals(t int64) {
 	limit := float64(t)
 	for len(e.arrHeap) > 0 && e.arrHeap[0].cycle <= t {
+		e.obsPopped++
 		p := int(e.heapPop().p)
 		for {
 			a, ok := e.sources[p].PopBefore(limit)
@@ -932,6 +957,14 @@ func (e *engine) queueHalves() (first, second float64) {
 }
 
 func (e *engine) finish(t int64) *Result {
+	simEventsPopped.Add(e.obsPopped)
+	simIdleSkipped.Add(e.obsIdleSkip)
+	simRunsCompleted.Add(1)
+	if e.earlyStopped {
+		if saved := int64(e.cfg.WarmupCycles+e.cfg.MeasureCycles) - e.measEnd; saved > 0 {
+			simEarlySaved.Add(saved)
+		}
+	}
 	// Account channels still busy at the end of the run.
 	for ch := range e.busy {
 		if e.busy[ch] {

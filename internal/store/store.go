@@ -39,7 +39,12 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
+
+// storePrunedBytes counts record bytes evicted by Prune across every
+// Store in the process; the serve layer renders it on /metrics.
+var storePrunedBytes = obs.NewCounter("store_pruned_bytes_total")
 
 // segPattern matches segment files; the numeric component orders replay.
 const segPattern = "seg-*.ndjson"
@@ -67,6 +72,7 @@ type Store struct {
 	appended     int64
 	dropped      int
 	recovered    int
+	prunedBytes  int64
 }
 
 // Open opens (creating if needed) the store directory and replays its
@@ -215,6 +221,14 @@ func (s *Store) Recovered() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.recovered
+}
+
+// PrunedBytes returns how many record bytes Prune has evicted over
+// this Store instance's lifetime.
+func (s *Store) PrunedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prunedBytes
 }
 
 // Dropped returns how many corrupt or truncated lines recovery skipped.
@@ -380,7 +394,10 @@ func (s *Store) Prune(maxBytes int64) (evicted int, err error) {
 		if entries[i].line == nil {
 			continue
 		}
-		liveBytes -= int64(len(entries[i].line))
+		n := int64(len(entries[i].line))
+		liveBytes -= n
+		s.prunedBytes += n
+		storePrunedBytes.Add(n)
 		delete(s.index, entries[i].key)
 		entries[i].line = nil
 		evicted++

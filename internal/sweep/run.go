@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 // Event is one progress notification: scenario sc just finished (or was
@@ -168,11 +169,14 @@ func (r *Runner) launch(ctx context.Context, spec Spec, scens []Scenario, backen
 					out <- completion{row: Row{Scenario: sc}, err: err}
 					continue
 				}
-				cell, err := evaluate(ctx, sc, backends)
+				cctx, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
+				cell, err := evaluate(cctx, sc, backends)
 				if err != nil {
+					span.End(obs.Bool("cached", false), obs.String("error", err.Error()))
 					out <- completion{row: Row{Scenario: sc}, err: err}
 					continue
 				}
+				span.End(obs.Bool("cached", false))
 				if r.Cache != nil {
 					r.Cache.Put(salt+sc.Key(), cell)
 				}
@@ -185,6 +189,8 @@ func (r *Runner) launch(ctx context.Context, spec Spec, scens []Scenario, backen
 		for i, sc := range scens {
 			if r.Cache != nil {
 				if cell, ok := r.Cache.Get(salt + sc.Key()); ok {
+					_, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
+					span.End(obs.Bool("cached", true))
 					out <- completion{row: Row{Scenario: sc, Cell: cell, Cached: true}}
 					continue
 				}
@@ -234,16 +240,21 @@ func (r *Runner) Evaluate(ctx context.Context, sc Scenario) (Cell, bool, error) 
 	key := r.CacheKey(sc)
 	if r.Cache != nil {
 		if cell, ok := r.Cache.Get(key); ok {
+			_, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
+			span.End(obs.Bool("cached", true))
 			return cell, true, nil
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return Cell{}, false, err
 	}
-	cell, err := evaluate(ctx, sc, r.backends(Spec{WithSim: sc.WithSim}))
+	cctx, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
+	cell, err := evaluate(cctx, sc, r.backends(Spec{WithSim: sc.WithSim}))
 	if err != nil {
+		span.End(obs.Bool("cached", false), obs.String("error", err.Error()))
 		return Cell{}, false, err
 	}
+	span.End(obs.Bool("cached", false))
 	if r.Cache != nil {
 		r.Cache.Put(key, cell)
 	}
@@ -262,6 +273,9 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpanKeyed(ctx, "sweep.run", specTraceKey(spec))
+	defer func() { span.End() }()
+	span.SetAttr(obs.Int("cells", len(scens)))
 	backends := r.backends(spec)
 	curves, order, err := resolveCurves(ctx, scens, backends)
 	if err != nil {
@@ -301,13 +315,26 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 	}
 	if firstErr != nil {
+		span.SetAttr(obs.String("error", firstErr.Error()))
 		return nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	span.SetAttr(obs.Int("cache_hits", res.CacheHits))
+	span.SetAttr(obs.Int("cache_misses", res.CacheMisses))
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// specTraceKey is the stable key that roots a sweep's trace: the spec
+// name when it has one, so repeated runs of the same named spec produce
+// identical span IDs.
+func specTraceKey(spec Spec) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return "anonymous"
 }
 
 // Stream expands the spec and delivers each cell on the returned channel
@@ -327,6 +354,9 @@ func (r *Runner) Stream(ctx context.Context, spec Spec) <-chan PointResult {
 			emit(ctx, out, PointResult{Err: err})
 			return
 		}
+		ctx, span := obs.StartSpanKeyed(ctx, "sweep.run", specTraceKey(spec))
+		defer func() { span.End() }()
+		span.SetAttr(obs.Int("cells", len(scens)))
 		backends := r.backends(spec)
 		if _, _, err := resolveCurves(ctx, scens, backends); err != nil {
 			emit(ctx, out, PointResult{Err: err})

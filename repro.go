@@ -43,7 +43,12 @@
 //     bitcomplement, transpose), and deterministic NDJSON trace
 //     record/replay, threaded through the simulator, sweeps and plans;
 //     the default spec is bit-identical to the paper's steady uniform
-//     Poisson workload (see docs/workload.md).
+//     Poisson workload (see docs/workload.md); and
+//   - fleet-wide observability (NewTracer, WithTracing, cmd/obsreport):
+//     span-style NDJSON traces with deterministic IDs propagated across
+//     the sweep/dispatch/serve/sim layers over HTTP headers, engine and
+//     store counters folded into /metrics, planner decision traces, and
+//     structured request logging (see docs/observability.md).
 //
 // This facade re-exports the main entry points; the implementation lives
 // under internal/ (core, analytic, sim, topology, eval, sweep, …).
@@ -79,6 +84,7 @@ package repro
 import (
 	"context"
 	"io"
+	"log/slog"
 	"time"
 
 	"repro/internal/analytic"
@@ -86,6 +92,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -227,6 +234,22 @@ type (
 	// PlanCostModel is the pluggable cost surface of the planner;
 	// register custom models with plan.RegisterCostModel.
 	PlanCostModel = plan.CostModel
+
+	// Tracer serializes completed spans as NDJSON trace events, one
+	// line per span, with deterministic scenario-keyed span IDs (see
+	// docs/observability.md).
+	Tracer = obs.Tracer
+	// TraceEvent is one completed span on the wire.
+	TraceEvent = obs.Event
+	// TraceSpan is one in-flight span; all methods are nil-safe.
+	TraceSpan = obs.Span
+	// TraceForest is a set of trace trees reassembled from events
+	// (BuildTraceForest), e.g. the concatenation of a coordinator's and
+	// every shard's trace files.
+	TraceForest = obs.Forest
+	// TraceReport summarizes a trace forest: per-layer time, critical
+	// path, cache hit ratio, planner decisions, per-shard skew.
+	TraceReport = obs.Report
 )
 
 // Simulator policies.
@@ -437,6 +460,42 @@ func PlanBuiltin(name string) (PlanSpec, error) { return plan.Builtin(name) }
 // planner (normally a fleet planner), turning the server into a
 // capacity-planning front-end.
 func ServeWithPlanner(p *Planner) ServeOption { return serve.WithPlanner(p) }
+
+// NewTracer returns a tracer writing NDJSON span events to w. Attach
+// it to a context with WithTracing and every instrumented layer under
+// that context — sweeps, dispatch, remote evaluation, the simulator,
+// the planner — records spans into one stitched trace.
+func NewTracer(w io.Writer) *Tracer { return obs.NewTracer(w) }
+
+// WithTracing returns a context starting new trace roots on t; pass it
+// to Sweep, Plan, a Dispatcher or a SweepRunner. A nil tracer returns
+// ctx unchanged.
+func WithTracing(ctx context.Context, t *Tracer) context.Context { return obs.WithTracer(ctx, t) }
+
+// ServeWithTracer records the sweep service's request spans — stitched
+// to the calling client's trace via the X-Obs-Trace/X-Obs-Span headers
+// — and everything the engines run under them.
+func ServeWithTracer(t *Tracer) ServeOption { return serve.WithTracer(t) }
+
+// ServeWithLogger attaches a structured logger to the sweep service:
+// every request is logged with endpoint, status, duration, remote
+// address and — when traced — the trace ID (debug level for successes,
+// warn/error for HTTP errors).
+func ServeWithLogger(l *slog.Logger) ServeOption { return serve.WithLogger(l) }
+
+// ReadTraceEvents parses a stream of NDJSON span events.
+func ReadTraceEvents(r io.Reader) ([]TraceEvent, error) { return obs.ReadEvents(r) }
+
+// BuildTraceForest reassembles span events into trace trees.
+func BuildTraceForest(events []TraceEvent) *TraceForest { return obs.BuildForest(events) }
+
+// AnalyzeTrace summarizes span events: per-layer time, the critical
+// path, cache hit ratio, planner decision counts, per-shard skew.
+func AnalyzeTrace(events []TraceEvent) *TraceReport { return obs.Analyze(events) }
+
+// CheckTraceForest validates well-formedness: at least one span, no
+// orphans, exactly one root per trace — the cross-shard stitching gate.
+func CheckTraceForest(f *TraceForest) error { return obs.CheckForest(f) }
 
 // QuickBudget and FullBudget are the standard experiment efforts.
 var (

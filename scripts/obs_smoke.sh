@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# obs-smoke: end-to-end smoke of fleet-wide observability.
+#
+#  1. Stitching: two sweepd shards with tracers, a dispatched figure3
+#     sweep traced at the coordinator; after graceful shutdown flushes
+#     every trace file, the concatenation must reassemble into one
+#     well-formed tree (every span parented, one root — obsreport
+#     -check), the report must show per-layer time, cache ratio and
+#     per-shard skew, and a /metrics scrape must parse as Prometheus
+#     text and carry the sim engine counters.
+#  2. Overhead: the same dispatched sweep with tracing on must stay
+#     within 5% of tracing off (fresh shards per run so both modes pay
+#     identical warmup, best of 3, plus 100ms absolute grace for
+#     sub-second timing jitter on shared CI boxes). The numbers land in
+#     BENCH_obs.json.
+#
+# CI runs this via `make obs-smoke`.
+set -eu
+
+BASE="${OBS_SMOKE_PORT:-18790}"
+PORT1=$((BASE)); PORT2=$((BASE + 1))
+SHARDS="127.0.0.1:$PORT1,127.0.0.1:$PORT2"
+WORK="$(mktemp -d)"
+D1=""; D2=""
+trap 'kill $D1 $D2 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/sweepd" ./cmd/sweepd
+go build -o "$WORK/sweep" ./cmd/sweep
+go build -o "$WORK/obsreport" ./cmd/obsreport
+
+wait_up() { # wait_up PORT
+    local i=0
+    until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "obs-smoke: sweepd did not come up on :$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+start_shards() { # start_shards [TRACE_PREFIX]
+    local prefix="${1:-}"
+    if [ -n "$prefix" ]; then
+        "$WORK/sweepd" -addr "127.0.0.1:$PORT1" -trace-out "${prefix}1.ndjson" 2>/dev/null & D1=$!
+        "$WORK/sweepd" -addr "127.0.0.1:$PORT2" -trace-out "${prefix}2.ndjson" 2>/dev/null & D2=$!
+    else
+        "$WORK/sweepd" -addr "127.0.0.1:$PORT1" 2>/dev/null & D1=$!
+        "$WORK/sweepd" -addr "127.0.0.1:$PORT2" 2>/dev/null & D2=$!
+    fi
+    wait_up "$PORT1"; wait_up "$PORT2"
+}
+
+stop_shards() { # graceful: SIGTERM flushes stores and tracers
+    kill -TERM "$D1" "$D2" 2>/dev/null || true
+    wait "$D1" "$D2" 2>/dev/null || true
+    D1=""; D2=""
+}
+
+# --- 1. cross-shard trace stitching + metrics parse ---
+
+start_shards "$WORK/shard"
+"$WORK/sweep" -spec builtin:figure3 -quiet -shards "$SHARDS" \
+    -trace-out "$WORK/coord.ndjson" >/dev/null
+curl -sf "http://127.0.0.1:$PORT1/metrics" >"$WORK/metrics.txt"
+stop_shards
+
+"$WORK/obsreport" -check "$WORK/coord.ndjson" "$WORK/shard1.ndjson" "$WORK/shard2.ndjson"
+"$WORK/obsreport" "$WORK/coord.ndjson" "$WORK/shard1.ndjson" "$WORK/shard2.ndjson" \
+    >"$WORK/report.txt"
+for want in "per-layer time:" "cache:" "per-shard skew:" \
+    "dispatch.range" "eval.cell" "sim.run" "critical path:"; do
+    if ! grep -q "$want" "$WORK/report.txt"; then
+        echo "obs-smoke: trace report is missing \"$want\":" >&2
+        cat "$WORK/report.txt" >&2
+        exit 1
+    fi
+done
+echo "obs-smoke: dispatched figure3 trace stitched across 2 shards:"
+sed 's/^/obs-smoke:   /' "$WORK/report.txt" | head -6
+
+"$WORK/obsreport" -metrics "$WORK/metrics.txt"
+for want in sim_runs_total sim_events_popped_total sweep_http_requests_total; do
+    if ! grep -q "^$want" "$WORK/metrics.txt"; then
+        echo "obs-smoke: /metrics scrape is missing $want" >&2
+        exit 1
+    fi
+done
+
+# --- 2. tracing overhead gate ---
+
+best_run() { # best_run on|off — 3 runs against fresh shards, min elapsed_ms
+    local mode="$1" best="" ms
+    for _ in 1 2 3; do
+        if [ "$mode" = on ]; then
+            start_shards "$WORK/t_shard"
+            "$WORK/sweep" -spec builtin:figure3 -quiet -shards "$SHARDS" \
+                -trace-out "$WORK/t_coord.ndjson" -bench-out "$WORK/bench.json" >/dev/null
+        else
+            start_shards
+            "$WORK/sweep" -spec builtin:figure3 -quiet -shards "$SHARDS" \
+                -bench-out "$WORK/bench.json" >/dev/null
+        fi
+        stop_shards
+        ms="$(sed -n 's/.*"elapsed_ms": \([0-9]*\).*/\1/p' "$WORK/bench.json")"
+        if [ -z "$best" ] || [ "$ms" -lt "$best" ]; then best="$ms"; fi
+    done
+    echo "$best"
+}
+
+OFF_MS="$(best_run off)"
+ON_MS="$(best_run on)"
+CELLS="$(sed -n 's/.*"cells": \([0-9]*\).*/\1/p' "$WORK/bench.json")"
+
+awk -v cells="$CELLS" -v on="$ON_MS" -v off="$OFF_MS" 'BEGIN {
+    if (on < 1) on = 1
+    if (off < 1) off = 1
+    printf "{\n"
+    printf "  \"grid\": \"figure3 dispatched over 2 shards, fresh per run, best of 3\",\n"
+    printf "  \"cells\": %d,\n", cells
+    printf "  \"tracing_off_elapsed_ms\": %d,\n", off
+    printf "  \"tracing_on_elapsed_ms\": %d,\n", on
+    printf "  \"tracing_off_points_per_sec\": %.1f,\n", cells * 1000 / off
+    printf "  \"tracing_on_points_per_sec\": %.1f,\n", cells * 1000 / on
+    printf "  \"overhead_pct\": %.2f\n", (on - off) * 100 / off
+    printf "}\n"
+}' >BENCH_obs.json
+
+OVERHEAD="$(sed -n 's/.*"overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' BENCH_obs.json)"
+echo "obs-smoke: $CELLS cells — tracing off ${OFF_MS}ms, on ${ON_MS}ms (${OVERHEAD}% overhead)"
+if ! awk -v on="$ON_MS" -v off="$OFF_MS" 'BEGIN { exit !(on <= off * 1.05 + 100) }'; then
+    echo "obs-smoke: tracing overhead ${OVERHEAD}% exceeds the 5% budget" >&2
+    exit 1
+fi
