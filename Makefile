@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke obs-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke obs-smoke bounds-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -63,6 +63,16 @@ plan-smoke:
 workload-smoke:
 	bash scripts/workload_smoke.sh
 	@cat BENCH_workload.json
+
+# Smoke-test the worst-case bound backend: run the hard-SLO builtin
+# plan (cheapest-hard-sla) over a 2-shard fleet and in-process, diff
+# the two, gate on a non-empty fully certified frontier with zero
+# bound violations (every certified sim mean under its guarantee), and
+# gate bound throughput within 10x of plain model evaluation, emitting
+# BENCH_bounds.json.
+bounds-smoke:
+	bash scripts/bounds_smoke.sh
+	@cat BENCH_bounds.json
 
 # Smoke-test fleet-wide observability: a traced dispatched figure3 over
 # 2 shards must reassemble into one well-formed span tree (obsreport

@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"strings"
@@ -60,6 +61,7 @@ func main() {
 		stream   = flag.Bool("stream", false, "emit NDJSON: one update line per search event")
 		timeout  = flag.Duration("timeout", 0, "abort the search after this duration (0 = no deadline)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		backend  = flag.String("backend", "", "override spec backends: comma-separated subset of model,sim,bounds (empty = spec's own; omitting sim skips certification)")
 		addr     = flag.String("addr", "", "submit the plan to this sweepd server's /v1/plan (thin client)")
 		shards   = flag.String("shards", "", "execute the search over these sweepd shard(s), comma-separated")
 		cacheDir = flag.String("cache-dir", "", "persist the probe cache to this directory (empty = in-memory)")
@@ -94,6 +96,24 @@ func main() {
 	spec, err := loadSpec(*specRef)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *backend != "" {
+		backends, err := cliutil.ParseBackends(*backend)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// "sim" toggles frontier certification; "bounds" asks every
+		// refined candidate for its worst-case bound (a hard SLO in the
+		// spec already implies it).
+		spec.SkipCertify = true
+		for _, b := range backends {
+			switch b {
+			case sweep.BackendSim:
+				spec.SkipCertify = false
+			case sweep.BackendBounds:
+				spec.WithBounds = true
+			}
+		}
 	}
 
 	ctx, cancel := cliutil.Context(*timeout)
@@ -314,23 +334,40 @@ func progress(u plan.Update) {
 // cell.
 func writeBench(path string, res *plan.Result, elapsed time.Duration) error {
 	s := res.Stats
+	// A hard-SLO (or -backend bounds) frontier carries worst-case
+	// bounds; a certified sim mean above its own bound is a violation of
+	// the calculus and CI gates on the count staying zero.
+	bounded, violations := 0, 0
+	for _, c := range res.Frontier {
+		if math.IsNaN(c.BoundMax) && !c.BoundNA {
+			continue
+		}
+		bounded++
+		if !math.IsNaN(c.Sim) && !math.IsNaN(c.BoundMax) && c.Sim > c.BoundMax {
+			violations++
+		}
+	}
 	summary := struct {
 		Name             string  `json:"name"`
 		Candidates       int     `json:"candidates"`
 		Frontier         int     `json:"frontier"`
 		Certified        int     `json:"certified"`
+		Bounded          int     `json:"bounded,omitempty"`
+		BoundViolations  int     `json:"bound_violations"`
 		AnalyticEvals    int     `json:"analytic_evals"`
 		SimEvals         int     `json:"sim_evals"`
 		SimEvalsSaved    int     `json:"sim_evals_saved_vs_grid"`
 		ElapsedMS        int64   `json:"elapsed_ms"`
 		CandidatesPerSec float64 `json:"candidates_per_sec"`
 	}{
-		Name:          res.Spec.Name,
-		Candidates:    s.Candidates,
-		Frontier:      s.FrontierSize,
-		Certified:     s.Certified,
-		AnalyticEvals: s.AnalyticEvals(),
-		SimEvals:      s.SimEvals,
+		Name:            res.Spec.Name,
+		Candidates:      s.Candidates,
+		Frontier:        s.FrontierSize,
+		Certified:       s.Certified,
+		Bounded:         bounded,
+		BoundViolations: violations,
+		AnalyticEvals:   s.AnalyticEvals(),
+		SimEvals:        s.SimEvals,
 		// A sweep answering the same question simulates every coarse
 		// cell; the planner simulates only the frontier.
 		SimEvalsSaved: s.CoarseCells - s.SimEvals,

@@ -19,6 +19,7 @@
 //	sweep -spec builtin:figure3 -addr :8713 -batch 32   # batched transport
 //	sweep -spec builtin:figure3 -shards :8713,:8714,:8715   # dispatch ranges
 //	sweep -spec builtin:figure3 -cache-dir d     # persistent result store
+//	sweep -spec builtin:figure3 -backend model,bounds   # add worst-case bounds
 //	sweep -spec builtin:figure3 -trace-out t.ndjson   # NDJSON span trace
 //
 // Progress streams to stderr; results go to stdout. With -stream each
@@ -90,6 +91,7 @@ func main() {
 		full     = flag.Bool("full", false, "override spec budgets with the report-quality budget")
 		seed     = flag.Uint64("seed", 0, "override spec seeds (0 keeps each spec's own)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		backend  = flag.String("backend", "", "override spec backends: comma-separated subset of model,sim,bounds (empty = spec's own)")
 		benchOut = flag.String("bench-out", "", "write a points/sec benchmark summary JSON to this file")
 		addr     = flag.String("addr", "", "evaluate scenarios on these sweepd server(s), comma-separated (empty = in-process)")
 		shards   = flag.String("shards", "", "dispatch grid ranges across these sweepd shard(s), comma-separated (distributed scheduler)")
@@ -98,6 +100,13 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write NDJSON span traces to this file (see docs/observability.md)")
 	)
 	flag.Parse()
+	var backends []string
+	if *backend != "" {
+		var err error
+		if backends, err = cliutil.ParseBackends(*backend); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *addr != "" && *shards != "" {
 		log.Fatal("-addr and -shards are mutually exclusive: per-cell/batched evaluation vs range dispatch")
 	}
@@ -216,6 +225,18 @@ func main() {
 		spec, err := loadSpec(ref)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if len(backends) > 0 {
+			// -backend overrides the spec wholesale; with_sim follows the
+			// list so the two spellings stay in agreement (Spec.Validate
+			// rejects a with_sim=true spec whose backends omit "sim").
+			spec.Backends = backends
+			spec.WithSim = false
+			for _, b := range backends {
+				if b == sweep.BackendSim {
+					spec.WithSim = true
+				}
+			}
 		}
 		if *full {
 			spec.Budget.Warmup = sweep.Full.Warmup

@@ -1,0 +1,310 @@
+// Package bounds computes guaranteed worst-case latency and backlog
+// bounds for the paper's butterfly fat-tree, in the style of the
+// network calculus of Cruz and its wormhole extensions (Farhi & Gaujal,
+// arXiv:1007.4853; Giroudot & Mifdaoui, arXiv:1911.02430): every source
+// is constrained by a (σ, ρ) arrival envelope, every switch stage
+// offers a rate-latency service curve, and the per-message bound is the
+// composition of per-hop worst-case delays along the longest
+// deterministic route, with output burstiness propagated hop to hop.
+//
+// The construction is deliberately conservative so that the bound
+// *provably dominates* the analytic mean of package analytic at every
+// stable operating point: each hop's delay term clears the aggregate
+// burst σ̂ at the group's residual capacity m(1−ρ)/x̄,
+//
+//	D_h = x̄_h + σ̂_h·x̄_h / (m_h·(1−ρ_h)),
+//
+// while the model's mean per-hop wait is at most x̄_h/(m_h(1−ρ_h))
+// (WaitMGm with Erlang-C ≤ 1 and the wormhole CV² ≤ 1); since σ̂_h ≥ 1
+// message, every hop's bound exceeds its mean wait plus service, and
+// the route sum exceeds the telescoped Eq. 25 mean. The same resolved
+// channel graph supplies x̄ and ρ, so the bound is finite exactly where
+// the model is stable: utilization past stability yields the unbounded
+// verdict (core.IsUnstable agreement by construction).
+//
+// Backend exposes the calculus as the third eval.Evaluator ("bounds"):
+// scenarios opt in via Scenario.WithBounds the way simulation opts in
+// via WithSim, and results travel as Point.BoundMax / BoundUnbounded /
+// BoundNA. Applicability mirrors ModelNA: only fat-tree topologies and
+// workloads admitting a (σ, ρ) envelope (steady Poisson, MMPP on-off)
+// get a bound; gamma/weibull shapes, traces, non-uniform mixes and
+// patterns are marked BoundNA. See docs/bounds.md.
+package bounds
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Per-layer counters, rendered on /metrics by the serve layer like the
+// sim engine's (see internal/obs/metrics.go).
+var (
+	evalsTotal     = obs.NewCounter("bounds_evals_total")
+	naTotal        = obs.NewCounter("bounds_na_total")
+	unboundedTotal = obs.NewCounter("bounds_unbounded_total")
+)
+
+// Envelope derives the per-source (σ, ρ) arrival envelope — burst in
+// messages, sustained rate lambda0 messages/cycle — for a workload, or
+// reports the workload admits none. The matrix (see docs/bounds.md):
+// steady Poisson injection bursts at most one message ahead of its
+// rate; an MMPP on-off source additionally accumulates the rate excess
+// of a mean-length ON burst; gamma/weibull shapes and replayed traces
+// have no finite deterministic envelope, and non-uniform mixes or
+// destination patterns break the symmetry the route composition needs.
+func Envelope(w *workload.Spec, lambda0 float64) (burst float64, ok bool) {
+	if w == nil || w.IsDefault() {
+		return 1, true
+	}
+	if w.Trace != "" {
+		return 0, false
+	}
+	switch w.Mix {
+	case "", workload.MixUniform:
+	default:
+		return 0, false
+	}
+	switch w.Pattern {
+	case "", workload.PatternUniform:
+	default:
+		return 0, false
+	}
+	switch w.Process {
+	case "", workload.ProcessPoisson:
+		return 1, true
+	case workload.ProcessMMPP:
+		// ON-rate λ₀/OnFrac for a mean burst of BurstCycles cycles puts
+		// the source λ₀(1/OnFrac − 1)·BurstCycles messages ahead of its
+		// sustained rate, plus the Poisson unit.
+		return 1 + lambda0*(1/w.OnFrac-1)*w.BurstCycles, true
+	default:
+		return 0, false
+	}
+}
+
+// HopBound is one hop of the worst-case route composition.
+type HopBound struct {
+	// Name is the channel class, e.g. "up<1,2>".
+	Name string `json:"name"`
+	// Servers is the group size m, Service the resolved mean service
+	// time x̄ (cycles), Rho the per-server utilization — all from the
+	// model's channel graph (analytic.ChannelStats).
+	Servers int     `json:"servers"`
+	Service float64 `json:"service"`
+	Rho     float64 `json:"rho"`
+	// Sources is the number of distinct sources whose traffic can share
+	// the group, Sigma the aggregate burst (messages) after upstream
+	// inflation.
+	Sources int     `json:"sources"`
+	Sigma   float64 `json:"sigma"`
+	// Delay is the hop's worst-case delay (cycles), Backlog its
+	// worst-case buffer occupancy (flits).
+	Delay   float64 `json:"delay"`
+	Backlog float64 `json:"backlog"`
+}
+
+// Report is the full bound derivation for one operating point.
+type Report struct {
+	// Lambda0 is the per-processor message rate, Burst the per-source
+	// envelope burst σ (messages).
+	Lambda0 float64 `json:"lambda0"`
+	Burst   float64 `json:"burst"`
+	// Hops is the longest route's composition, injection to ejection.
+	Hops []HopBound `json:"hops"`
+	// Total is the guaranteed worst-case end-to-end latency (cycles).
+	Total float64 `json:"total"`
+	// MaxBacklog is the largest per-hop backlog bound (flits).
+	MaxBacklog float64 `json:"max_backlog"`
+}
+
+// Compute composes the worst-case bound for a fat-tree model at
+// per-processor message rate lambda0 with per-source burst (messages).
+// It returns the model's own instability error (core.IsUnstable) when
+// the rate is outside the stability region.
+func Compute(m *analytic.FatTreeModel, lambda0, burst float64) (Report, error) {
+	if burst < 1 || math.IsNaN(burst) || math.IsInf(burst, 0) {
+		return Report{}, fmt.Errorf("bounds: per-source burst must be >= 1 message, got %v", burst)
+	}
+	stats, err := m.ChannelStats(lambda0)
+	if err != nil {
+		return Report{}, err
+	}
+	n := m.Levels()
+	numProc := m.NumProcessors()
+	// Class layout (BuildCoreModel): down<l,l-1> at index l-1 for
+	// l = 1..n, up<l,l+1> at index n+l for l = 0..n-1. The longest
+	// route climbs every up stage and descends every down stage.
+	route := make([]analytic.ChannelStat, 0, 2*n)
+	sources := make([]int, 0, 2*n)
+	for l := 0; l < n; l++ {
+		route = append(route, stats[n+l])
+		if l == 0 {
+			// The injection channel carries its own source only.
+			sources = append(sources, 1)
+		} else {
+			// 2^{l+1} processors route up through each level-l pair.
+			sources = append(sources, 1<<(l+1))
+		}
+	}
+	for l := n; l >= 1; l-- {
+		route = append(route, stats[l-1])
+		// Everything outside the 4^{l-1}-processor destination subtree
+		// can converge on the down channel.
+		sub := 1
+		for i := 1; i < l; i++ {
+			sub *= 4
+		}
+		sources = append(sources, numProc-sub)
+	}
+	rep := Report{Lambda0: lambda0, Burst: burst, Hops: make([]HopBound, 0, 2*n)}
+	acc := 0.0 // accumulated delay bound along the route
+	for i, st := range route {
+		if st.Rho >= 1 || math.IsNaN(st.Rho) {
+			return Report{}, &core.UnstableError{Class: st.Name, Rho: st.Rho}
+		}
+		groupRate := float64(st.Servers) * st.Rate // messages/cycle
+		// Aggregate burst: each contributing source's envelope burst,
+		// inflated by the burstiness its traffic accumulated clearing
+		// the upstream hops (output envelope σ' = σ + ρ·D per hop).
+		sigma := float64(sources[i])*burst + groupRate*acc
+		// Rate-latency service with one residual service time of
+		// latency; the burst clears at the capacity the sustained rate
+		// leaves free.
+		delay := st.Service + sigma*st.Service/(float64(st.Servers)*(1-st.Rho))
+		backlog := (sigma + groupRate*delay) * m.MsgFlits()
+		rep.Hops = append(rep.Hops, HopBound{
+			Name:    st.Name,
+			Servers: st.Servers,
+			Service: st.Service,
+			Rho:     st.Rho,
+			Sources: sources[i],
+			Sigma:   sigma,
+			Delay:   delay,
+			Backlog: backlog,
+		})
+		acc += delay
+		if backlog > rep.MaxBacklog {
+			rep.MaxBacklog = backlog
+		}
+	}
+	rep.Total = acc
+	return rep, nil
+}
+
+// Backend answers scenarios with the worst-case bound calculus: the
+// third Evaluator next to the analytic model and the simulator. Models
+// are memoized per instance; fractional load points are resolved
+// through the anchor (normally the AnalyticBackend of the same sweep,
+// so bounds are probed at identical absolute loads). Scenarios with
+// WithBounds unset are answered with an empty Point. Safe for
+// concurrent use.
+type Backend struct {
+	mu     sync.Mutex
+	models map[modelKey]*analytic.FatTreeModel
+	anchor eval.LoadResolver
+}
+
+type modelKey struct {
+	size  int
+	flits int
+}
+
+// New returns a backend resolving fractional loads through anchor. A
+// nil anchor restricts the backend to absolute load points.
+func New(anchor eval.LoadResolver) *Backend {
+	return &Backend{models: make(map[modelKey]*analytic.FatTreeModel), anchor: anchor}
+}
+
+// Name implements Evaluator.
+func (b *Backend) Name() string { return "bounds" }
+
+// CacheTag versions the calculus for store cache salting: runners that
+// pin explicit backend lists fold it into their cache salt, so a future
+// change to the bound construction invalidates exactly the bound lines.
+func (b *Backend) CacheTag() string { return "bounds" }
+
+// model returns the memoized base-variant model for the instance. The
+// calculus always bounds the paper's model — ablation variants change
+// the analytic side of a cell only.
+func (b *Backend) model(size, flits int) (*analytic.FatTreeModel, error) {
+	key := modelKey{size, flits}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m, ok := b.models[key]; ok {
+		return m, nil
+	}
+	m, err := analytic.NewFatTreeModel(size, float64(flits), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	b.models[key] = m
+	return m, nil
+}
+
+// resolveLoad maps the scenario's load to absolute flits/cycle/processor.
+func (b *Backend) resolveLoad(sc eval.Scenario) (float64, error) {
+	if !sc.Load.Frac {
+		return sc.Load.Value, nil
+	}
+	if b.anchor == nil {
+		return math.NaN(), fmt.Errorf("bounds: fractional load %v needs an anchor backend", sc.Load.Value)
+	}
+	return b.anchor.ResolveLoad(sc)
+}
+
+// Evaluate implements Evaluator: the guaranteed worst-case latency at
+// the scenario's operating point, +Inf (BoundUnbounded) past stability,
+// BoundNA where the calculus does not apply.
+func (b *Backend) Evaluate(ctx context.Context, sc eval.Scenario) (eval.Point, error) {
+	if !sc.WithBounds {
+		return eval.NewPoint(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return eval.Point{}, err
+	}
+	_, span := obs.StartSpanKeyed(ctx, "bounds.eval", sc.Key())
+	evalsTotal.Add(1)
+	pt := eval.NewPoint()
+	load, err := b.resolveLoad(sc)
+	if err != nil {
+		span.End(obs.String("outcome", "error"))
+		return eval.Point{}, err
+	}
+	pt.LoadFlits = load
+	lambda0 := load / float64(sc.MsgFlits)
+	env, ok := Envelope(sc.Workload, lambda0)
+	if sc.Topology.Family != eval.FamilyBFT || !ok {
+		pt.BoundNA = true
+		naTotal.Add(1)
+		span.End(obs.String("outcome", "na"))
+		return pt, nil
+	}
+	m, err := b.model(sc.Topology.Size, sc.MsgFlits)
+	if err != nil {
+		span.End(obs.String("outcome", "error"))
+		return eval.Point{}, err
+	}
+	rep, err := Compute(m, lambda0, env)
+	switch {
+	case err == nil:
+		pt.BoundMax = rep.Total
+		span.End(obs.String("outcome", "bounded"), obs.Float("bound", rep.Total))
+	case core.IsUnstable(err):
+		pt.BoundMax = math.Inf(1)
+		pt.BoundUnbounded = true
+		unboundedTotal.Add(1)
+		span.End(obs.String("outcome", "unbounded"))
+	default:
+		span.End(obs.String("outcome", "error"))
+		return eval.Point{}, err
+	}
+	return pt, nil
+}

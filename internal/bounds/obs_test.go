@@ -1,0 +1,118 @@
+package bounds_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// TestBoundsSpansStitchIntoTrace pins the observability contract: the
+// backend's bounds.eval spans parent under the caller's span, the
+// resulting trace passes the same well-formedness gate obsreport
+// -check applies, and the layer report names bounds.eval with one span
+// per evaluation.
+func TestBoundsSpansStitchIntoTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf)
+	ctx := obs.WithTracer(context.Background(), tr)
+	ctx, root := obs.StartSpanKeyed(ctx, "sweep.run", "bounds-trace")
+
+	b := bounds.New(eval.NewAnalyticBackend())
+	sc := eval.Scenario{
+		Topology:   eval.Topology{Family: eval.FamilyBFT, Size: 16},
+		MsgFlits:   8,
+		WithBounds: true,
+	}
+	const evals = 5
+	for i := 0; i < evals; i++ {
+		sc.Load = eval.Load{Value: 0.02 * float64(i+1)}
+		if _, err := b.Evaluate(ctx, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root.End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.CheckForest(obs.BuildForest(events)); err != nil {
+		t.Fatalf("bounds.eval spans tear the trace: %v", err)
+	}
+	rep := obs.Analyze(events)
+	for _, ls := range rep.Layers {
+		if ls.Name == "bounds.eval" {
+			if ls.Count != evals {
+				t.Fatalf("bounds.eval layer counts %d span(s), want %d", ls.Count, evals)
+			}
+			return
+		}
+	}
+	t.Fatalf("no bounds.eval layer in the report: %+v", rep.Layers)
+}
+
+// TestBoundsCountersConcurrentScrapes hammers the backend from many
+// goroutines while /metrics-style snapshots run concurrently — the
+// exact interleaving a dispatch fleet member sees — and then checks
+// the three counters moved by exactly the evaluations issued. Run
+// under -race this also proves scrapes never tear an update.
+func TestBoundsCountersConcurrentScrapes(t *testing.T) {
+	before := obs.Counters()
+	b := bounds.New(eval.NewAnalyticBackend())
+	base := eval.Scenario{
+		Topology:   eval.Topology{Family: eval.FamilyBFT, Size: 16},
+		MsgFlits:   8,
+		WithBounds: true,
+	}
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				bounded := base
+				bounded.Load = eval.Load{Value: 0.05}
+				unstable := base
+				unstable.Load = eval.Load{Value: 10}
+				na := base
+				na.Topology = eval.Topology{Family: eval.FamilyHypercube, Size: 4}
+				for _, sc := range []eval.Scenario{bounded, unstable, na} {
+					if _, err := b.Evaluate(context.Background(), sc); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 200; i++ {
+			obs.Counters() // concurrent scrape, as /metrics does
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+
+	after := obs.Counters()
+	total := workers * rounds
+	for name, want := range map[string]int64{
+		"bounds_evals_total":     int64(3 * total),
+		"bounds_na_total":        int64(total),
+		"bounds_unbounded_total": int64(total),
+	} {
+		if got := after[name] - before[name]; got != want {
+			t.Errorf("%s moved by %d, want %d", name, got, want)
+		}
+	}
+}

@@ -115,6 +115,34 @@ func ParseStrings(s string) ([]string, error) {
 	return out, nil
 }
 
+// ParseBackends parses the shared -backend flag: a comma-separated
+// subset of "model", "sim", "bounds" (e.g. "model,bounds"). The
+// analytic model anchors every other backend, so it is always
+// included; names are deduplicated and returned in the canonical
+// model, sim, bounds order regardless of input order.
+func ParseBackends(s string) ([]string, error) {
+	names, err := ParseStrings(s)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{"model": true}
+	for _, n := range names {
+		switch n {
+		case "model", "sim", "bounds":
+			want[n] = true
+		default:
+			return nil, fmt.Errorf("cliutil: unknown backend %q (want model, sim or bounds)", n)
+		}
+	}
+	out := make([]string, 0, 3)
+	for _, n := range []string{"model", "sim", "bounds"} {
+		if want[n] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
 // OpenTracer opens an NDJSON span tracer writing to path, buffered, for
 // the -trace-out flag convention. The returned close function flushes
 // the tracer and closes the file, returning the first error seen on any

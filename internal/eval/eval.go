@@ -57,12 +57,24 @@ type Point struct {
 	// estimate is degenerate. With Budget.Precision set it records how
 	// tight the early-stopped run actually got.
 	SimPrecision float64
+	// BoundMax is the guaranteed worst-case latency from the
+	// network-calculus bounds backend (package bounds); +Inf when the
+	// scenario's utilization exceeds the stability region (no finite
+	// bound exists), NaN when no bounds backend ran.
+	BoundMax float64
+	// BoundUnbounded marks the +Inf case for JSON-safe serialisation,
+	// mirroring ModelSaturated.
+	BoundUnbounded bool
+	// BoundNA marks a scenario outside the bound calculus' assumptions
+	// (non-fat-tree family, or a workload process with no (σ,ρ)
+	// envelope), the way ModelNA works for the analytic model.
+	BoundNA bool
 }
 
 // NewPoint returns the empty point: every field NaN, nothing measured.
 func NewPoint() Point {
 	nan := math.NaN()
-	return Point{LoadFlits: nan, Model: nan, Sim: nan, SimCI: nan, SimPrecision: nan}
+	return Point{LoadFlits: nan, Model: nan, Sim: nan, SimCI: nan, SimPrecision: nan, BoundMax: nan}
 }
 
 // Merge folds q into p: any field q actually produced (non-NaN, or a
@@ -81,6 +93,12 @@ func (p Point) Merge(q Point) Point {
 	if !math.IsNaN(q.Sim) || q.SimSaturated {
 		p.Sim, p.SimCI, p.SimSaturated = q.Sim, q.SimCI, q.SimSaturated
 		p.SimPrecision = q.SimPrecision
+	}
+	if !math.IsNaN(q.BoundMax) || q.BoundUnbounded {
+		p.BoundMax, p.BoundUnbounded = q.BoundMax, q.BoundUnbounded
+	}
+	if q.BoundNA {
+		p.BoundNA = true
 	}
 	return p
 }

@@ -168,6 +168,11 @@ type Scenario struct {
 	// WithSim and Budget describe the execution.
 	WithSim bool   `json:"with_sim"`
 	Budget  Budget `json:"budget"`
+	// WithBounds asks the network-calculus bounds backend (package
+	// bounds) for a guaranteed worst-case latency on this cell; like
+	// WithSim for the simulator, the bounds backend skips scenarios
+	// that did not opt in.
+	WithBounds bool `json:"with_bounds,omitempty"`
 	// Workload selects the arrival/mix/pattern workload; nil is the
 	// paper's steady uniform Poisson workload. Non-default workloads
 	// change the simulated result (and mark the analytic side
@@ -262,6 +267,13 @@ func (s Scenario) Key() string {
 	if wk := s.Workload.Canonical(); wk != "" {
 		b.WriteString(" workload=")
 		b.WriteString(wk)
+	}
+	// Appended only when set, preserving every pre-bounds persisted key;
+	// the bit distinguishes bound-carrying cache lines from plain ones,
+	// which is what lets spec-level backend selection share the default
+	// (unsalted) store.
+	if s.WithBounds {
+		b.WriteString(" bounds=true")
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:16])

@@ -30,6 +30,12 @@ type pointWire struct {
 	SimCI          *float64 `json:"sim_ci,omitempty"`
 	SimSaturated   bool     `json:"sim_saturated,omitempty"`
 	SimPrecision   *float64 `json:"sim_precision,omitempty"`
+	// The bound fields are append-only additions: every one of them is
+	// omitted when unset, so a point without bounds marshals exactly as
+	// it did before they existed (pinned by TestPointWirePreBounds).
+	BoundMax       *float64 `json:"bound_max,omitempty"`
+	BoundUnbounded bool     `json:"bound_unbounded,omitempty"`
+	BoundNA        bool     `json:"bound_na,omitempty"`
 }
 
 // finite returns v boxed, or nil when v is NaN or ±Inf.
@@ -60,6 +66,9 @@ func (p Point) MarshalJSON() ([]byte, error) {
 		SimCI:          finite(p.SimCI),
 		SimSaturated:   p.SimSaturated,
 		SimPrecision:   finite(p.SimPrecision),
+		BoundMax:       finite(p.BoundMax),
+		BoundUnbounded: p.BoundUnbounded,
+		BoundNA:        p.BoundNA,
 	})
 }
 
@@ -83,6 +92,12 @@ func (p *Point) UnmarshalJSON(data []byte) error {
 	p.SimCI = unbox(w.SimCI, nan)
 	p.SimSaturated = w.SimSaturated
 	p.SimPrecision = unbox(w.SimPrecision, nan)
+	p.BoundMax = unbox(w.BoundMax, nan)
+	if w.BoundUnbounded && w.BoundMax == nil {
+		p.BoundMax = math.Inf(1)
+	}
+	p.BoundUnbounded = w.BoundUnbounded
+	p.BoundNA = w.BoundNA
 	return nil
 }
 
@@ -118,28 +133,30 @@ func (c *CurveDesc) UnmarshalJSON(data []byte) error {
 
 // scenarioWire is Scenario with the policy enum travelling by name.
 type scenarioWire struct {
-	Index     int            `json:"index"`
-	Topology  Topology       `json:"topology"`
-	MsgFlits  int            `json:"msg_flits"`
-	Policy    string         `json:"policy,omitempty"`
-	Load      Load           `json:"load"`
-	Variant   *Variant       `json:"variant,omitempty"`
-	LoadIndex int            `json:"load_index"`
-	WithSim   bool           `json:"with_sim,omitempty"`
-	Budget    *Budget        `json:"budget,omitempty"`
-	Workload  *workload.Spec `json:"workload,omitempty"`
+	Index      int            `json:"index"`
+	Topology   Topology       `json:"topology"`
+	MsgFlits   int            `json:"msg_flits"`
+	Policy     string         `json:"policy,omitempty"`
+	Load       Load           `json:"load"`
+	Variant    *Variant       `json:"variant,omitempty"`
+	LoadIndex  int            `json:"load_index"`
+	WithSim    bool           `json:"with_sim,omitempty"`
+	Budget     *Budget        `json:"budget,omitempty"`
+	Workload   *workload.Spec `json:"workload,omitempty"`
+	WithBounds bool           `json:"with_bounds,omitempty"`
 }
 
 // MarshalJSON encodes the scenario for the wire, policy by name.
 func (s Scenario) MarshalJSON() ([]byte, error) {
 	w := scenarioWire{
-		Index:     s.Index,
-		Topology:  s.Topology,
-		MsgFlits:  s.MsgFlits,
-		Policy:    s.Policy.String(),
-		Load:      s.Load,
-		LoadIndex: s.LoadIndex,
-		WithSim:   s.WithSim,
+		Index:      s.Index,
+		Topology:   s.Topology,
+		MsgFlits:   s.MsgFlits,
+		Policy:     s.Policy.String(),
+		Load:       s.Load,
+		LoadIndex:  s.LoadIndex,
+		WithSim:    s.WithSim,
+		WithBounds: s.WithBounds,
 	}
 	if s.Variant != (Variant{}) {
 		v := s.Variant
@@ -167,13 +184,14 @@ func (s *Scenario) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("eval: decoding scenario: %w", err)
 	}
 	*s = Scenario{
-		Index:     w.Index,
-		Topology:  w.Topology,
-		MsgFlits:  w.MsgFlits,
-		Policy:    pol,
-		Load:      w.Load,
-		LoadIndex: w.LoadIndex,
-		WithSim:   w.WithSim,
+		Index:      w.Index,
+		Topology:   w.Topology,
+		MsgFlits:   w.MsgFlits,
+		Policy:     pol,
+		Load:       w.Load,
+		LoadIndex:  w.LoadIndex,
+		WithSim:    w.WithSim,
+		WithBounds: w.WithBounds,
 	}
 	if w.Variant != nil {
 		s.Variant = *w.Variant

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// boundsIdentical compares the bound fields bit for bit, NaN equal to
+// NaN (the rest of the point is pointsIdentical's job).
+func boundsIdentical(a, b Point) bool {
+	eq := func(x, y float64) bool {
+		return math.Float64bits(x) == math.Float64bits(y) || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return eq(a.BoundMax, b.BoundMax) && a.BoundUnbounded == b.BoundUnbounded && a.BoundNA == b.BoundNA
+}
+
+// TestPointWireBoundsRoundTrip covers the bound verdicts across the
+// wire: finite bounds exactly, +Inf via the unbounded flag (null bound
+// on the wire, like the saturated model), NA, and the no-bounds NaN.
+func TestPointWireBoundsRoundTrip(t *testing.T) {
+	bounded := NewPoint()
+	bounded.LoadFlits, bounded.Model, bounded.BoundMax = 0.02, 12.8037109375, 1594.625
+
+	unbounded := NewPoint()
+	unbounded.LoadFlits = 0.2
+	unbounded.BoundMax, unbounded.BoundUnbounded = math.Inf(1), true
+
+	na := NewPoint()
+	na.LoadFlits, na.BoundNA = 0.02, true
+
+	for _, tc := range []struct {
+		name string
+		pt   Point
+	}{
+		{"bounded", bounded},
+		{"unbounded", unbounded},
+		{"bound-na", na},
+		{"no-bounds", NewPoint()},
+	} {
+		data, err := json.Marshal(tc.pt)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		if strings.Contains(string(data), "NaN") || strings.Contains(string(data), "Inf") {
+			t.Errorf("%s: JSON leaked a non-finite literal: %s", tc.name, data)
+		}
+		var got Point
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatalf("%s: unmarshal: %v", tc.name, err)
+		}
+		if !pointsIdentical(tc.pt, got) || !boundsIdentical(tc.pt, got) {
+			t.Errorf("%s: round trip changed the point:\n  in  %+v\n  out %+v\n  via %s",
+				tc.name, tc.pt, got, data)
+		}
+	}
+}
+
+// TestPointWirePreBounds pins the append-only compatibility contract
+// both ways: a point that never saw the bounds backend marshals to the
+// exact byte layout the wire had before the bound fields existed, and
+// a pre-bounds JSON line (an old store segment, an old client) decodes
+// with the bound fields at their NewPoint defaults.
+func TestPointWirePreBounds(t *testing.T) {
+	pt := NewPoint()
+	pt.LoadFlits, pt.Model = 0.04, 88.125
+	pt.Sim, pt.SimCI, pt.SimSaturated = 91.0625, 1.75, true
+	data, err := json.Marshal(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"load_flits":0.04,"model":88.125,"sim":91.0625,"sim_ci":1.75,"sim_saturated":true}`
+	if string(data) != want {
+		t.Errorf("boundless point no longer matches the pre-bounds wire layout:\n  got  %s\n  want %s", data, want)
+	}
+
+	var got Point
+	if err := json.Unmarshal([]byte(want), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.BoundMax) || got.BoundUnbounded || got.BoundNA {
+		t.Errorf("pre-bounds JSON decoded with a bound verdict: %+v", got)
+	}
+	if !pointsIdentical(pt, got) {
+		t.Errorf("pre-bounds JSON decode drifted:\n  in  %+v\n  out %+v", pt, got)
+	}
+}
+
+// TestScenarioWireWithBounds pins the scenario side of the same
+// contract: with_bounds travels, is omitted when false (pre-bounds
+// byte layout), and distinguishes cache keys.
+func TestScenarioWireWithBounds(t *testing.T) {
+	sc := Scenario{
+		Topology:   Topology{Family: FamilyBFT, Size: 64},
+		MsgFlits:   16,
+		Load:       Load{Value: 0.02},
+		WithBounds: true,
+	}
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"with_bounds":true`) {
+		t.Errorf("with_bounds missing from the wire: %s", data)
+	}
+	var got Scenario
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != sc {
+		t.Errorf("round trip changed the scenario:\n  in  %+v\n  out %+v", sc, got)
+	}
+
+	plain := sc
+	plain.WithBounds = false
+	data, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "with_bounds") {
+		t.Errorf("boundless scenario leaks with_bounds (pre-bounds layout broken): %s", data)
+	}
+	if sc.Key() == plain.Key() {
+		t.Error("WithBounds does not salt the scenario cache key")
+	}
+}
+
+// TestMergeBounds verifies the backend-merge step treats the bound
+// fields like the sim fields: a bounds point folds into a model point
+// without clobbering it, and merge order does not matter.
+func TestMergeBounds(t *testing.T) {
+	model := NewPoint()
+	model.LoadFlits, model.Model = 0.02, 12.8
+
+	bound := NewPoint()
+	bound.LoadFlits, bound.BoundMax = 0.02, 1594.6
+
+	merged := model.Merge(bound)
+	if merged.Model != 12.8 || merged.BoundMax != 1594.6 {
+		t.Errorf("merge lost a side: %+v", merged)
+	}
+
+	reverse := bound.Merge(model)
+	if reverse.Model != 12.8 || reverse.BoundMax != 1594.6 {
+		t.Errorf("reverse merge lost a side: %+v", reverse)
+	}
+
+	unbounded := NewPoint()
+	unbounded.BoundMax, unbounded.BoundUnbounded = math.Inf(1), true
+	merged = model.Merge(unbounded)
+	if !merged.BoundUnbounded || !math.IsInf(merged.BoundMax, 1) {
+		t.Errorf("unbounded verdict lost in merge: %+v", merged)
+	}
+
+	na := NewPoint()
+	na.BoundNA = true
+	merged = model.Merge(na)
+	if !merged.BoundNA {
+		t.Errorf("bound-na verdict lost in merge: %+v", merged)
+	}
+}

@@ -65,6 +65,22 @@ var builtins = map[string]Spec{
 		Objective:   ObjectiveMinCost,
 		Constraints: Constraints{MinLoad: 0.05, MaxLatency: 50},
 	},
+	// cheapest-hard-sla is the hard-real-time variant of cheapest-sla:
+	// the cheapest fat-tree whose *guaranteed worst case* — the
+	// network-calculus bound, not the mean — stays inside the deadline
+	// at the required load. Frontier members are certified against both
+	// the sim mean and the bound (a mean above the bound voids the
+	// certificate).
+	"cheapest-hard-sla": {
+		Name:        "cheapest-hard-sla",
+		Description: "Cheapest fat-tree with a guaranteed worst-case latency under 3000 cycles at 0.02 flits/cyc/PE",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{16, 64}}},
+			MsgFlits:   []int{8, 16},
+		},
+		Objective:   ObjectiveMinCost,
+		Constraints: Constraints{MinLoad: 0.02, MaxWorstCaseLatency: 3000},
+	},
 	// families-frontier compares topology families model-only (the
 	// torus has no simulator): lowest latency at a common required
 	// load, with stability headroom.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bounds"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -57,12 +58,13 @@ func New(engine Engine, opts ...Option) *Planner {
 }
 
 // NewLocal builds an in-process planner: a sweep.Runner with the
-// memoized analytic backend, the simulator anchored on it, and the
-// given cache (nil for none).
+// memoized analytic backend, the simulator anchored on it, the
+// worst-case bounds backend (for hard-SLO constraints), and the given
+// cache (nil for none).
 func NewLocal(cache sweep.CacheStore, opts ...Option) *Planner {
 	ab := eval.NewAnalyticBackend()
 	r := sweep.NewRunner(
-		sweep.WithBackends(ab, eval.NewSimBackend(ab)),
+		sweep.WithBackends(ab, eval.NewSimBackend(ab), bounds.New(ab)),
 		sweep.WithCache(cache),
 	)
 	return New(r, opts...)
@@ -271,8 +273,12 @@ type candidate struct {
 // anchor, feasibility bracket, prune verdicts.
 func (p *Planner) seed(d Spec, grid *sweep.Result) ([]candidate, error) {
 	slo := d.Constraints.MaxLatency
+	wslo := d.Constraints.MaxWorstCaseLatency
 	feasibleRow := func(r sweep.Row) bool {
-		return !r.ModelSaturated && !math.IsNaN(r.Model) && (slo <= 0 || r.Model <= slo)
+		if r.ModelSaturated || math.IsNaN(r.Model) || (slo > 0 && r.Model > slo) {
+			return false
+		}
+		return wslo <= 0 || (!r.BoundNA && !r.BoundUnbounded && !math.IsNaN(r.BoundMax) && r.BoundMax <= wslo)
 	}
 	nan := math.NaN()
 	var cands []candidate
@@ -291,6 +297,7 @@ func (p *Planner) seed(d Spec, grid *sweep.Result) ([]candidate, error) {
 			Latency:        nan,
 			Sim:            nan,
 			SimCI:          nan,
+			BoundMax:       nan,
 		}
 		cost, err := d.cost(c.Topology, c.MsgFlits)
 		if err != nil {
@@ -317,6 +324,9 @@ func (p *Planner) seed(d Spec, grid *sweep.Result) ([]candidate, error) {
 		switch {
 		case d.Constraints.MaxCost > 0 && c.Cost > d.Constraints.MaxCost:
 			prune(c, fmt.Sprintf("cost %.4g exceeds max_cost %.4g", c.Cost, d.Constraints.MaxCost))
+		case wslo > 0 && rows[0].BoundNA:
+			c.BoundNA = true
+			prune(c, "no worst-case bound for this topology/workload (max_worstcase_latency requires one)")
 		case first == 0:
 			prune(c, fmt.Sprintf("infeasible at the lowest probe load (%.6g flits/cyc/PE)", rows[0].LoadFlits))
 		default:
@@ -458,10 +468,11 @@ func (p *Planner) refineOne(ctx context.Context, d Spec, e *candidate) error {
 			return eval.Point{}, false
 		}
 		sc := eval.Scenario{
-			Topology: c.Topology,
-			MsgFlits: c.MsgFlits,
-			Policy:   e.policy,
-			Load:     eval.Load{Value: load},
+			Topology:   c.Topology,
+			MsgFlits:   c.MsgFlits,
+			Policy:     e.policy,
+			Load:       eval.Load{Value: load},
+			WithBounds: d.wantBounds(),
 		}
 		pt, _, err := p.engine.Evaluate(ctx, sc)
 		c.Probes++
@@ -472,8 +483,14 @@ func (p *Planner) refineOne(ctx context.Context, d Spec, e *candidate) error {
 		return pt, true
 	}
 	slo := d.Constraints.MaxLatency
+	wslo := d.Constraints.MaxWorstCaseLatency
 	feasible := func(pt eval.Point) bool {
-		return !pt.ModelSaturated && !math.IsNaN(pt.Model) && (slo <= 0 || pt.Model <= slo)
+		if pt.ModelSaturated || math.IsNaN(pt.Model) || (slo > 0 && pt.Model > slo) {
+			return false
+		}
+		// The bound is monotone in load (burst, utilization and service
+		// all grow with it), so the hard SLO bisects like the soft one.
+		return wslo <= 0 || (!pt.BoundNA && !pt.BoundUnbounded && !math.IsNaN(pt.BoundMax) && pt.BoundMax <= wslo)
 	}
 	feasibleAt := func(load float64) bool {
 		pt, ok := probe(load)
@@ -591,6 +608,8 @@ func (p *Planner) refineOne(ctx context.Context, d Spec, e *candidate) error {
 	}
 	c.OperatingLoad = op
 	c.Latency = pt.Model
+	c.BoundMax = pt.BoundMax
+	c.BoundNA = pt.BoundNA
 	return nil
 }
 
@@ -678,13 +697,14 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 			continue
 		}
 		sc := eval.Scenario{
-			Topology: c.Topology,
-			MsgFlits: c.MsgFlits,
-			Policy:   e.policy,
-			Load:     eval.Load{Value: c.OperatingLoad},
-			WithSim:  true,
-			Budget:   d.Budget,
-			Workload: d.Workload,
+			Topology:   c.Topology,
+			MsgFlits:   c.MsgFlits,
+			Policy:     e.policy,
+			Load:       eval.Load{Value: c.OperatingLoad},
+			WithSim:    true,
+			Budget:     d.Budget,
+			Workload:   d.Workload,
+			WithBounds: d.wantBounds(),
 		}
 		pt, _, err := p.engine.Evaluate(ctx, sc)
 		if err != nil {
@@ -692,9 +712,23 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 		}
 		res.Stats.SimEvals++
 		c.Sim, c.SimCI, c.SimSaturated = pt.Sim, pt.SimCI, pt.SimSaturated
+		if d.wantBounds() {
+			// The certification scenario recomputes the bound under the
+			// certification workload, so the candidate records the bound
+			// the sim mean is checked against.
+			c.BoundMax = pt.BoundMax
+			c.BoundNA = pt.BoundNA
+		}
 		c.Certified = !math.IsNaN(c.Sim) && !c.SimSaturated
 		if !d.Workload.IsDefault() {
 			c.CertifyNote = "workload " + d.Workload.Label()
+		}
+		if c.Certified && d.wantBounds() && !math.IsNaN(pt.BoundMax) && c.Sim > pt.BoundMax {
+			// A measured mean above the guaranteed worst case means the
+			// bound (or the model behind it) is wrong for this candidate;
+			// a hard-SLO frontier must not carry it as certified.
+			c.Certified = false
+			c.CertifyNote = "sim mean exceeds the worst-case bound"
 		}
 		if c.Certified {
 			res.Stats.Certified++
@@ -703,6 +737,8 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 			constraint := "no finite sim latency"
 			if c.SimSaturated {
 				constraint = "sim saturated at the operating load"
+			} else if c.CertifyNote == "sim mean exceeds the worst-case bound" {
+				constraint = c.CertifyNote
 			}
 			traceDecision(ctx, c, "not-certified", constraint)
 		}

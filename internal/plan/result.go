@@ -48,6 +48,13 @@ type Candidate struct {
 	CertifyNote  string
 	Sim, SimCI   float64
 	SimSaturated bool
+	// BoundMax is the network-calculus worst-case latency at the
+	// operating point when the plan constrains max_worstcase_latency
+	// (+Inf past stability, NaN when no bound was computed); BoundNA
+	// marks candidates with no (σ,ρ) envelope, which a hard-SLO plan
+	// prunes.
+	BoundMax float64
+	BoundNA  bool
 	// Probes counts the refinement evaluations this candidate consumed.
 	Probes int
 }
@@ -183,6 +190,9 @@ type jsonCandidate struct {
 	SimLatency     *float64 `json:"sim_latency,omitempty"`
 	SimCI95        *float64 `json:"sim_ci95,omitempty"`
 	SimSaturated   bool     `json:"sim_saturated,omitempty"`
+	BoundMax       *float64 `json:"bound_max,omitempty"`
+	BoundUnbounded bool     `json:"bound_unbounded,omitempty"`
+	BoundNA        bool     `json:"bound_na,omitempty"`
 	Probes         int      `json:"probes,omitempty"`
 }
 
@@ -212,6 +222,11 @@ func (c Candidate) MarshalJSON() ([]byte, error) {
 		jc.SimLatency = finitePtr(c.Sim)
 		jc.SimCI95 = finitePtr(c.SimCI)
 	}
+	if !math.IsNaN(c.BoundMax) || c.BoundNA {
+		jc.BoundMax = finitePtr(c.BoundMax)
+		jc.BoundUnbounded = math.IsInf(c.BoundMax, 1)
+		jc.BoundNA = c.BoundNA
+	}
 	return json.Marshal(jc)
 }
 
@@ -239,7 +254,12 @@ func (c *Candidate) UnmarshalJSON(data []byte) error {
 		Sim:            fromPtr(jc.SimLatency),
 		SimCI:          fromPtr(jc.SimCI95),
 		SimSaturated:   jc.SimSaturated,
+		BoundMax:       fromPtr(jc.BoundMax),
+		BoundNA:        jc.BoundNA,
 		Probes:         jc.Probes,
+	}
+	if jc.BoundUnbounded && jc.BoundMax == nil {
+		c.BoundMax = math.Inf(1)
 	}
 	return nil
 }
@@ -320,10 +340,21 @@ func (u *Update) UnmarshalJSON(data []byte) error {
 // Table renders every candidate as the repo's standard fixed-width
 // table, frontier members first in rank order.
 func (r *Result) Table() *series.Table {
-	tbl := &series.Table{Headers: []string{
+	withBounds := false
+	for _, c := range r.Candidates {
+		if !math.IsNaN(c.BoundMax) || c.BoundNA {
+			withBounds = true
+			break
+		}
+	}
+	headers := []string{
 		"candidate", "cost", "sat load", "max load", "op load",
-		"model L", "sim L", "±CI", "status",
-	}}
+		"model L", "sim L", "±CI",
+	}
+	if withBounds {
+		headers = append(headers, "wc bound")
+	}
+	tbl := &series.Table{Headers: append(headers, "status")}
 	add := func(c Candidate, rank int) {
 		num := func(v float64, prec int) string {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -348,9 +379,20 @@ func (r *Result) Table() *series.Table {
 		if c.SimSaturated {
 			sim += "*"
 		}
-		tbl.AddRow(c.Key(), num(c.Cost, 0), num(c.SaturationLoad, 6),
+		row := []string{c.Key(), num(c.Cost, 0), num(c.SaturationLoad, 6),
 			num(c.MaxLoad, 6), num(c.OperatingLoad, 6),
-			num(c.Latency, 4), sim, num(c.SimCI, 4), status)
+			num(c.Latency, 4), sim, num(c.SimCI, 4)}
+		if withBounds {
+			bound := num(c.BoundMax, 1)
+			switch {
+			case c.BoundNA:
+				bound = "n/a"
+			case math.IsInf(c.BoundMax, 1):
+				bound = "unbounded"
+			}
+			row = append(row, bound)
+		}
+		tbl.AddRow(append(row, status)...)
 	}
 	for i, c := range r.Frontier {
 		add(c, i+1)
@@ -376,8 +418,12 @@ func (r *Result) Summary() string {
 			r.Spec.Workload.Label())
 	}
 	if best := r.Best(); best != nil {
-		out += fmt.Sprintf("  best: %s cost=%.0f max_load=%.6f latency=%.4f\n",
+		out += fmt.Sprintf("  best: %s cost=%.0f max_load=%.6f latency=%.4f",
 			best.Key(), best.Cost, best.MaxLoad, best.Latency)
+		if !math.IsNaN(best.BoundMax) && !math.IsInf(best.BoundMax, 0) {
+			out += fmt.Sprintf(" wc_bound=%.1f", best.BoundMax)
+		}
+		out += "\n"
 	}
 	return out
 }

@@ -68,6 +68,12 @@ type Constraints struct {
 	// MaxLatency is the latency SLO in cycles: the model latency at the
 	// operating point must not exceed it. 0 means unconstrained.
 	MaxLatency float64 `json:"max_latency,omitempty"`
+	// MaxWorstCaseLatency is the hard SLO in cycles: the guaranteed
+	// worst-case latency (the network-calculus bound of package bounds)
+	// at the operating point must not exceed it. Candidates whose
+	// workload or family admits no bound (BoundNA) are pruned — a hard
+	// SLO cannot be certified without one. 0 means unconstrained.
+	MaxWorstCaseLatency float64 `json:"max_worstcase_latency,omitempty"`
 	// MinLoad is the load (flits/cycle/processor) every candidate must
 	// sustain; candidates that cannot are pruned, and survivors report
 	// their operating latency at exactly this load. 0 means none.
@@ -140,6 +146,11 @@ type Spec struct {
 	// (model-only planning; also implied per-candidate for families
 	// without a simulator topology, such as the torus).
 	SkipCertify bool `json:"skip_certify,omitempty"`
+	// WithBounds reports the network-calculus worst-case bound on every
+	// refined candidate even when no hard SLO constrains on it (a
+	// max_worstcase_latency constraint implies it). cmd/plan's
+	// `-backend model,bounds` sets it.
+	WithBounds bool `json:"with_bounds,omitempty"`
 	// Budget scales the certification simulations; the zero value uses
 	// the sweep engine's Quick budget.
 	Budget eval.Budget `json:"budget,omitempty"`
@@ -197,13 +208,20 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// wantBounds reports whether the search needs the worst-case bound
+// calculus: a hard SLO constrains on the bound, so the coarse grid,
+// the bisection probes and the certification all carry it; WithBounds
+// asks for the bound as reporting even without a constraint.
+func (s Spec) wantBounds() bool { return s.WithBounds || s.Constraints.MaxWorstCaseLatency > 0 }
+
 // pruneSpec compiles the coarse analytic grid: the full discrete space
-// at the prune fractions, model-only. It is a plain sweep spec, so it
-// runs through any sweep executor — the local Runner or the distributed
-// Dispatcher — and its cells land in the shared result cache.
+// at the prune fractions, model-only (plus the bound calculus under a
+// hard SLO). It is a plain sweep spec, so it runs through any sweep
+// executor — the local Runner or the distributed Dispatcher — and its
+// cells land in the shared result cache.
 func (s Spec) pruneSpec() sweep.Spec {
 	d := s.withDefaults()
-	return sweep.Spec{
+	sp := sweep.Spec{
 		Name:        d.Name + "-prune",
 		Description: "coarse analytic prune grid of plan " + d.Name,
 		Topologies:  d.Space.Topologies,
@@ -211,6 +229,10 @@ func (s Spec) pruneSpec() sweep.Spec {
 		Policies:    d.Space.Policies,
 		Loads:       sweep.LoadSpec{Fracs: append([]float64(nil), d.Search.PruneFracs...)},
 	}
+	if d.wantBounds() {
+		sp.Backends = []string{sweep.BackendModel, sweep.BackendBounds}
+	}
+	return sp
 }
 
 // Validate reports the first problem with the spec.
@@ -239,6 +261,9 @@ func (s *Spec) Validate() error {
 	}
 	if c.MinLoad < 0 || math.IsNaN(c.MinLoad) {
 		return fmt.Errorf("plan: bad min_load %v", c.MinLoad)
+	}
+	if c.MaxWorstCaseLatency < 0 || math.IsNaN(c.MaxWorstCaseLatency) {
+		return fmt.Errorf("plan: bad max_worstcase_latency %v", c.MaxWorstCaseLatency)
 	}
 	if c.MaxUtilization < 0 || c.MaxUtilization > 1 || math.IsNaN(c.MaxUtilization) {
 		return fmt.Errorf("plan: max_utilization must be in [0, 1], got %v", c.MaxUtilization)

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bounds"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -129,7 +130,7 @@ func New(opts ...Option) *Server {
 		ab := eval.NewAnalyticBackend()
 		s.runner = sweep.NewRunner(
 			sweep.WithWorkers(s.workers),
-			sweep.WithBackends(ab, eval.NewSimBackend(ab)),
+			sweep.WithBackends(ab, eval.NewSimBackend(ab), bounds.New(ab)),
 			sweep.WithCache(s.cache),
 		)
 	}

@@ -1,0 +1,210 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// boundsSpec is a model+bounds grid small enough for unit tests.
+func boundsSpec() Spec {
+	return Spec{
+		Name:       "tiny-bounds",
+		Topologies: []TopologySpec{{Family: FamilyBFT, Sizes: []int{16}}},
+		MsgFlits:   []int{8},
+		Loads:      LoadSpec{Fracs: []float64{0.3, 0.7, 1.05}},
+		Backends:   []string{BackendModel, BackendBounds},
+	}
+}
+
+func TestSpecBackendsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Spec)
+		wantErr string
+	}{
+		{"model+bounds ok", func(s *Spec) {}, ""},
+		{"all three ok", func(s *Spec) {
+			s.Backends = []string{BackendModel, BackendSim, BackendBounds}
+			s.Budget = Budget{Warmup: 100, Measure: 500, Seed: 1}
+		}, ""},
+		{"unknown backend", func(s *Spec) {
+			s.Backends = []string{BackendModel, "quantum"}
+		}, `unknown backend "quantum"`},
+		{"duplicate backend", func(s *Spec) {
+			s.Backends = []string{BackendModel, BackendBounds, BackendBounds}
+		}, `duplicate backend "bounds"`},
+		{"model required", func(s *Spec) {
+			s.Backends = []string{BackendBounds}
+		}, `backends must include "model"`},
+		{"spellings must agree", func(s *Spec) {
+			s.WithSim = true
+			s.Budget = Budget{Warmup: 100, Measure: 500}
+		}, `with_sim=true but backends omits "sim"`},
+		{"sim backend needs a budget", func(s *Spec) {
+			s.Backends = []string{BackendModel, BackendSim}
+		}, "needs budget.measure > 0"},
+	}
+	for _, tc := range cases {
+		s := boundsSpec()
+		tc.mutate(&s)
+		err := s.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestBackendsSpellingOnTheWire pins "backends" as a spec field: it
+// decodes strictly and survives a JSON round trip.
+func TestBackendsSpellingOnTheWire(t *testing.T) {
+	data := []byte(`{
+		"name": "wired",
+		"topologies": [{"family": "bft", "sizes": [16]}],
+		"msg_flits": [8],
+		"loads": {"fracs": [0.5]},
+		"backends": ["model", "bounds"]
+	}`)
+	s, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.wantBounds() || s.withSim() {
+		t.Fatalf("backends list misparsed: %+v", s.Backends)
+	}
+	out, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"backends":["model","bounds"]`) {
+		t.Errorf("backends does not round-trip: %s", out)
+	}
+}
+
+func TestExpandSetsWithBounds(t *testing.T) {
+	s := boundsSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scs, err := Expand(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) == 0 {
+		t.Fatal("empty expansion")
+	}
+	for _, sc := range scs {
+		if !sc.WithBounds {
+			t.Fatalf("cell %s lost the bounds opt-in", sc.Key())
+		}
+		if sc.WithSim {
+			t.Fatalf("cell %s simulates without a sim backend", sc.Key())
+		}
+	}
+
+	// The classic spelling (no backends list) must keep WithBounds off —
+	// pre-bounds specs expand to pre-bounds scenarios with unchanged
+	// cache keys.
+	classic := tinySpec()
+	if err := classic.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scs, err = Expand(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.WithBounds {
+			t.Fatalf("classic cell %s gained WithBounds", sc.Key())
+		}
+	}
+}
+
+// TestRunnerBoundsBackend runs a model+bounds grid end to end: stable
+// cells get a finite bound above the model mean, the past-saturation
+// cell comes back unbounded, and the rows survive the result wire.
+func TestRunnerBoundsBackend(t *testing.T) {
+	res := mustRun(t, NewRunner(), boundsSpec())
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.BoundNA {
+			t.Errorf("%s: bound n/a on a plain BFT cell", r.Scenario.Key())
+		}
+		if r.ModelSaturated {
+			if !r.BoundUnbounded || !math.IsInf(r.BoundMax, 1) {
+				t.Errorf("%s: saturated cell should be unbounded, got %v", r.Scenario.Key(), r.BoundMax)
+			}
+			continue
+		}
+		if math.IsNaN(r.BoundMax) || r.BoundMax < r.Model {
+			t.Errorf("%s: bound %v does not dominate model %v", r.Scenario.Key(), r.BoundMax, r.Model)
+		}
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range back.Rows {
+		want := res.Rows[i]
+		same := func(x, y float64) bool {
+			return math.Float64bits(x) == math.Float64bits(y) || (math.IsNaN(x) && math.IsNaN(y))
+		}
+		if !same(r.BoundMax, want.BoundMax) || r.BoundUnbounded != want.BoundUnbounded || r.BoundNA != want.BoundNA {
+			t.Errorf("row %d: bound fields drifted across the result wire:\n  in  %+v\n  out %+v", i, want.Cell, r.Cell)
+		}
+	}
+
+	tbl := res.Table().String()
+	if !strings.Contains(tbl, "wc bound") || !strings.Contains(tbl, "unbounded") {
+		t.Errorf("table misses the bound column:\n%s", tbl)
+	}
+
+	// A boundless run must not grow the column (pre-bounds table layout).
+	classic := mustRun(t, NewRunner(), tinySpec())
+	if strings.Contains(classic.Table().String(), "wc bound") {
+		t.Error("boundless table grew a wc bound column")
+	}
+}
+
+// TestRunnerEvaluateCarriesBounds pins the single-scenario entry point
+// (the serving path): a WithBounds scenario evaluated through
+// Runner.Evaluate carries the bound alongside the model.
+func TestRunnerEvaluateCarriesBounds(t *testing.T) {
+	r := NewRunner()
+	scs, err := Expand(validated(boundsSpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, _, err := r.Evaluate(context.Background(), scs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(pt.Model) || math.IsNaN(pt.BoundMax) {
+		t.Fatalf("evaluate lost a backend: %+v", pt)
+	}
+	if pt.BoundMax < pt.Model {
+		t.Fatalf("bound %v below model %v", pt.BoundMax, pt.Model)
+	}
+}
+
+func validated(s Spec) Spec {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -75,9 +75,13 @@ func Expand(s Spec) ([]Scenario, error) {
 									Load:      load,
 									Variant:   v,
 									LoadIndex: li,
-									WithSim:   s.WithSim && (len(s.Variants) == 0 || v.WithSim),
+									WithSim:   s.withSim() && (len(s.Variants) == 0 || v.WithSim),
 									Budget:    s.Budget,
 									Workload:  wl,
+									// The bound calculus ignores model variants (it
+									// always bounds the paper's model), so every cell
+									// of the grid carries the bit.
+									WithBounds: s.wantBounds(),
 								}
 								if key := sc.Key(); !seen[key] {
 									seen[key] = true

@@ -90,6 +90,13 @@ func (r *Result) Table() *series.Table {
 			break
 		}
 	}
+	withBounds := false
+	for _, row := range r.Rows {
+		if !math.IsNaN(row.BoundMax) || row.BoundUnbounded || row.BoundNA {
+			withBounds = true
+			break
+		}
+	}
 	headers := []string{"topology", "flits", "policy"}
 	if withVariants {
 		headers = append(headers, "variant")
@@ -97,7 +104,11 @@ func (r *Result) Table() *series.Table {
 	if withWorkloads {
 		headers = append(headers, "workload")
 	}
-	headers = append(headers, "flits/cyc/PE", "model L", "sim L", "±CI", "rel err", "cached")
+	headers = append(headers, "flits/cyc/PE", "model L", "sim L", "±CI", "rel err")
+	if withBounds {
+		headers = append(headers, "wc bound")
+	}
+	headers = append(headers, "cached")
 	tbl := &series.Table{Headers: headers}
 	for _, row := range r.Rows {
 		model := "sat"
@@ -137,10 +148,23 @@ func (r *Result) Table() *series.Table {
 			}
 			cells = append(cells, wl)
 		}
-		tbl.AddRow(append(cells,
+		cells = append(cells,
 			fmt.Sprintf("%.6f", row.LoadFlits),
-			model, simCell, ciCell, errCell, cached,
-		)...)
+			model, simCell, ciCell, errCell,
+		)
+		if withBounds {
+			bound := "-"
+			switch {
+			case row.BoundNA:
+				bound = "n/a"
+			case row.BoundUnbounded:
+				bound = "unbounded"
+			case !math.IsNaN(row.BoundMax):
+				bound = fmt.Sprintf("%.1f", row.BoundMax)
+			}
+			cells = append(cells, bound)
+		}
+		tbl.AddRow(append(cells, cached)...)
 	}
 	return tbl
 }
@@ -192,8 +216,13 @@ type jsonRow struct {
 	SimCI95        *float64       `json:"sim_ci95,omitempty"`
 	SimSaturated   bool           `json:"sim_saturated,omitempty"`
 	SimPrecision   *float64       `json:"sim_precision,omitempty"`
-	Seed           uint64         `json:"seed"`
-	Cached         bool           `json:"cached,omitempty"`
+	// The bound fields are append-only: all omitted when no bounds
+	// backend ran, so pre-bounds rows keep their exact byte layout.
+	BoundMax       *float64 `json:"bound_max,omitempty"`
+	BoundUnbounded bool     `json:"bound_unbounded,omitempty"`
+	BoundNA        bool     `json:"bound_na,omitempty"`
+	Seed           uint64   `json:"seed"`
+	Cached         bool     `json:"cached,omitempty"`
 }
 
 // jsonCurve overrides the non-finite-capable fields: backends without a
@@ -270,6 +299,9 @@ func (r Row) jsonRow() jsonRow {
 		jr.SimCI95 = finitePtr(r.SimCI)
 		jr.SimPrecision = finitePtr(r.SimPrecision)
 	}
+	jr.BoundMax = finitePtr(r.BoundMax)
+	jr.BoundUnbounded = r.BoundUnbounded
+	jr.BoundNA = r.BoundNA
 	return jr
 }
 
@@ -325,11 +357,17 @@ func (r *Row) UnmarshalJSON(data []byte) error {
 			SimCI:          fromPtr(jr.SimCI95),
 			SimSaturated:   jr.SimSaturated,
 			SimPrecision:   fromPtr(jr.SimPrecision),
+			BoundMax:       fromPtr(jr.BoundMax),
+			BoundUnbounded: jr.BoundUnbounded,
+			BoundNA:        jr.BoundNA,
 		},
 		Cached: jr.Cached,
 	}
 	if jr.ModelSaturated && jr.ModelLatency == nil {
 		r.Model = math.Inf(1)
+	}
+	if jr.BoundUnbounded && jr.BoundMax == nil {
+		r.BoundMax = math.Inf(1)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bounds"
 	"repro/internal/eval"
 	"repro/internal/obs"
 )
@@ -87,16 +88,21 @@ type PointResult struct {
 
 // backends returns the runner's evaluator list, defaulting to the
 // analytic model plus — when the spec simulates — the flit-level
-// simulator anchored on it.
+// simulator anchored on it, plus — when the spec lists the "bounds"
+// backend — the worst-case bound calculus anchored the same way.
 func (r *Runner) backends(spec Spec) []eval.Evaluator {
 	if r.Backends != nil {
 		return r.Backends
 	}
 	ab := eval.NewAnalyticBackend()
-	if spec.WithSim {
-		return []eval.Evaluator{ab, eval.NewSimBackend(ab)}
+	out := []eval.Evaluator{ab}
+	if spec.withSim() {
+		out = append(out, eval.NewSimBackend(ab))
 	}
-	return []eval.Evaluator{ab}
+	if spec.wantBounds() {
+		out = append(out, bounds.New(ab))
+	}
+	return out
 }
 
 // cacheSalt distinguishes cache lines produced by non-default backend
@@ -249,7 +255,11 @@ func (r *Runner) Evaluate(ctx context.Context, sc Scenario) (Cell, bool, error) 
 		return Cell{}, false, err
 	}
 	cctx, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
-	cell, err := evaluate(cctx, sc, r.backends(Spec{WithSim: sc.WithSim}))
+	spec := Spec{WithSim: sc.WithSim}
+	if sc.WithBounds {
+		spec.Backends = []string{BackendModel, BackendBounds}
+	}
+	cell, err := evaluate(cctx, sc, r.backends(spec))
 	if err != nil {
 		span.End(obs.Bool("cached", false), obs.String("error", err.Error()))
 		return Cell{}, false, err

@@ -82,6 +82,15 @@ type Spec struct {
 	// workloads compare at equal mean load.
 	Workloads []workload.Spec `json:"workloads,omitempty"`
 	Loads     LoadSpec        `json:"loads"`
+	// Backends selects the evaluation backends by name — "model",
+	// "sim", "bounds" — so grids sweep the analytic model, the flit
+	// simulator and the worst-case bound calculus side by side. Empty
+	// means the classic selection: the model, plus the simulator when
+	// WithSim is set. When listed, "model" is required (it anchors
+	// fractional loads and curve resolution), "sim" is equivalent to
+	// setting WithSim, and "bounds" asks the network-calculus backend
+	// (package bounds) for a worst-case latency on every cell.
+	Backends []string `json:"backends,omitempty"`
 	// WithSim runs the flit-level simulator alongside the model.
 	WithSim bool `json:"with_sim"`
 	// Budget scales the simulation; ignored (and may be zero) when
@@ -89,6 +98,38 @@ type Spec struct {
 	Budget Budget `json:"budget"`
 	// Workers bounds the worker pool; 0 means GOMAXPROCS.
 	Workers int `json:"workers,omitempty"`
+}
+
+// Backend names understood by Spec.Backends.
+const (
+	// BackendModel is the analytic model (always present).
+	BackendModel = "model"
+	// BackendSim is the flit-level simulator.
+	BackendSim = "sim"
+	// BackendBounds is the worst-case network-calculus backend.
+	BackendBounds = "bounds"
+)
+
+// hasBackend reports whether the spec's backend list names name.
+func (s *Spec) hasBackend(name string) bool {
+	for _, b := range s.Backends {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+// withSim reports whether the grid simulates: either spelling —
+// with_sim or a "sim" entry in backends — opts in.
+func (s *Spec) withSim() bool {
+	return s.WithSim || s.hasBackend(BackendSim)
+}
+
+// wantBounds reports whether the grid asks the bounds backend for
+// worst-case latencies.
+func (s *Spec) wantBounds() bool {
+	return s.hasBackend(BackendBounds)
 }
 
 // ParseSpec decodes a JSON spec and validates it. Unknown fields are
@@ -141,6 +182,27 @@ func (l *LoadSpec) fracs() []float64 {
 
 // Validate reports the first problem with the spec.
 func (s *Spec) Validate() error {
+	if len(s.Backends) > 0 {
+		seen := make(map[string]bool, len(s.Backends))
+		for i, b := range s.Backends {
+			switch b {
+			case BackendModel, BackendSim, BackendBounds:
+			default:
+				return fmt.Errorf("sweep: backends[%d]: unknown backend %q (want %q, %q or %q)",
+					i, b, BackendModel, BackendSim, BackendBounds)
+			}
+			if seen[b] {
+				return fmt.Errorf("sweep: duplicate backend %q", b)
+			}
+			seen[b] = true
+		}
+		if !seen[BackendModel] {
+			return fmt.Errorf("sweep: backends must include %q (it anchors fractional loads and curve resolution)", BackendModel)
+		}
+		if s.WithSim && !seen[BackendSim] {
+			return fmt.Errorf("sweep: with_sim=true but backends omits %q; the spellings must agree", BackendSim)
+		}
+	}
 	if len(s.Topologies) == 0 {
 		return fmt.Errorf("sweep: spec %q has no topologies", s.Name)
 	}
@@ -151,7 +213,7 @@ func (s *Spec) Validate() error {
 			if t.K < 2 {
 				return fmt.Errorf("sweep: topologies[%d]: torus needs k >= 2, got %d", i, t.K)
 			}
-			if s.WithSim {
+			if s.withSim() {
 				return fmt.Errorf("sweep: topologies[%d]: the torus has no simulator topology; set with_sim=false", i)
 			}
 		default:
@@ -197,7 +259,7 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: duplicate variant name %q", v.Name)
 		}
 		names[v.Name] = true
-		if v.WithSim && !s.WithSim {
+		if v.WithSim && !s.withSim() {
 			return fmt.Errorf("sweep: variant %q sets with_sim but the spec does not", v.Name)
 		}
 		key := variantKey{opts: Variant{
@@ -231,8 +293,9 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: bad load point %v, must be > 0", v)
 		}
 	}
-	if s.WithSim && s.Budget.Measure <= 0 {
-		return fmt.Errorf("sweep: with_sim needs budget.measure > 0, got %d", s.Budget.Measure)
+	if s.withSim() && s.Budget.Measure <= 0 {
+		return fmt.Errorf("sweep: simulating (with_sim or a %q backend) needs budget.measure > 0, got %d",
+			BackendSim, s.Budget.Measure)
 	}
 	if s.Budget.Warmup < 0 || s.Budget.Measure < 0 {
 		return fmt.Errorf("sweep: bad budget window (warmup=%d, measure=%d)", s.Budget.Warmup, s.Budget.Measure)

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# bounds-smoke: end-to-end smoke of the worst-case bound backend.
+#
+#  1. Start two sweepd shards; run the hard-SLO builtin plan
+#     (cheapest-hard-sla: min-cost under a max_worstcase_latency
+#     deadline) through the fleet engine and in-process.
+#  2. Gate on the answer: the frontier must be non-empty and fully
+#     sim-certified, every certified member's measured sim mean must
+#     sit under its worst-case bound (bound_violations == 0), and the
+#     fleet answer must match the in-process run exactly (elapsed time
+#     aside).
+#  3. Benchmark the calculus: a model-only figure3 sweep against the
+#     same grid with -backend model,bounds. The bound run must stay
+#     within 10x of plain model throughput. Emit BENCH_bounds.json.
+#
+# CI runs this via `make bounds-smoke`.
+set -eu
+
+BASE="${BOUNDS_SMOKE_PORT:-18890}"
+PORT1=$((BASE)); PORT2=$((BASE + 1))
+SHARDS="127.0.0.1:$PORT1,127.0.0.1:$PORT2"
+WORK="$(mktemp -d)"
+D1=""; D2=""
+trap 'kill $D1 $D2 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/sweepd" ./cmd/sweepd
+go build -o "$WORK/plan" ./cmd/plan
+go build -o "$WORK/sweep" ./cmd/sweep
+
+wait_up() { # wait_up PORT
+    local i=0
+    until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "bounds-smoke: sweepd did not come up on :$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+"$WORK/sweepd" -addr "127.0.0.1:$PORT1" & D1=$!
+"$WORK/sweepd" -addr "127.0.0.1:$PORT2" & D2=$!
+wait_up "$PORT1"; wait_up "$PORT2"
+
+SPEC="builtin:cheapest-hard-sla"
+
+# In-process reference.
+"$WORK/plan" -spec "$SPEC" -quiet -json >"$WORK/local.json"
+
+# The same hard-SLO question over the 2-shard fleet.
+"$WORK/plan" -spec "$SPEC" -quiet -json -shards "$SHARDS" \
+    -bench-out "$WORK/plan_bench.json" >"$WORK/fleet.json"
+
+# The fleet search must reproduce the in-process answer exactly; only
+# wall-clock fields may differ.
+if ! diff \
+    <(grep -v '"elapsed_ms"' "$WORK/local.json") \
+    <(grep -v '"elapsed_ms"' "$WORK/fleet.json"); then
+    echo "bounds-smoke: fleet plan diverged from in-process run" >&2
+    exit 1
+fi
+
+FRONTIER="$(sed -n 's/.*"frontier": \([0-9]*\),.*/\1/p' "$WORK/plan_bench.json")"
+CERTIFIED="$(sed -n 's/.*"certified": \([0-9]*\),.*/\1/p' "$WORK/plan_bench.json")"
+BOUNDED="$(sed -n 's/.*"bounded": \([0-9]*\),.*/\1/p' "$WORK/plan_bench.json")"
+VIOLATIONS="$(sed -n 's/.*"bound_violations": \([0-9]*\),.*/\1/p' "$WORK/plan_bench.json")"
+
+if [ -z "$FRONTIER" ] || [ "$FRONTIER" -lt 1 ]; then
+    echo "bounds-smoke: empty hard-SLO frontier (frontier=$FRONTIER)" >&2
+    exit 1
+fi
+if [ -z "$CERTIFIED" ] || [ "$CERTIFIED" -ne "$FRONTIER" ]; then
+    echo "bounds-smoke: frontier not fully sim-certified ($CERTIFIED of $FRONTIER)" >&2
+    exit 1
+fi
+if [ -z "$BOUNDED" ] || [ "$BOUNDED" -lt "$FRONTIER" ]; then
+    echo "bounds-smoke: frontier member(s) without a worst-case bound (bounded=$BOUNDED of $FRONTIER)" >&2
+    exit 1
+fi
+if [ -z "$VIOLATIONS" ] || [ "$VIOLATIONS" -ne 0 ]; then
+    echo "bounds-smoke: certified sim mean above its worst-case bound ($VIOLATIONS violation(s))" >&2
+    exit 1
+fi
+
+# Throughput: the calculus must stay within 10x of plain model
+# evaluation on the paper's figure3 grid (fresh process each, so both
+# runs compute every cell cold).
+"$WORK/sweep" -spec builtin:figure3 -backend model -quiet \
+    -bench-out "$WORK/model_bench.json" >/dev/null
+"$WORK/sweep" -spec builtin:figure3 -backend model,bounds -quiet \
+    -bench-out "$WORK/bounds_bench.json" >/dev/null
+
+MODEL_PPS="$(sed -n 's/.*"points_per_sec": \([0-9.]*\).*/\1/p' "$WORK/model_bench.json")"
+BOUNDS_PPS="$(sed -n 's/.*"points_per_sec": \([0-9.]*\).*/\1/p' "$WORK/bounds_bench.json")"
+
+if [ -z "$MODEL_PPS" ] || [ -z "$BOUNDS_PPS" ]; then
+    echo "bounds-smoke: missing throughput numbers (model=$MODEL_PPS bounds=$BOUNDS_PPS)" >&2
+    exit 1
+fi
+if ! awk -v m="$MODEL_PPS" -v b="$BOUNDS_PPS" 'BEGIN { exit !(b * 10 >= m) }'; then
+    echo "bounds-smoke: bound cells/sec ($BOUNDS_PPS) more than 10x below model points/sec ($MODEL_PPS)" >&2
+    exit 1
+fi
+
+RATIO="$(awk -v m="$MODEL_PPS" -v b="$BOUNDS_PPS" 'BEGIN { printf "%.2f", m / b }')"
+printf '{\n  "plan": "cheapest-hard-sla",\n  "frontier": %s,\n  "certified": %s,\n  "bounded": %s,\n  "bound_violations": %s,\n  "model_points_per_sec": %s,\n  "bound_points_per_sec": %s,\n  "model_over_bounds_ratio": %s\n}\n' \
+    "$FRONTIER" "$CERTIFIED" "$BOUNDED" "$VIOLATIONS" \
+    "$MODEL_PPS" "$BOUNDS_PPS" "$RATIO" >BENCH_bounds.json
+
+echo "bounds-smoke: frontier $FRONTIER/$FRONTIER certified with 0 bound violations over 2 shards; bounds at ${BOUNDS_PPS} cells/sec (model ${MODEL_PPS}, ratio ${RATIO}x)"
+
+kill $D1 $D2 2>/dev/null || true
+wait $D1 $D2 2>/dev/null || true
