@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke obs-smoke bounds-smoke lint staticcheck fmt
+.PHONY: all build test bench bench-sim bench-sweep serve-smoke dispatch-smoke plan-smoke workload-smoke obs-smoke bounds-smoke calib-smoke lint staticcheck fmt
 
 all: lint build test
 
@@ -82,6 +82,17 @@ bounds-smoke:
 obs-smoke:
 	bash scripts/obs_smoke.sh
 	@cat BENCH_obs.json
+
+# Smoke-test the calibration observatory: mine a with-sim sweep over a
+# 2-shard fleet into a calibration map (finite per-region MAPE,
+# freshness gate), serve it (/v1/calib, calib_mape gauges, healthz),
+# and run the trust-gated builtin plan — the mined region must skip
+# its certification sim, the unmined one must escalate — emitting
+# BENCH_calib.json (pairs/sec mined, sim evals saved by trust, live
+# observation overhead <= 5%).
+calib-smoke:
+	bash scripts/calib_smoke.sh
+	@cat BENCH_calib.json
 
 lint:
 	$(GO) vet ./...

@@ -1,0 +1,161 @@
+// Command calib mines a persistent result store into a calibration map
+// and reports model-vs-sim accuracy per region: every cached cell that
+// carries both an analytic prediction and a simulator measurement
+// becomes a calibration pair, bucketed by topology, message length,
+// policy, workload and load band (see internal/calib and
+// docs/calibration.md). The map persists as calib-map.json next to the
+// store segments, so repeated runs only mine cells the map has not seen.
+//
+// With -check the command gates instead of reporting: it exits non-zero
+// when the map is empty, carries a non-finite MAPE, or is stale against
+// the store (cells the map has not observed) — the calibration smoke's
+// freshness gate.
+//
+// Usage:
+//
+//	calib -store DIR                 # mine DIR, report, save DIR/calib-map.json
+//	calib -store DIR -json           # the report plus mining stats as JSON
+//	calib -store DIR -check          # freshness/coverage gate (no output on ok)
+//	calib -store DIR -out map.json   # save the map elsewhere
+//	calib -map map.json -json        # report a saved map without a store
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/cliutil"
+	"repro/internal/store"
+)
+
+func main() {
+	cliutil.Setup("calib")
+	var (
+		storeDir = flag.String("store", "", "persistent result store directory to mine (cmd/sweep -cache-dir)")
+		mapPath  = flag.String("map", "", "calibration map file to load and update (default <store>/calib-map.json)")
+		outPath  = flag.String("out", "", "where to save the updated map (default: the -map path)")
+		jsonOut  = flag.Bool("json", false, "emit the report plus mining stats as JSON")
+		check    = flag.Bool("check", false, "gate: non-zero exit when the map is empty, has a non-finite MAPE, or is stale against the store")
+		maxMAPE  = flag.Float64("max-mape", 0.1, "trust threshold annotated per region in the report")
+		minPairs = flag.Int("min-pairs", 3, "minimum pairs per region for a trust verdict")
+	)
+	flag.Parse()
+
+	if *storeDir == "" && *mapPath == "" {
+		log.Fatal("nothing to do: pass -store DIR to mine a store, or -map FILE to report a saved map")
+	}
+	path := *mapPath
+	if path == "" {
+		path = calib.MapPath(*storeDir)
+	}
+	save := *outPath
+	if save == "" {
+		save = path
+	}
+
+	m, err := calib.LoadMap(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var stale, added int
+	var mineSecs float64
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		stale = m.Staleness(st)
+		start := time.Now()
+		added = m.Mine(context.Background(), st)
+		mineSecs = time.Since(start).Seconds()
+		if err := m.Save(save); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	rep := m.Report()
+	if *check {
+		runCheck(rep, stale)
+		return
+	}
+
+	if *jsonOut {
+		out := struct {
+			calib.Report
+			StaleCells  int     `json:"stale_cells"`
+			PairsAdded  int     `json:"pairs_added"`
+			MineMS      float64 `json:"mine_ms"`
+			PairsPerSec float64 `json:"pairs_per_sec,omitempty"`
+		}{Report: rep, StaleCells: stale, PairsAdded: added, MineMS: mineSecs * 1e3}
+		if mineSecs > 0 {
+			out.PairsPerSec = float64(added) / mineSecs
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	printReport(rep, stale, added, mineSecs, calib.Gate{MaxMAPE: *maxMAPE, MinPairs: *minPairs}, m)
+}
+
+// runCheck is the -check gate: regions exist, every MAPE is finite, and
+// the map has observed every sim-carrying cell the store holds.
+func runCheck(rep calib.Report, stale int) {
+	if len(rep.Regions) == 0 {
+		log.Fatal("calibration check failed: map has no regions (mine a with-sim store first)")
+	}
+	for _, r := range rep.Regions {
+		if math.IsNaN(r.MAPE) || math.IsInf(r.MAPE, 0) {
+			log.Fatalf("calibration check failed: region %s has non-finite MAPE", r.Name)
+		}
+	}
+	if stale > 0 {
+		log.Fatalf("calibration check failed: %d store cell(s) not yet observed by the map", stale)
+	}
+	fmt.Printf("calibration ok: %d pair(s) across %d region(s), map fresh\n", rep.Pairs, len(rep.Regions))
+}
+
+// printReport renders the human-readable region table with the verdict
+// each region would get under the given gate.
+func printReport(rep calib.Report, stale, added int, mineSecs float64, gate calib.Gate, m *calib.Map) {
+	fmt.Printf("calibration map: %d pair(s) across %d region(s)", rep.Pairs, len(rep.Regions))
+	if added > 0 {
+		fmt.Printf("; mined %d new pair(s) in %.0f ms", added, mineSecs*1e3)
+	}
+	if stale > 0 {
+		fmt.Printf("; was %d cell(s) stale before mining", stale)
+	}
+	fmt.Println()
+	if rep.WorstMAPE != nil {
+		fmt.Printf("worst region: %s (MAPE %.3g)\n", rep.WorstRegion, *rep.WorstMAPE)
+	}
+	if len(rep.Regions) == 0 {
+		return
+	}
+	fmt.Println()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "REGION\tPAIRS\tMAPE\tBIAS\tPEARSON\tMAXREL\tVERDICT")
+	for _, r := range rep.Regions {
+		verdict, _, _ := m.Verdict(r.Region, gate)
+		pearson := "-"
+		if r.Pearson != nil {
+			pearson = fmt.Sprintf("%.3f", *r.Pearson)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3g\t%+.3g\t%s\t%.3g\t%s\n",
+			r.Name, r.Pairs, r.MAPE, r.Bias, pearson, r.MaxRelErr, verdict)
+	}
+	tw.Flush()
+}

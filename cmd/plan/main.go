@@ -19,6 +19,8 @@
 //	plan -spec builtin:bft-capacity -addr :8713  # submit to a server's /v1/plan
 //	plan -spec builtin:bft-capacity -cache-dir d # persistent probe cache
 //	plan -spec builtin:bft-capacity -trace-out t.ndjson   # NDJSON span trace
+//	plan -spec builtin:calibrated-capacity -calib map.json
+//	                                             # trust-gated certification
 //
 // Progress streams to stderr; results go to stdout. With -shards the
 // search runs in this process but every evaluation executes on the
@@ -43,6 +45,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/cliutil"
 	"repro/internal/dispatch"
 	"repro/internal/obs"
@@ -65,6 +68,7 @@ func main() {
 		addr     = flag.String("addr", "", "submit the plan to this sweepd server's /v1/plan (thin client)")
 		shards   = flag.String("shards", "", "execute the search over these sweepd shard(s), comma-separated")
 		cacheDir = flag.String("cache-dir", "", "persist the probe cache to this directory (empty = in-memory)")
+		calibRef = flag.String("calib", "", "calibration map file (cmd/calib) for trust-gated certification; see docs/calibration.md")
 		benchOut = flag.String("bench-out", "", "write a candidates/sec benchmark summary JSON to this file")
 		traceOut = flag.String("trace-out", "", "write NDJSON span traces to this file (see docs/observability.md)")
 	)
@@ -116,6 +120,27 @@ func main() {
 		}
 	}
 
+	// -calib loads a mined calibration map and turns on trust-gated
+	// certification: regions the map shows the model is accurate in skip
+	// their certification sim. The gate runs inside the search process,
+	// so it composes with -shards but not -addr (attach a map to the
+	// server via serve.WithCalibration instead).
+	var calibMap *calib.Map
+	if *calibRef != "" {
+		if *addr != "" {
+			log.Fatal("-calib does not apply with -addr: the trust gate runs in the search process (attach the map to the server instead)")
+		}
+		if _, err := os.Stat(*calibRef); err != nil {
+			log.Fatalf("-calib %s: %v (mine one with cmd/calib)", *calibRef, err)
+		}
+		if calibMap, err = calib.LoadMap(*calibRef); err != nil {
+			log.Fatal(err)
+		}
+		if spec.Calibration == nil {
+			spec.Calibration = &plan.CalibSpec{} // defaults: MAPE ≤ 0.1, ≥ 3 pairs
+		}
+	}
+
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
 
@@ -137,7 +162,7 @@ func main() {
 	if *addr != "" {
 		res, err = submit(ctx, *addr, spec, *stream, *quiet)
 	} else {
-		res, err = runLocal(ctx, spec, *shards, *cacheDir, *stream, *quiet)
+		res, err = runLocal(ctx, spec, *shards, *cacheDir, calibMap, *stream, *quiet)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -164,7 +189,7 @@ func main() {
 
 // runLocal executes the search in this process, in-process or over a
 // shard fleet, consuming the update stream for progress/-stream.
-func runLocal(ctx context.Context, spec plan.Spec, shards, cacheDir string, stream, quiet bool) (*plan.Result, error) {
+func runLocal(ctx context.Context, spec plan.Spec, shards, cacheDir string, calibMap *calib.Map, stream, quiet bool) (*plan.Result, error) {
 	var cache sweep.CacheStore
 	if cacheDir != "" {
 		st, err := store.Open(cacheDir)
@@ -182,6 +207,10 @@ func runLocal(ctx context.Context, spec plan.Spec, shards, cacheDir string, stre
 		cache = st
 	}
 
+	var popts []plan.Option
+	if calibMap != nil {
+		popts = append(popts, plan.WithCalibration(calibMap))
+	}
 	var planner *plan.Planner
 	if shards != "" {
 		addrs, err := cliutil.ParseStrings(shards)
@@ -196,9 +225,9 @@ func runLocal(ctx context.Context, spec plan.Spec, shards, cacheDir string, stre
 		if err != nil {
 			return nil, err
 		}
-		planner = plan.New(engine)
+		planner = plan.New(engine, popts...)
 	} else {
-		planner = plan.NewLocal(cache)
+		planner = plan.NewLocal(cache, popts...)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -357,6 +386,10 @@ func writeBench(path string, res *plan.Result, elapsed time.Duration) error {
 		AnalyticEvals    int     `json:"analytic_evals"`
 		SimEvals         int     `json:"sim_evals"`
 		SimEvalsSaved    int     `json:"sim_evals_saved_vs_grid"`
+		Trusted          int     `json:"trusted,omitempty"`
+		Escalated        int     `json:"escalated,omitempty"`
+		Uncalibrated     int     `json:"uncalibrated,omitempty"`
+		TrustSimSaved    int     `json:"sim_evals_saved_by_trust"`
 		ElapsedMS        int64   `json:"elapsed_ms"`
 		CandidatesPerSec float64 `json:"candidates_per_sec"`
 	}{
@@ -371,6 +404,12 @@ func writeBench(path string, res *plan.Result, elapsed time.Duration) error {
 		// A sweep answering the same question simulates every coarse
 		// cell; the planner simulates only the frontier.
 		SimEvalsSaved: s.CoarseCells - s.SimEvals,
+		Trusted:       s.Trusted,
+		Escalated:     s.Escalated,
+		Uncalibrated:  s.Uncalibrated,
+		// Each trusted frontier member is one certification simulation
+		// the always-escalate baseline would have run.
+		TrustSimSaved: s.Trusted,
 		ElapsedMS:     elapsed.Milliseconds(),
 	}
 	if sec := elapsed.Seconds(); sec > 0 {

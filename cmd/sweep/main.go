@@ -21,6 +21,7 @@
 //	sweep -spec builtin:figure3 -cache-dir d     # persistent result store
 //	sweep -spec builtin:figure3 -backend model,bounds   # add worst-case bounds
 //	sweep -spec builtin:figure3 -trace-out t.ndjson   # NDJSON span trace
+//	sweep -spec s.json -calib-out map.json       # mine sim cells into a calibration map
 //
 // Progress streams to stderr; results go to stdout. With -stream each
 // cell is emitted as one JSON line the moment it completes (completion
@@ -52,6 +53,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/cliutil"
 	"repro/internal/dispatch"
 	"repro/internal/eval"
@@ -98,6 +100,7 @@ func main() {
 		batch    = flag.Int("batch", 0, "with -addr: coalesce cells into batches of this size; with -shards: cells per dispatched range (0 = auto)")
 		cacheDir = flag.String("cache-dir", "", "persist the result cache to this directory (empty = in-memory)")
 		traceOut = flag.String("trace-out", "", "write NDJSON span traces to this file (see docs/observability.md)")
+		calibOut = flag.String("calib-out", "", "observe sim-carrying cells into a calibration map and save it to this file (see docs/calibration.md)")
 	)
 	flag.Parse()
 	var backends []string
@@ -174,6 +177,25 @@ func main() {
 		cache = sweep.NewCache()
 	}
 
+	// With -calib-out every sim-carrying cell the run touches (fresh or
+	// cached) is observed into a calibration map, loaded from the target
+	// file so repeated runs accumulate, and saved back on exit.
+	var calibMap *calib.Map
+	if *calibOut != "" {
+		var err error
+		if calibMap, err = calib.LoadMap(*calibOut); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := calibMap.Save(*calibOut); err != nil {
+				log.Printf("saving calibration map: %v", err)
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "sweep: calibration: %d pair(s) saved to %s\n",
+					calibMap.Pairs(), *calibOut)
+			}
+		}()
+	}
+
 	var exec executor
 	var disp *dispatch.Dispatcher
 	if *shards != "" {
@@ -181,13 +203,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		disp, err = dispatch.New(addrs, dispatch.WithBatch(*batch), dispatch.WithCache(cache))
+		dopts := []dispatch.Option{dispatch.WithBatch(*batch), dispatch.WithCache(cache)}
+		if calibMap != nil {
+			dopts = append(dopts, dispatch.WithCalibration(calibMap))
+		}
+		disp, err = dispatch.New(addrs, dopts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		exec = disp
 	} else {
 		opts := []sweep.Option{sweep.WithWorkers(*workers), sweep.WithCache(cache)}
+		if calibMap != nil {
+			opts = append(opts, sweep.WithCalibration(calibMap))
+		}
 		if *addr != "" {
 			addrs, err := cliutil.ParseStrings(*addr)
 			if err != nil {

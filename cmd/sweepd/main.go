@@ -23,8 +23,15 @@
 // Endpoints (see docs/serve.md): POST /v1/sweep (NDJSON stream),
 // POST /v1/plan (capacity-planner searches, see docs/plan.md),
 // POST /v1/batch and POST /v1/sweep/part (batched wire protocol),
-// POST /v1/eval, POST /v1/curve, GET /v1/builtins, GET /healthz,
+// POST /v1/eval, POST /v1/curve, GET /v1/builtins, GET /v1/calib
+// (model-vs-sim calibration report, with -cache-dir), GET /healthz,
 // GET /metrics (Prometheus text).
+//
+// With -cache-dir the daemon also maintains a calibration map
+// (calib-map.json next to the store segments, see docs/calibration.md):
+// recovered and topped up from the store at startup, fed live by every
+// sim-carrying cell the daemon computes, persisted on shutdown, and
+// served on /v1/calib, /healthz and /metrics.
 //
 // With -shards the daemon becomes a fleet front-end: POST /v1/sweep
 // requests are scheduled across the named downstream sweepd shards by
@@ -59,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/cliutil"
 	"repro/internal/dispatch"
 	"repro/internal/serve"
@@ -91,6 +99,7 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	var cache sweep.CacheStore = sweep.NewCache()
+	var calibMap *calib.Map
 	if *cacheDir != "" {
 		st, err := store.Open(*cacheDir)
 		if err != nil {
@@ -134,6 +143,25 @@ func main() {
 			return
 		}
 		cache = st
+		// The calibration map lives next to the store segments: recover
+		// it, top it up from any cells that landed while the daemon was
+		// down, feed it live while serving, and persist it on shutdown.
+		mapPath := calib.MapPath(*cacheDir)
+		m, err := calib.LoadMap(mapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mined := m.Mine(context.Background(), st); mined > 0 {
+			logger.Info("calibration mined", "new_pairs", mined)
+		}
+		sum := m.Summary()
+		logger.Info("calibration map recovered", "pairs", sum.Pairs, "regions", sum.Regions)
+		defer func() {
+			if err := m.Save(mapPath); err != nil {
+				logger.Error("saving calibration map", "err", err)
+			}
+		}()
+		calibMap = m
 	} else if *compact {
 		log.Fatal("-compact needs -cache-dir")
 	} else if *maxBytes > 0 {
@@ -146,6 +174,9 @@ func main() {
 		serve.WithCache(cache),
 		serve.WithWorkers(*workers),
 		serve.WithLogger(logger),
+	}
+	if calibMap != nil {
+		opts = append(opts, serve.WithCalibration(calibMap))
 	}
 	if *traceOut != "" {
 		tracer, closeTracer, err := cliutil.OpenTracer(*traceOut)
@@ -169,7 +200,14 @@ func main() {
 		// /v1/plan via its Run/Evaluate engine surface (the server
 		// detects it): one shard-health and backoff state, one counter
 		// set, one cache salt.
-		d, err := dispatch.New(shards, dispatch.WithBatch(*batch), dispatch.WithCache(cache))
+		dopts := []dispatch.Option{dispatch.WithBatch(*batch), dispatch.WithCache(cache)}
+		if calibMap != nil {
+			// Front-end mode: cells computed on remote shards stream back
+			// through the dispatcher, so the front-end's map observes the
+			// whole fleet's sim results.
+			dopts = append(dopts, dispatch.WithCalibration(calibMap))
+		}
+		d, err := dispatch.New(shards, dopts...)
 		if err != nil {
 			log.Fatal(err)
 		}

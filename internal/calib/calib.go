@@ -1,0 +1,479 @@
+// Package calib is the calibration observatory: it mines model-vs-sim
+// result pairs out of cache keys and points (the persistent store, the
+// in-memory sweep cache, or live cells as they land), buckets them into
+// regions of scenario space, and maintains per-region accuracy metrics
+// — MAPE, signed bias, Pearson correlation, max relative error — that
+// tell the rest of the system where the analytic model can be trusted.
+//
+// A region is topology instance × message length × policy × workload ×
+// load band (relative to the model's saturation point). One cell
+// contributes one pair when both its model and sim sides are finite and
+// unsaturated; the derived seed, budget and backend salt deliberately
+// do not split regions, so replicated measurements of the same physical
+// question accumulate together.
+//
+// The map updates incrementally: every with-sim sweep cell and every
+// planner certification calls Observe (wired through sweep.CellObserver),
+// traced as calib.observe spans and counted by calib_pairs_total /
+// calib_regions_total. The planner consumes the map through Verdict,
+// which grades a region trusted / escalated / uncalibrated against a
+// Gate; docs/calibration.md specifies the semantics.
+package calib
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/obs"
+)
+
+// Verdicts returned by Map.Verdict and recorded on plan.decision spans.
+const (
+	// VerdictTrusted means the region's error record clears the gate:
+	// enough pairs and MAPE at or under the threshold. The planner may
+	// rely on the analytic model there without a sim probe.
+	VerdictTrusted = "trusted"
+	// VerdictEscalated means the region has enough pairs but the model's
+	// error is above threshold — sim evidence is required.
+	VerdictEscalated = "escalated"
+	// VerdictUncalibrated means coverage is too thin to judge (few or no
+	// pairs); sim evidence is required and will thicken the region.
+	VerdictUncalibrated = "uncalibrated"
+)
+
+// BandUnanchored labels cells whose load could not be expressed relative
+// to the model's saturation point (unknown saturation or missing load).
+const BandUnanchored = "unanchored"
+
+// bandEdges are the upper bounds (exclusive) of the relative-load bands.
+var bandEdges = [...]struct {
+	hi    float64
+	label string
+}{
+	{0.25, "<25%"},
+	{0.5, "25-50%"},
+	{0.75, "50-75%"},
+	{0.9, "75-90%"},
+	{1.0, "90-100%"},
+}
+
+// BandOf buckets a load expressed as a fraction of the model's
+// saturation load. NaN or negative fractions land in BandUnanchored.
+func BandOf(rel float64) string {
+	if math.IsNaN(rel) || rel < 0 {
+		return BandUnanchored
+	}
+	for _, b := range bandEdges {
+		if rel < b.hi {
+			return b.label
+		}
+	}
+	return ">=100%"
+}
+
+// Region is one bucket of scenario space. It is comparable, so it keys
+// the map directly and two observers of the same region always merge.
+type Region struct {
+	// Topo is the topology instance name (eval.Topology.String()), e.g.
+	// "bft-256" — family and size in one coordinate.
+	Topo string `json:"topo"`
+	// MsgFlits is the message length in flits.
+	MsgFlits int `json:"msg_flits"`
+	// Policy is the up-link policy name ("pairqueue", "randomfixed").
+	Policy string `json:"policy"`
+	// Workload is the canonical workload ("" = steady uniform Poisson).
+	Workload string `json:"workload,omitempty"`
+	// Band is a BandOf label: the load band relative to saturation.
+	Band string `json:"band"`
+}
+
+// String names the region for spans, metrics labels, and reports, in
+// the same topo/s=N/policy shape as curve keys, with the workload and
+// band appended: "bft-256/s=16/pairqueue/75-90%".
+func (r Region) String() string {
+	s := r.Topo + "/s=" + strconv.Itoa(r.MsgFlits) + "/" + r.Policy
+	if r.Workload != "" {
+		s += "/w=" + r.Workload
+	}
+	return s + "/" + r.Band
+}
+
+// RegionFor builds the region a scenario cell belongs to. rel is the
+// cell's load as a fraction of the model's saturation load (NaN when
+// unknown).
+func RegionFor(topo eval.Topology, msgFlits int, policy, wkload string, rel float64) Region {
+	return Region{
+		Topo:     topo.String(),
+		MsgFlits: msgFlits,
+		Policy:   policy,
+		Workload: wkload,
+		Band:     BandOf(rel),
+	}
+}
+
+// Gate is the trust threshold Verdict grades a region against.
+type Gate struct {
+	// MaxMAPE is the largest mean absolute percentage error (fractional,
+	// 0.1 = 10%) a trusted region may carry.
+	MaxMAPE float64 `json:"max_mape"`
+	// MinPairs is the fewest pairs a region needs before its MAPE is
+	// considered evidence at all.
+	MinPairs int `json:"min_pairs"`
+}
+
+// acc is one region's raw accumulator state. Every field is a running
+// sum (or count, or max) over finite values, so the derived metrics can
+// keep accumulating after a Save/Load round trip; all fields stay
+// finite by construction, keeping the persisted form plain JSON.
+type acc struct {
+	N         int     `json:"n"`
+	SumAbsRel float64 `json:"sum_abs_rel"`
+	SumRel    float64 `json:"sum_rel"`
+	SumM      float64 `json:"sum_m"`
+	SumS      float64 `json:"sum_s"`
+	SumMM     float64 `json:"sum_mm"`
+	SumSS     float64 `json:"sum_ss"`
+	SumMS     float64 `json:"sum_ms"`
+	MaxRel    float64 `json:"max_rel"`
+	// BoundN / SumBoundRel track bound tightness (BoundMax / sim) over
+	// the subset of pairs that also carried a finite worst-case bound.
+	BoundN      int     `json:"bound_n,omitempty"`
+	SumBoundRel float64 `json:"sum_bound_rel,omitempty"`
+}
+
+func (a *acc) add(model, sim, boundMax float64) {
+	rel := (model - sim) / sim
+	a.N++
+	a.SumAbsRel += math.Abs(rel)
+	a.SumRel += rel
+	a.SumM += model
+	a.SumS += sim
+	a.SumMM += model * model
+	a.SumSS += sim * sim
+	a.SumMS += model * sim
+	if ar := math.Abs(rel); ar > a.MaxRel {
+		a.MaxRel = ar
+	}
+	if !math.IsNaN(boundMax) && !math.IsInf(boundMax, 0) {
+		a.BoundN++
+		a.SumBoundRel += boundMax / sim
+	}
+}
+
+// mape is the mean absolute percentage error (fractional).
+func (a *acc) mape() float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	return a.SumAbsRel / float64(a.N)
+}
+
+// bias is the mean signed relative error; negative means the model
+// under-predicts the simulator.
+func (a *acc) bias() float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	return a.SumRel / float64(a.N)
+}
+
+// pearson is the correlation of model and sim values, NaN when fewer
+// than two pairs or either side has zero variance.
+func (a *acc) pearson() float64 {
+	if a.N < 2 {
+		return math.NaN()
+	}
+	n := float64(a.N)
+	num := n*a.SumMS - a.SumM*a.SumS
+	den := (n*a.SumMM - a.SumM*a.SumM) * (n*a.SumSS - a.SumS*a.SumS)
+	if den <= 0 {
+		return math.NaN()
+	}
+	return num / math.Sqrt(den)
+}
+
+// boundTightness is the mean BoundMax/sim ratio, NaN when no pair
+// carried a bound.
+func (a *acc) boundTightness() float64 {
+	if a.BoundN == 0 {
+		return math.NaN()
+	}
+	return a.SumBoundRel / float64(a.BoundN)
+}
+
+// Package-wide counters, folded into /metrics by internal/serve.
+var (
+	pairsTotal   = obs.NewCounter("calib_pairs_total")
+	regionsTotal = obs.NewCounter("calib_regions_total")
+	parseErrors  = obs.NewCounter("calib_parse_errors_total")
+)
+
+// Map is the calibration map: per-region accuracy accumulators plus the
+// set of cache keys already observed (so mining a store twice, or
+// mining a store that a live observer already walked, never
+// double-counts a pair). All methods are safe for concurrent use; a nil
+// *Map is a valid no-op observer.
+type Map struct {
+	mu      sync.Mutex
+	regions map[Region]*acc
+	seen    map[string]struct{}
+	pairs   int64
+	sat     *eval.AnalyticBackend
+}
+
+// NewMap returns an empty calibration map.
+func NewMap() *Map {
+	return &Map{
+		regions: make(map[Region]*acc),
+		seen:    make(map[string]struct{}),
+		sat:     eval.NewAnalyticBackend(),
+	}
+}
+
+// simCarrying reports whether a point holds simulator evidence — the
+// one-branch fast path that keeps Observe effectively free on the vast
+// model-only majority of cells.
+func simCarrying(pt eval.Point) bool {
+	return !math.IsNaN(pt.Sim) || pt.SimSaturated
+}
+
+// pairable reports whether a point is a usable model-vs-sim pair: both
+// sides finite and unsaturated, the model applicable, and the sim mean
+// positive (relative errors divide by it).
+func pairable(pt eval.Point) bool {
+	return !pt.SimSaturated && !pt.ModelSaturated && !pt.ModelNA &&
+		!math.IsNaN(pt.Model) && !math.IsInf(pt.Model, 0) &&
+		!math.IsNaN(pt.Sim) && pt.Sim > 0
+}
+
+// Observe feeds one cache cell into the map and reports whether it
+// became a new calibration pair. Cells without simulator evidence
+// return immediately; sim-carrying cells are deduplicated by key, so
+// feeding the same store cell twice is harmless. Each sim-carrying
+// observation emits a calib.observe span (when ctx carries a tracer)
+// whose attrs say which region the cell landed in and whether it
+// paired.
+func (m *Map) Observe(ctx context.Context, key string, pt eval.Point) bool {
+	if m == nil || !simCarrying(pt) {
+		return false
+	}
+	_, span := obs.StartSpanKeyed(ctx, "calib.observe", key)
+	paired, region := m.observe(key, pt)
+	if region != "" {
+		span.SetAttr(obs.String("region", region))
+	}
+	span.End(obs.Bool("paired", paired))
+	return paired
+}
+
+// observe is the locked core of Observe; it returns whether the cell
+// paired and the region name it resolved to ("" when the key did not
+// parse).
+func (m *Map) observe(key string, pt eval.Point) (bool, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.seen[key]; dup {
+		return false, ""
+	}
+	m.seen[key] = struct{}{}
+	pk, err := eval.ParseKey(key)
+	if err != nil {
+		parseErrors.Add(1)
+		return false, ""
+	}
+	if !pairable(pt) {
+		return false, ""
+	}
+	rel := math.NaN()
+	if sat, err := m.sat.SaturationLoad(pk.Topology, pk.MsgFlits); err == nil && sat > 0 && !math.IsNaN(pt.LoadFlits) {
+		rel = pt.LoadFlits / sat
+	}
+	r := RegionFor(pk.Topology, pk.MsgFlits, pk.Policy, pk.Workload, rel)
+	a, ok := m.regions[r]
+	if !ok {
+		a = &acc{}
+		m.regions[r] = a
+		regionsTotal.Add(1)
+	}
+	a.add(pt.Model, pt.Sim, pt.BoundMax)
+	m.pairs++
+	pairsTotal.Add(1)
+	return true, r.String()
+}
+
+// ObserveCell satisfies sweep.CellObserver (sweep.Cell is an alias of
+// eval.Point), letting a Map ride along as the runner's and
+// dispatcher's live calibration observer.
+func (m *Map) ObserveCell(ctx context.Context, key string, cell eval.Point) {
+	m.Observe(ctx, key, cell)
+}
+
+// Source is anything the map can mine: a snapshot iterator over cache
+// cells. *store.Store and *sweep.Cache both satisfy it.
+type Source interface {
+	Range(fn func(key string, pt eval.Point) bool)
+}
+
+// Mine walks src and observes every cell, returning how many new pairs
+// it added. Already-observed keys are skipped, so Mine is an idempotent
+// top-up: run it after opening a store to fold in cells that landed
+// while no observer was attached.
+func (m *Map) Mine(ctx context.Context, src Source) (added int) {
+	if m == nil {
+		return 0
+	}
+	src.Range(func(key string, pt eval.Point) bool {
+		if m.Observe(ctx, key, pt) {
+			added++
+		}
+		return true
+	})
+	return added
+}
+
+// Staleness counts the sim-carrying cells in src the map has not yet
+// observed. Zero means the map is current with the source; a positive
+// count means Mine would fold in that many more observations.
+func (m *Map) Staleness(src Source) int {
+	if m == nil {
+		return 0
+	}
+	stale := 0
+	src.Range(func(key string, pt eval.Point) bool {
+		if !simCarrying(pt) {
+			return true
+		}
+		m.mu.Lock()
+		_, ok := m.seen[key]
+		m.mu.Unlock()
+		if !ok {
+			stale++
+		}
+		return true
+	})
+	return stale
+}
+
+// Verdict grades a region against a gate: VerdictTrusted when it has at
+// least g.MinPairs pairs and MAPE ≤ g.MaxMAPE, VerdictEscalated when it
+// has the pairs but too much error, VerdictUncalibrated when coverage
+// is too thin to judge (including a nil map or unknown region). The
+// returned mape is NaN for uncalibrated regions with no pairs.
+func (m *Map) Verdict(r Region, g Gate) (verdict string, mape float64, pairs int) {
+	if m == nil {
+		return VerdictUncalibrated, math.NaN(), 0
+	}
+	m.mu.Lock()
+	a, ok := m.regions[r]
+	if ok {
+		pairs, mape = a.N, a.mape()
+	} else {
+		mape = math.NaN()
+	}
+	m.mu.Unlock()
+	if !ok || pairs < g.MinPairs {
+		return VerdictUncalibrated, mape, pairs
+	}
+	if mape <= g.MaxMAPE {
+		return VerdictTrusted, mape, pairs
+	}
+	return VerdictEscalated, mape, pairs
+}
+
+// RegionReport is one region's derived metrics, JSON-safe: Pearson and
+// bound tightness are pointers that go null where undefined.
+type RegionReport struct {
+	Region
+	Name           string   `json:"name"`
+	Pairs          int      `json:"pairs"`
+	MAPE           float64  `json:"mape"`
+	Bias           float64  `json:"bias"`
+	Pearson        *float64 `json:"pearson"`
+	MaxRelErr      float64  `json:"max_rel_err"`
+	BoundTightness *float64 `json:"bound_tightness,omitempty"`
+}
+
+// Report is the full map rendered for humans and HTTP: every region's
+// metrics (sorted by name) plus the global pair count and the worst
+// region by MAPE.
+type Report struct {
+	Pairs       int64          `json:"pairs"`
+	Regions     []RegionReport `json:"regions"`
+	WorstMAPE   *float64       `json:"worst_mape,omitempty"`
+	WorstRegion string         `json:"worst_region,omitempty"`
+}
+
+// finitePtr maps non-finite values to nil so the report marshals.
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// Report snapshots the map's derived metrics.
+func (m *Map) Report() Report {
+	var rep Report
+	if m == nil {
+		return rep
+	}
+	m.mu.Lock()
+	rep.Pairs = m.pairs
+	rep.Regions = make([]RegionReport, 0, len(m.regions))
+	for r, a := range m.regions {
+		rep.Regions = append(rep.Regions, RegionReport{
+			Region:         r,
+			Name:           r.String(),
+			Pairs:          a.N,
+			MAPE:           a.mape(),
+			Bias:           a.bias(),
+			Pearson:        finitePtr(a.pearson()),
+			MaxRelErr:      a.MaxRel,
+			BoundTightness: finitePtr(a.boundTightness()),
+		})
+	}
+	m.mu.Unlock()
+	sort.Slice(rep.Regions, func(i, j int) bool { return rep.Regions[i].Name < rep.Regions[j].Name })
+	worst := math.NaN()
+	for _, r := range rep.Regions {
+		if math.IsNaN(worst) || r.MAPE > worst {
+			worst = r.MAPE
+			rep.WorstRegion = r.Name
+		}
+	}
+	rep.WorstMAPE = finitePtr(worst)
+	return rep
+}
+
+// Summary is the compact health view of the map for /healthz.
+type Summary struct {
+	Pairs       int64    `json:"pairs"`
+	Regions     int      `json:"regions"`
+	WorstMAPE   *float64 `json:"worst_mape,omitempty"`
+	WorstRegion string   `json:"worst_region,omitempty"`
+}
+
+// Summary condenses the map to totals and the worst region.
+func (m *Map) Summary() Summary {
+	rep := m.Report()
+	return Summary{
+		Pairs:       rep.Pairs,
+		Regions:     len(rep.Regions),
+		WorstMAPE:   rep.WorstMAPE,
+		WorstRegion: rep.WorstRegion,
+	}
+}
+
+// Pairs returns the total pair count.
+func (m *Map) Pairs() int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pairs
+}

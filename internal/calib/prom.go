@@ -1,0 +1,25 @@
+package calib
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the map in Prometheus text exposition format:
+// calib_pairs and calib_regions gauges plus one calib_mape sample per
+// region, labelled with the region name. internal/serve appends this
+// block to /metrics; the cumulative calib_*_total counters are not
+// written here because they already flow through the obs counter
+// registry.
+func (m *Map) WriteMetrics(w io.Writer) {
+	rep := m.Report()
+	fmt.Fprintf(w, "# TYPE calib_pairs gauge\ncalib_pairs %d\n", rep.Pairs)
+	fmt.Fprintf(w, "# TYPE calib_regions gauge\ncalib_regions %d\n", len(rep.Regions))
+	if len(rep.Regions) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE calib_mape gauge\n")
+	for _, r := range rep.Regions {
+		fmt.Fprintf(w, "calib_mape{region=%q} %g\n", r.Name, r.MAPE)
+	}
+}

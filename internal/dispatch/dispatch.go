@@ -53,6 +53,7 @@ type Dispatcher struct {
 	salt     string
 	batch    int
 	cache    sweep.CacheStore
+	calib    sweep.CellObserver
 	client   *http.Client
 	rb       *eval.RemoteBackend // curve metadata via /v1/curve, with failover
 	backoff  time.Duration
@@ -106,6 +107,20 @@ func WithBatch(n int) Option { return func(d *Dispatcher) { d.batch = n } }
 // salted with the fleet tag, shared with RemoteBackend and BatchBackend
 // clients of the same shard set.
 func WithCache(c sweep.CacheStore) Option { return func(d *Dispatcher) { d.cache = c } }
+
+// WithCalibration attaches a live calibration observer (the same
+// sweep.CellObserver contract the Runner takes): every cell the
+// dispatcher sees — warm from the cache or fresh off a shard — is fed
+// to it under its fleet-salted key, so a front-end dispatcher keeps the
+// calibration map current without re-mining the store.
+func WithCalibration(o sweep.CellObserver) Option { return func(d *Dispatcher) { d.calib = o } }
+
+// observe feeds one cell to the calibration observer, if any.
+func (d *Dispatcher) observe(ctx context.Context, key string, cell sweep.Cell) {
+	if d.calib != nil {
+		d.calib.ObserveCell(ctx, key, cell)
+	}
+}
 
 // WithHTTPClient replaces the default HTTP client (no timeout — range
 // streams run as long as their cells take; deadlines belong to the
@@ -278,13 +293,13 @@ func (d *Dispatcher) spanSize(n int) int {
 // off-grid bisection probes and certification simulations take this
 // path, and every cell warms the same store.
 func (d *Dispatcher) Evaluate(ctx context.Context, sc sweep.Scenario) (sweep.Cell, bool, error) {
-	var key string
+	key := d.salt + sc.Key()
 	if d.cache != nil {
-		key = d.salt + sc.Key()
 		if cell, ok := d.cache.Get(key); ok {
 			d.cacheHits.Add(1)
 			_, span := obs.StartSpanKeyed(ctx, "dispatch.eval", sc.Key())
 			span.End(obs.Bool("cached", true))
+			d.observe(ctx, key, cell)
 			return cell, true, nil
 		}
 	}
@@ -298,6 +313,7 @@ func (d *Dispatcher) Evaluate(ctx context.Context, sc sweep.Scenario) (sweep.Cel
 	if d.cache != nil {
 		d.cache.Put(key, pt)
 	}
+	d.observe(ctx, key, pt)
 	d.cells.Add(1)
 	return pt, false, nil
 }
@@ -450,19 +466,17 @@ func (d *Dispatcher) dispatch(ctx context.Context, spec sweep.Spec, scens []swee
 
 	// Cache pass: warm cells deliver immediately, cold indices become
 	// the work list. Keys are computed once here and reused when
-	// received cells are written back.
-	var keys []string
-	var cold []int
-	if d.cache != nil {
-		keys = make([]string, len(scens))
-		for i, sc := range scens {
-			keys[i] = d.salt + sc.Key()
-		}
+	// received cells are written back and observed for calibration.
+	keys := make([]string, len(scens))
+	for i, sc := range scens {
+		keys[i] = d.salt + sc.Key()
 	}
+	var cold []int
 	for i, sc := range scens {
 		if d.cache != nil {
 			if cell, ok := d.cache.Get(keys[i]); ok {
 				d.cacheHits.Add(1)
+				d.observe(ctx, keys[i], cell)
 				if !deliver(i, sweep.Row{Scenario: sc, Cell: cell, Cached: true}) {
 					return nil
 				}
@@ -694,6 +708,7 @@ func (r *run) dispatchSpan(addr string, sp span) (got map[int]bool, err error) {
 		if r.d.cache != nil {
 			r.d.cache.Put(r.keys[it.Index], *it.Point)
 		}
+		r.d.observe(r.ctx, r.keys[it.Index], *it.Point)
 		r.d.cells.Add(1)
 		r.resc <- indexedRow{idx: it.Index, row: sweep.Row{Scenario: sc, Cell: *it.Point}}
 	}

@@ -1,0 +1,216 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestParseKeyRoundTrip drives ParseKey over the cross product of every
+// optional spelling Key can emit — salts, variants, budget knobs,
+// workloads, bounds, fractional and absolute loads — and checks the
+// recovered coordinates against the scenario that produced the key.
+func TestParseKeyRoundTrip(t *testing.T) {
+	salts := []string{
+		"",
+		"backends=bounds|",
+		"backends=analytic,sim|",
+		"backends=fleet-2,batch|",
+	}
+	budgets := []Budget{
+		{Warmup: 4000, Measure: 20000, Seed: 1},
+		{Warmup: 4000, Measure: 20000, Seed: 1, DrainLimit: 5000},
+		{Warmup: 2000, Measure: 64000, Seed: 42, Precision: 0.05, Replicas: 4},
+		{Warmup: 1000, Measure: 8000, Seed: 7, DrainLimit: 100, Precision: 0.015625, Replicas: 2},
+	}
+	variants := []Variant{
+		{},
+		{Name: "no-blocking", NoBlockingCorrection: true},
+		{Name: "mg1", SingleServerGroups: true, NoPairRateCorrection: true},
+		{NoBlockingCorrection: true, SingleServerGroups: true, NoPairRateCorrection: true},
+	}
+	workloads := []*workload.Spec{
+		nil,
+		{Process: workload.ProcessMMPP, OnFrac: 0.3, BurstCycles: 400},
+		{Trace: "/tmp/traces/run one.ndjson"}, // path with a space
+	}
+	topos := []Topology{
+		{Family: FamilyBFT, Size: 256},
+		{Family: FamilyHypercube, Size: 10},
+		{Family: FamilyTorus, Size: 3, K: 8},
+	}
+	loads := []Load{
+		{Frac: true, Value: 0.9},
+		{Value: 0.0125},
+	}
+	policies := []sim.UpLinkPolicy{sim.PairQueue, sim.RandomFixed}
+
+	n := 0
+	for _, salt := range salts {
+		for _, bud := range budgets {
+			for _, v := range variants {
+				for _, wk := range workloads {
+					for _, topo := range topos {
+						for _, ld := range loads {
+							for _, pol := range policies {
+								for _, withSim := range []bool{false, true} {
+									for _, withBounds := range []bool{false, true} {
+										sc := Scenario{
+											Topology:   topo,
+											MsgFlits:   20,
+											Policy:     pol,
+											Load:       ld,
+											Variant:    v,
+											LoadIndex:  3,
+											WithSim:    withSim,
+											Budget:     bud,
+											WithBounds: withBounds,
+											Workload:   wk,
+										}
+										checkRoundTrip(t, salt, sc)
+										n++
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("round-tripped %d keys", n)
+}
+
+func checkRoundTrip(t *testing.T, salt string, sc Scenario) {
+	t.Helper()
+	key := salt + sc.Key()
+	p, err := ParseKey(key)
+	if err != nil {
+		t.Fatalf("ParseKey(%q): %v", key, err)
+	}
+	if p.Salt != salt {
+		t.Fatalf("key %q: salt %q, want %q", key, p.Salt, salt)
+	}
+	if p.Topology != sc.Topology {
+		t.Fatalf("key %q: topology %+v, want %+v", key, p.Topology, sc.Topology)
+	}
+	if p.MsgFlits != sc.MsgFlits {
+		t.Fatalf("key %q: flits %d, want %d", key, p.MsgFlits, sc.MsgFlits)
+	}
+	if p.Policy != sc.Policy.String() {
+		t.Fatalf("key %q: policy %q, want %q", key, p.Policy, sc.Policy.String())
+	}
+	if p.Load != sc.Load {
+		t.Fatalf("key %q: load %+v, want %+v", key, p.Load, sc.Load)
+	}
+	wantVar := Variant{
+		NoBlockingCorrection: sc.Variant.NoBlockingCorrection,
+		SingleServerGroups:   sc.Variant.SingleServerGroups,
+		NoPairRateCorrection: sc.Variant.NoPairRateCorrection,
+	}
+	if p.Variant != wantVar {
+		t.Fatalf("key %q: variant %+v, want %+v", key, p.Variant, wantVar)
+	}
+	if p.WithSim != sc.WithSim {
+		t.Fatalf("key %q: sim %v, want %v", key, p.WithSim, sc.WithSim)
+	}
+	if sc.WithSim {
+		want := sc.Budget
+		want.Seed = sc.Seed() // keys carry the derived seed
+		if p.Budget != want {
+			t.Fatalf("key %q: budget %+v, want %+v", key, p.Budget, want)
+		}
+	} else if p.Budget != (Budget{}) {
+		t.Fatalf("key %q: model-only key recovered budget %+v", key, p.Budget)
+	}
+	if p.Workload != sc.Workload.Canonical() {
+		t.Fatalf("key %q: workload %q, want %q", key, p.Workload, sc.Workload.Canonical())
+	}
+	if p.WithBounds != sc.WithBounds {
+		t.Fatalf("key %q: bounds %v, want %v", key, p.WithBounds, sc.WithBounds)
+	}
+}
+
+// TestParseKeyLoadValueExact pins the hex-float round trip: the load
+// value recovered from a key must be bit-identical, not merely close.
+func TestParseKeyLoadValueExact(t *testing.T) {
+	for _, v := range []float64{0.1, 1.0 / 3.0, 0.9, 5e-324, 0.0125} {
+		sc := Scenario{
+			Topology: Topology{Family: FamilyBFT, Size: 64},
+			MsgFlits: 8,
+			Load:     Load{Value: v},
+		}
+		p, err := ParseKey(sc.Key())
+		if err != nil {
+			t.Fatalf("ParseKey: %v", err)
+		}
+		if math.Float64bits(p.Load.Value) != math.Float64bits(v) {
+			t.Errorf("load %v: recovered %v (bits differ)", v, p.Load.Value)
+		}
+	}
+}
+
+// TestParseKeyMalformed checks that broken keys produce errors (never
+// panics) and that the error names the key.
+func TestParseKeyMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"9d5f0c2ab15e44b1a7c3e8d2f6a9b0c4", // a historical hashed key
+		"family=bft",
+		"family= size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=false",
+		"family=bft size=four k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=maybe load=0x1p-03 sim=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=bogus sim=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=NaN sim=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 variant=falsefalsefalse sim=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 variant=truetrue sim=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=true",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=true warmup=10 measure=20",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=true warmup=10 measure=20 seed=-1",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=false bounds=false",
+		"family=bft size=4 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=false junk=1",
+		"backends=bounds family=bft size=4", // salt without terminator
+		"backends=|",
+		"size=4 family=bft k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=false", // out of order
+	}
+	for _, key := range cases {
+		if _, err := ParseKey(key); err == nil {
+			t.Errorf("ParseKey(%q): expected error, got none", key)
+		} else if key != "" && !strings.Contains(err.Error(), "eval:") {
+			t.Errorf("ParseKey(%q): error %v lacks package prefix", key, err)
+		}
+	}
+}
+
+// FuzzParseKey asserts ParseKey never panics and that whenever it
+// accepts a salted key, the salt plus remainder re-assembles the input.
+func FuzzParseKey(f *testing.F) {
+	seeds := []string{
+		"",
+		"family=bft size=1024 k=0 flits=20 policy=pairqueue frac=true load=0x1.cccccccccccccdp-01 sim=false",
+		"backends=bounds|family=bft size=64 k=0 flits=8 policy=pairqueue frac=false load=0x1p-03 sim=true warmup=4000 measure=20000 seed=1 bounds=true",
+		"family=hypercube size=10 k=0 flits=16 policy=randomfixed frac=true load=0x1p-01 variant=truefalsetrue sim=true warmup=100 measure=200 seed=7919 prec=0x1.999999999999ap-05 reps=4 workload=mmpp(0.3,400)",
+		"family=torus size=3 k=8 flits=20 policy=pairqueue frac=false load=0x1p+00 sim=false workload=trace:/tmp/a b.ndjson bounds=true",
+		"9d5f0c2ab15e44b1a7c3e8d2f6a9b0c4",
+		"family=bft size=4 k=0",
+		"backends=",
+		"family=bft\x00size=4",
+		"family=bft size=999999999999999999999999 k=0",
+		strings.Repeat("family=bft ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		p, err := ParseKey(key)
+		if err != nil {
+			return
+		}
+		if !strings.HasPrefix(key, p.Salt) {
+			t.Fatalf("ParseKey(%q): salt %q is not a prefix", key, p.Salt)
+		}
+	})
+}

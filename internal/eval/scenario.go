@@ -1,8 +1,6 @@
 package eval
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
@@ -206,14 +204,21 @@ func (s Scenario) CurveKey() string {
 	return key
 }
 
-// Key returns the scenario's cache key: a hash over every field that
-// influences its result (and nothing else — Index and the variant's
-// cosmetic name are excluded, so the same cell reached from different
-// specs hits the same cache line). It sits on every hot path — grid
-// expansion dedup, runner cache lookups, the dispatch coordinator's
-// cache pass — so the preimage is assembled with strconv appends rather
-// than fmt (byte-identical to the historical fmt layout, preserving
-// persisted stores).
+// Key returns the scenario's cache key: a readable, canonical encoding
+// of every field that influences its result (and nothing else — Index
+// and the variant's cosmetic name are excluded, so the same cell
+// reached from different specs hits the same cache line). The key is
+// deliberately not hashed: ParseKey inverts it, which is what lets the
+// calibration layer (internal/calib) mine a persistent store back into
+// scenario coordinates. It sits on every hot path — grid expansion
+// dedup, runner cache lookups, the dispatch coordinator's cache pass —
+// so it is assembled with strconv appends rather than fmt.
+//
+// Optional fields append only when set, so a key never carries
+// defaulted noise; floats use strconv's 'x' hex format, which
+// round-trips bit-exactly. Stores persisted before keys became
+// readable (when Key returned a sha256 of this same layout) no longer
+// match and simply re-fill cold.
 func (s Scenario) Key() string {
 	var b strings.Builder
 	b.Grow(128)
@@ -275,6 +280,5 @@ func (s Scenario) Key() string {
 	if s.WithBounds {
 		b.WriteString(" bounds=true")
 	}
-	sum := sha256.Sum256([]byte(b.String()))
-	return hex.EncodeToString(sum[:16])
+	return b.String()
 }

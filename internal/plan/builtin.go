@@ -81,6 +81,27 @@ var builtins = map[string]Spec{
 		Objective:   ObjectiveMinCost,
 		Constraints: Constraints{MinLoad: 0.02, MaxWorstCaseLatency: 3000},
 	},
+	// calibrated-capacity demonstrates calibration trust-gated
+	// certification at CI scale: two policies over one CI-sized fat-tree
+	// tie on every analytic axis, so both reach the frontier — and the
+	// trust gate decides per region whether the certification simulation
+	// is worth running. A store mined from a with-sim sweep covering the
+	// pairqueue region makes that region trusted (sim skipped) while the
+	// unmined randomfixed region stays uncalibrated (sim escalated); the
+	// 0.8 utilization cap pins the operating point at 0.72× saturation,
+	// squarely inside the 50-75% load band.
+	"calibrated-capacity": {
+		Name:        "calibrated-capacity",
+		Description: "Trust-gated capacity question: N=64, s=8, both policies, op point capped at 0.72x saturation",
+		Space: Space{
+			Topologies: []sweep.TopologySpec{{Family: sweep.FamilyBFT, Sizes: []int{64}}},
+			MsgFlits:   []int{8},
+			Policies:   []string{"pairqueue", "randomfixed"},
+		},
+		Objective:   ObjectiveMaxLoad,
+		Constraints: Constraints{MaxUtilization: 0.8},
+		Calibration: &CalibSpec{MaxMAPE: 0.25, MinPairs: 2},
+	},
 	// families-frontier compares topology families model-only (the
 	// torus has no simulator): lowest latency at a common required
 	// load, with stability headroom.
@@ -129,6 +150,10 @@ func Builtin(name string) (Spec, error) {
 		wl := *s.Workload
 		wl.Hot = append([]int(nil), wl.Hot...)
 		s.Workload = &wl
+	}
+	if s.Calibration != nil {
+		cal := *s.Calibration
+		s.Calibration = &cal
 	}
 	return s, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/calib"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -38,6 +39,7 @@ type Engine interface {
 type Planner struct {
 	engine   Engine
 	progress func(Update)
+	calib    *calib.Map
 }
 
 // Option configures a Planner.
@@ -47,6 +49,12 @@ type Option func(*Planner)
 // goroutine, in emission order). Stream supersedes it for consumers
 // that want a channel.
 func WithProgress(f func(Update)) Option { return func(p *Planner) { p.progress = f } }
+
+// WithCalibration attaches the calibration map the trust gate consults
+// when a spec sets Calibration. Without a map (or for specs without
+// Calibration) every candidate certifies through the simulator as
+// before.
+func WithCalibration(m *calib.Map) Option { return func(p *Planner) { p.calib = m } }
 
 // New builds a Planner over the given engine.
 func New(engine Engine, opts ...Option) *Planner {
@@ -224,7 +232,8 @@ func (p *Planner) run(ctx context.Context, spec Spec, progress func(Update), emi
 		}
 		certifySpan.End(
 			obs.Int("sim_evals", res.Stats.SimEvals),
-			obs.Int("certified", res.Stats.Certified))
+			obs.Int("certified", res.Stats.Certified),
+			obs.Int("trusted", res.Stats.Trusted))
 	}
 
 	for _, e := range frontier {
@@ -298,6 +307,7 @@ func (p *Planner) seed(d Spec, grid *sweep.Result) ([]candidate, error) {
 			Sim:            nan,
 			SimCI:          nan,
 			BoundMax:       nan,
+			CalibMAPE:      nan,
 		}
 		cost, err := d.cost(c.Topology, c.MsgFlits)
 		if err != nil {
@@ -684,7 +694,11 @@ func rank(objective string, frontier []*candidate) {
 
 // certify re-evaluates the frontier candidates with the simulator at
 // their operating points — the expensive reference runs only where the
-// analytic search says they matter.
+// analytic search says they matter. With a calibration gate
+// (Spec.Calibration plus a map from WithCalibration), the gate runs
+// first: candidates whose operating region the map has measured
+// accurate enough skip their simulation entirely, and only escalated
+// or uncalibrated regions spend sim budget.
 func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, res *Result, notify func(Update) error) error {
 	for _, e := range frontier {
 		c := e.c
@@ -695,6 +709,28 @@ func (p *Planner) certify(ctx context.Context, d Spec, frontier []*candidate, re
 				return err
 			}
 			continue
+		}
+		if d.Calibration != nil {
+			region := calib.RegionFor(c.Topology, c.MsgFlits, c.Policy,
+				d.Workload.Canonical(), c.OperatingLoad/c.SaturationLoad)
+			gate := calib.Gate{MaxMAPE: d.Calibration.MaxMAPE, MinPairs: d.Calibration.MinPairs}
+			verdict, mape, pairs := p.calib.Verdict(region, gate)
+			c.CalibVerdict, c.CalibMAPE, c.CalibPairs = verdict, mape, pairs
+			traceDecision(ctx, c, verdict, region.String())
+			switch verdict {
+			case calib.VerdictTrusted:
+				res.Stats.Trusted++
+				c.CertifyNote = fmt.Sprintf("calibration-trusted (MAPE %.3g over %d pairs in %s); sim skipped",
+					mape, pairs, region.Band)
+				if err := notify(Update{Phase: PhaseCertify, Candidate: snapshot(c)}); err != nil {
+					return err
+				}
+				continue
+			case calib.VerdictEscalated:
+				res.Stats.Escalated++
+			default:
+				res.Stats.Uncalibrated++
+			}
 		}
 		sc := eval.Scenario{
 			Topology:   c.Topology,

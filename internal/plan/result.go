@@ -57,6 +57,17 @@ type Candidate struct {
 	BoundNA  bool
 	// Probes counts the refinement evaluations this candidate consumed.
 	Probes int
+	// CalibVerdict is the calibration trust-gate outcome at the operating
+	// region when the spec enables calibration-gated certification:
+	// calib.VerdictTrusted (analytic answer accepted, sim skipped),
+	// calib.VerdictEscalated (model error above threshold, sim forced) or
+	// calib.VerdictUncalibrated (coverage too thin to judge, sim forced).
+	// Empty when the plan ran without a calibration gate. CalibMAPE and
+	// CalibPairs are the region's error record behind the verdict
+	// (CalibMAPE NaN when the region had no pairs).
+	CalibVerdict string
+	CalibMAPE    float64
+	CalibPairs   int
 }
 
 // Key identifies the candidate, e.g. "bft-256/s=16/pairqueue". The
@@ -95,6 +106,13 @@ type Stats struct {
 	// SimEvals counts certification simulations — frontier only, which
 	// is the planner's headline saving over a simulated grid.
 	SimEvals int `json:"sim_evals"`
+	// Trusted / Escalated / Uncalibrated count the calibration trust-gate
+	// verdicts over the frontier when the spec enables the gate. Trusted
+	// candidates skipped their certification simulation, so Trusted is
+	// also the sim-eval saving against an always-escalate planner.
+	Trusted      int `json:"trusted,omitempty"`
+	Escalated    int `json:"escalated,omitempty"`
+	Uncalibrated int `json:"uncalibrated,omitempty"`
 }
 
 // AnalyticEvals is the total number of analytic evaluations the search
@@ -194,6 +212,9 @@ type jsonCandidate struct {
 	BoundUnbounded bool     `json:"bound_unbounded,omitempty"`
 	BoundNA        bool     `json:"bound_na,omitempty"`
 	Probes         int      `json:"probes,omitempty"`
+	CalibVerdict   string   `json:"calib_verdict,omitempty"`
+	CalibMAPE      *float64 `json:"calib_mape,omitempty"`
+	CalibPairs     int      `json:"calib_pairs,omitempty"`
 }
 
 // MarshalJSON serialises the candidate with non-finite values as null.
@@ -217,6 +238,9 @@ func (c Candidate) MarshalJSON() ([]byte, error) {
 		CertifyNote:    c.CertifyNote,
 		SimSaturated:   c.SimSaturated,
 		Probes:         c.Probes,
+		CalibVerdict:   c.CalibVerdict,
+		CalibMAPE:      finitePtr(c.CalibMAPE),
+		CalibPairs:     c.CalibPairs,
 	}
 	if !math.IsNaN(c.Sim) || c.SimSaturated {
 		jc.SimLatency = finitePtr(c.Sim)
@@ -257,6 +281,9 @@ func (c *Candidate) UnmarshalJSON(data []byte) error {
 		BoundMax:       fromPtr(jc.BoundMax),
 		BoundNA:        jc.BoundNA,
 		Probes:         jc.Probes,
+		CalibVerdict:   jc.CalibVerdict,
+		CalibMAPE:      fromPtr(jc.CalibMAPE),
+		CalibPairs:     jc.CalibPairs,
 	}
 	if jc.BoundUnbounded && jc.BoundMax == nil {
 		c.BoundMax = math.Inf(1)
@@ -371,6 +398,9 @@ func (r *Result) Table() *series.Table {
 			if c.Certified {
 				status += " certified"
 			}
+			if c.CalibVerdict != "" {
+				status += " calib:" + c.CalibVerdict
+			}
 			if c.CertifyNote != "" {
 				status += " (" + c.CertifyNote + ")"
 			}
@@ -416,6 +446,10 @@ func (r *Result) Summary() string {
 	if !r.Spec.Workload.IsDefault() {
 		out += fmt.Sprintf("  certification workload: %s (analytic search anchored at the steady model)\n",
 			r.Spec.Workload.Label())
+	}
+	if s.Trusted+s.Escalated+s.Uncalibrated > 0 {
+		out += fmt.Sprintf("  calibration: %d trusted (sim skipped), %d escalated, %d uncalibrated\n",
+			s.Trusted, s.Escalated, s.Uncalibrated)
 	}
 	if best := r.Best(); best != nil {
 		out += fmt.Sprintf("  best: %s cost=%.0f max_load=%.6f latency=%.4f",

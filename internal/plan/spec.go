@@ -154,6 +154,27 @@ type Spec struct {
 	// Budget scales the certification simulations; the zero value uses
 	// the sweep engine's Quick budget.
 	Budget eval.Budget `json:"budget,omitempty"`
+	// Calibration, when non-nil, turns on calibration trust-gated
+	// certification: before simulating a frontier candidate, the planner
+	// consults the calibration map (internal/calib) for the candidate's
+	// region and skips the simulation where the map says the analytic
+	// model is trustworthy — MAPE ≤ MaxMAPE over ≥ MinPairs pairs.
+	// Regions with too much error escalate to simulation, regions with
+	// thin coverage run it as uncalibrated; every verdict is recorded on
+	// the candidate and its plan.decision span. Requires a calibration
+	// map on the planner (WithCalibration); without one every region is
+	// uncalibrated and the gate changes nothing.
+	Calibration *CalibSpec `json:"calibration,omitempty"`
+}
+
+// CalibSpec tunes the calibration trust gate (Spec.Calibration).
+type CalibSpec struct {
+	// MaxMAPE is the largest region MAPE (fractional, 0.1 = 10%) the
+	// planner will trust without a certification sim; 0 defaults to 0.1.
+	MaxMAPE float64 `json:"max_mape,omitempty"`
+	// MinPairs is the fewest calibration pairs a region needs before its
+	// MAPE counts as evidence; 0 defaults to 3.
+	MinPairs int `json:"min_pairs,omitempty"`
 }
 
 // defaultPruneFracs spans each candidate's curve and includes one point
@@ -204,6 +225,16 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Budget.Seed == 0 {
 		s.Budget.Seed = sweep.Quick.Seed
+	}
+	if s.Calibration != nil {
+		cal := *s.Calibration
+		if cal.MaxMAPE == 0 {
+			cal.MaxMAPE = 0.1
+		}
+		if cal.MinPairs == 0 {
+			cal.MinPairs = 3
+		}
+		s.Calibration = &cal
 	}
 	return s
 }
@@ -307,6 +338,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.Budget.Replicas < 0 {
 		return fmt.Errorf("plan: bad certification replicas %d, must be >= 0", s.Budget.Replicas)
+	}
+	if cal := s.Calibration; cal != nil {
+		if cal.MaxMAPE < 0 || math.IsNaN(cal.MaxMAPE) || cal.MaxMAPE >= 1 {
+			return fmt.Errorf("plan: calibration max_mape must be in [0, 1), got %v", cal.MaxMAPE)
+		}
+		if cal.MinPairs < 0 {
+			return fmt.Errorf("plan: bad calibration min_pairs %d", cal.MinPairs)
+		}
 	}
 	if err := s.Workload.Validate(); err != nil {
 		return fmt.Errorf("plan: workload: %w", err)

@@ -255,6 +255,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	var b strings.Builder
 	s.metrics.render(&b, extra, gauges)
+	// The calibration gauges are float-valued (per-region MAPE), so the
+	// map renders its own block after the int64 registry.
+	if s.calib != nil {
+		s.calib.WriteMetrics(&b)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write([]byte(b.String()))
 }

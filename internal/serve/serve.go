@@ -19,7 +19,10 @@
 //	POST /v1/curve      one eval.Scenario in → its eval.CurveDesc (model
 //	                    name, D̄, saturation anchor)
 //	GET  /v1/builtins   the built-in spec registry (name + description)
-//	GET  /healthz       liveness plus cache statistics
+//	GET  /v1/calib      the calibration map's full region report
+//	                    (model-vs-sim accuracy per region; see
+//	                    internal/calib), when a map is attached
+//	GET  /healthz       liveness plus cache and calibration statistics
 //	GET  /metrics       Prometheus text metrics: per-endpoint request,
 //	                    error and latency histograms plus batch/dispatch
 //	                    counters (see metrics.go)
@@ -45,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/bounds"
+	"repro/internal/calib"
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/plan"
@@ -74,6 +78,7 @@ type Server struct {
 	planner Planner
 	curves  describer
 	cache   sweep.CacheStore
+	calib   *calib.Map
 	workers int
 	started time.Time
 	metrics *metricsRegistry
@@ -110,6 +115,13 @@ func WithTracer(t *obs.Tracer) Option { return func(s *Server) { s.tracer = t } 
 // ID). Level filtering belongs to the logger's handler.
 func WithLogger(l *slog.Logger) Option { return func(s *Server) { s.log = l } }
 
+// WithCalibration attaches a calibration map: the server's runner feeds
+// it every sim-carrying cell it completes, the default planner trust-
+// gates certification against it, and the map surfaces on /v1/calib,
+// /healthz and /metrics. The caller owns persistence (calib.LoadMap /
+// Map.Save around the server's lifetime).
+func WithCalibration(m *calib.Map) Option { return func(s *Server) { s.calib = m } }
+
 // WithSweeper routes /v1/sweep through the given scheduler instead of
 // the local runner: a front-end sweepd built over the dispatch
 // coordinator accepts whole specs and fans them out to its shard fleet,
@@ -134,6 +146,12 @@ func New(opts ...Option) *Server {
 			sweep.WithCache(s.cache),
 		)
 	}
+	// A calibration map observes every sim-carrying cell the server's
+	// runner completes — unless a custom runner already carries its own
+	// observer, which wins.
+	if s.calib != nil && s.runner.Calib == nil {
+		s.runner.Calib = s.calib
+	}
 	// /v1/curve answers from the runner's own describer when it has one
 	// (the default analytic backend), else from a server-lifetime
 	// fallback, so memoized saturation searches persist across requests
@@ -151,14 +169,18 @@ func New(opts ...Option) *Server {
 		s.sweeper = s.runner
 	}
 	if s.planner == nil {
+		var popts []plan.Option
+		if s.calib != nil {
+			popts = append(popts, plan.WithCalibration(s.calib))
+		}
 		// A sweeper that is also a full plan engine (the dispatch
 		// coordinator: Run + Evaluate) carries /v1/plan too, so a fleet
 		// front-end configured only via WithSweeper plans over its
 		// fleet instead of silently searching locally.
 		if eng, ok := s.sweeper.(plan.Engine); ok {
-			s.planner = plan.New(eng)
+			s.planner = plan.New(eng, popts...)
 		} else {
-			s.planner = plan.New(s.runner)
+			s.planner = plan.New(s.runner, popts...)
 		}
 	}
 	s.handle("/v1/sweep", post(s.handleSweep))
@@ -168,6 +190,7 @@ func New(opts ...Option) *Server {
 	s.handle("/v1/eval", post(s.handleEval))
 	s.handle("/v1/curve", post(s.handleCurve))
 	s.handle("/v1/builtins", get(s.handleBuiltins))
+	s.handle("/v1/calib", get(s.handleCalib))
 	s.handle("/healthz", get(s.handleHealthz))
 	s.handle("/metrics", get(s.handleMetrics))
 	return s
@@ -337,6 +360,19 @@ func (s *Server) handleBuiltins(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(out)
 }
 
+// handleCalib serves the calibration map's full region report: per-
+// region pair counts, MAPE, signed bias, Pearson correlation and bound
+// tightness. 404 when the server carries no map, so probes can tell
+// "not calibrating" from "calibrating with zero pairs".
+func (s *Server) handleCalib(w http.ResponseWriter, r *http.Request) {
+	if s.calib == nil {
+		httpError(w, http.StatusNotFound, errors.New("no calibration map attached (see cmd/sweepd -cache-dir)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.calib.Report())
+}
+
 // cacheStats is the optional statistics surface of a cache (both
 // sweep.Cache and store.Store provide it).
 type cacheStats interface {
@@ -411,6 +447,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"healthy": healthy, "backoff": backoff, "ejected": ejected,
 		}
 		payload["dispatch_queue_depth"] = hs.QueueDepth()
+	}
+	if s.calib != nil {
+		sum := s.calib.Summary()
+		cal := map[string]any{
+			"pairs":   sum.Pairs,
+			"regions": sum.Regions,
+		}
+		if sum.WorstMAPE != nil {
+			cal["worst_mape"] = *sum.WorstMAPE
+			cal["worst_region"] = sum.WorstRegion
+		}
+		// Staleness: cache cells the map has not observed yet (a cold
+		// map over a warm store, or cells landed through a path that
+		// bypassed the observer).
+		if src, ok := s.cache.(calib.Source); ok {
+			cal["stale_cells"] = s.calib.Staleness(src)
+		}
+		payload["calibration"] = cal
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(payload)

@@ -209,6 +209,31 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Range calls fn for every live cell until fn returns false. It
+// snapshots the index under the lock and iterates the snapshot with the
+// lock released, so fn may itself call Store methods (Get, Put, even
+// Prune) without deadlocking, and concurrent writers are never blocked
+// behind a slow consumer. The snapshot is consistent at the instant it
+// was taken: cells put or pruned while fn runs may or may not be seen.
+// Iteration order is unspecified.
+func (s *Store) Range(fn func(key string, pt eval.Point) bool) {
+	type cell struct {
+		key string
+		pt  eval.Point
+	}
+	s.mu.Lock()
+	snap := make([]cell, 0, len(s.index))
+	for k, p := range s.index {
+		snap = append(snap, cell{k, p})
+	}
+	s.mu.Unlock()
+	for _, c := range snap {
+		if !fn(c.key, c.pt) {
+			return
+		}
+	}
+}
+
 // Stats returns the lifetime hit and miss counts of this Store instance.
 func (s *Store) Stats() (hits, misses int64) {
 	s.mu.Lock()

@@ -59,6 +59,30 @@ func (c *Cache) Put(key string, cell Cell) {
 	c.cells[key] = cell
 }
 
+// Range calls fn for every cached cell until fn returns false, matching
+// store.Store.Range: the cells are snapshotted under the lock and fn
+// runs with the lock released, so callbacks may re-enter the cache and
+// concurrent Puts never block behind a slow consumer. Iteration order
+// is unspecified. Both in-memory caches and persistent stores therefore
+// satisfy calib.Source.
+func (c *Cache) Range(fn func(key string, cell Cell) bool) {
+	type kv struct {
+		key  string
+		cell Cell
+	}
+	c.mu.Lock()
+	snap := make([]kv, 0, len(c.cells))
+	for k, v := range c.cells {
+		snap = append(snap, kv{k, v})
+	}
+	c.mu.Unlock()
+	for _, e := range snap {
+		if !fn(e.key, e.cell) {
+			return
+		}
+	}
+}
+
 // Len returns the number of cached cells.
 func (c *Cache) Len() int {
 	c.mu.Lock()

@@ -48,6 +48,20 @@ type Runner struct {
 	// merged into one cell; backends skip the scenarios that do not
 	// concern them (the simulator skips cells with WithSim unset).
 	Backends []eval.Evaluator
+	// Calib, when non-nil, receives every completed cell (fresh and
+	// cached alike) under its salted cache key, making the runner a live
+	// feed for the calibration map (internal/calib). Observers must
+	// dedupe by key themselves and be safe for concurrent calls — cells
+	// arrive straight from the worker pool.
+	Calib CellObserver
+}
+
+// CellObserver consumes completed cells as they land. internal/calib's
+// Map is the canonical implementation; the interface lives here so the
+// runner and the dispatcher can feed observations without depending on
+// the calibration layer.
+type CellObserver interface {
+	ObserveCell(ctx context.Context, key string, cell Cell)
 }
 
 // Option configures a Runner.
@@ -74,6 +88,16 @@ func WithBackends(b ...eval.Evaluator) Option { return func(r *Runner) { r.Backe
 
 // WithProgress attaches a per-cell completion callback.
 func WithProgress(f func(Event)) Option { return func(r *Runner) { r.Progress = f } }
+
+// WithCalibration attaches a live calibration observer.
+func WithCalibration(o CellObserver) Option { return func(r *Runner) { r.Calib = o } }
+
+// observe feeds one completed cell to the calibration observer, if any.
+func (r *Runner) observe(ctx context.Context, key string, cell Cell) {
+	if r.Calib != nil {
+		r.Calib.ObserveCell(ctx, key, cell)
+	}
+}
 
 // PointResult is one streamed cell: a completed row, or the error that
 // ended the sweep. A failing sweep delivers its error as the stream's
@@ -186,6 +210,7 @@ func (r *Runner) launch(ctx context.Context, spec Spec, scens []Scenario, backen
 				if r.Cache != nil {
 					r.Cache.Put(salt+sc.Key(), cell)
 				}
+				r.observe(cctx, salt+sc.Key(), cell)
 				out <- completion{row: Row{Scenario: sc, Cell: cell}}
 			}
 		}()
@@ -197,6 +222,7 @@ func (r *Runner) launch(ctx context.Context, spec Spec, scens []Scenario, backen
 				if cell, ok := r.Cache.Get(salt + sc.Key()); ok {
 					_, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
 					span.End(obs.Bool("cached", true))
+					r.observe(ctx, salt+sc.Key(), cell)
 					out <- completion{row: Row{Scenario: sc, Cell: cell, Cached: true}}
 					continue
 				}
@@ -248,6 +274,7 @@ func (r *Runner) Evaluate(ctx context.Context, sc Scenario) (Cell, bool, error) 
 		if cell, ok := r.Cache.Get(key); ok {
 			_, span := obs.StartSpanKeyed(ctx, "eval.cell", sc.Key())
 			span.End(obs.Bool("cached", true))
+			r.observe(ctx, key, cell)
 			return cell, true, nil
 		}
 	}
@@ -268,6 +295,7 @@ func (r *Runner) Evaluate(ctx context.Context, sc Scenario) (Cell, bool, error) 
 	if r.Cache != nil {
 		r.Cache.Put(key, cell)
 	}
+	r.observe(cctx, key, cell)
 	return cell, false, nil
 }
 

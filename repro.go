@@ -48,7 +48,14 @@
 //     span-style NDJSON traces with deterministic IDs propagated across
 //     the sweep/dispatch/serve/sim layers over HTTP headers, engine and
 //     store counters folded into /metrics, planner decision traces, and
-//     structured request logging (see docs/observability.md).
+//     structured request logging (see docs/observability.md); and
+//   - a calibration observatory (NewCalibMap, LoadCalibMap, cmd/calib):
+//     model-vs-sim error maps mined from the result store or fed live by
+//     sweeps, bucketed by region (topology, message length, policy,
+//     load band) with per-region MAPE/bias/correlation, persisted next
+//     to the store, served over /v1/calib and /metrics, and consulted
+//     by the planner to trust-gate its certification sims (see
+//     docs/calibration.md).
 //
 // This facade re-exports the main entry points; the implementation lives
 // under internal/ (core, analytic, sim, topology, eval, sweep, …).
@@ -88,6 +95,7 @@ import (
 	"time"
 
 	"repro/internal/analytic"
+	"repro/internal/calib"
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/eval"
@@ -250,6 +258,24 @@ type (
 	// TraceReport summarizes a trace forest: per-layer time, critical
 	// path, cache hit ratio, planner decisions, per-shard skew.
 	TraceReport = obs.Report
+
+	// CalibMap accumulates model-vs-sim error statistics per region
+	// (topology, message length, policy, load band relative to model
+	// saturation); it satisfies the sweep engine's cell-observer
+	// contract, so it can be fed live or mined from a store (see
+	// docs/calibration.md).
+	CalibMap = calib.Map
+	// CalibRegion identifies one accuracy bucket of a CalibMap.
+	CalibRegion = calib.Region
+	// CalibReport is a CalibMap snapshot: every region's pair count,
+	// MAPE, bias, correlation and worst relative error.
+	CalibReport = calib.Report
+	// CalibGate is a trust threshold (max MAPE, min pairs) for
+	// region verdicts; the planner's calibration spec carries one.
+	CalibGate = calib.Gate
+	// PlanCalibSpec asks a plan search to trust-gate its certification
+	// sims against a calibration map (PlanSpec.Calibration).
+	PlanCalibSpec = plan.CalibSpec
 )
 
 // Simulator policies.
@@ -496,6 +522,28 @@ func AnalyzeTrace(events []TraceEvent) *TraceReport { return obs.Analyze(events)
 // CheckTraceForest validates well-formedness: at least one span, no
 // orphans, exactly one root per trace — the cross-shard stitching gate.
 func CheckTraceForest(f *TraceForest) error { return obs.CheckForest(f) }
+
+// NewCalibMap returns an empty calibration map. Attach it to a sweep
+// runner (sweep.WithCalibration), a dispatcher
+// (dispatch.WithCalibration) or the sweep service
+// (ServeWithCalibration) to observe cells live, or mine a store with
+// Map.Mine / cmd/calib.
+func NewCalibMap() *CalibMap { return calib.NewMap() }
+
+// LoadCalibMap loads a calibration map saved by Map.Save; a missing
+// file returns an empty map, so load-observe-save cycles compose.
+func LoadCalibMap(path string) (*CalibMap, error) { return calib.LoadMap(path) }
+
+// CalibMapPath is the conventional location of a store directory's
+// calibration map (storeDir/calib-map.json) — where cmd/calib and
+// sweepd -cache-dir read and write it.
+func CalibMapPath(storeDir string) string { return calib.MapPath(storeDir) }
+
+// ServeWithCalibration attaches a calibration map to the sweep
+// service: GET /v1/calib serves its region report, /healthz gains a
+// calibration block, /metrics gains the calib_mape gauges, and the
+// default runner and /v1/plan searches feed and consult it.
+func ServeWithCalibration(m *CalibMap) ServeOption { return serve.WithCalibration(m) }
 
 // QuickBudget and FullBudget are the standard experiment efforts.
 var (

@@ -1,0 +1,189 @@
+#!/usr/bin/env bash
+# calib-smoke: end-to-end smoke of the calibration observatory.
+#
+#  1. Run a small with-sim sweep over a 2-shard sweepd fleet into a
+#     persistent store, covering the pairqueue region the trust-gated
+#     builtin plan will land in (bft-64, s=8, 50-75% of saturation).
+#  2. Mine the store with cmd/calib: the map must have regions, finite
+#     MAPE everywhere, and pass the -check freshness gate.
+#  3. Serve the store with sweepd: /v1/calib must agree with the miner
+#     on pair count, /metrics must carry the calib_mape gauges, and
+#     /healthz must report the map fresh.
+#  4. Run builtin:calibrated-capacity with the map: the mined pairqueue
+#     region must come back "trusted" (its certification sim skipped)
+#     while the unmined randomfixed region escalates to the simulator —
+#     and the plan.decision spans in the trace must say so.
+#  5. Gate live observation overhead: the same sweep computed fresh
+#     with -calib-out must stay within 5% of the plain run.
+#
+# Emits BENCH_calib.json. CI runs this via `make calib-smoke`.
+set -eu
+
+BASE="${CALIB_SMOKE_PORT:-18830}"
+PORT1=$((BASE)); PORT2=$((BASE + 1)); PORT3=$((BASE + 2))
+SHARDS="127.0.0.1:$PORT1,127.0.0.1:$PORT2"
+WORK="$(mktemp -d)"
+STORE="$WORK/store"
+D1=""; D2=""; D3=""
+trap 'kill $D1 $D2 $D3 2>/dev/null || true; rm -rf "$WORK"' EXIT INT TERM
+
+go build -o "$WORK/sweepd" ./cmd/sweepd
+go build -o "$WORK/sweep" ./cmd/sweep
+go build -o "$WORK/calib" ./cmd/calib
+go build -o "$WORK/plan" ./cmd/plan
+go build -o "$WORK/obsreport" ./cmd/obsreport
+
+wait_up() { # wait_up PORT
+    local i=0
+    until curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 50 ]; then
+            echo "calib-smoke: sweepd did not come up on :$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+# num FILE KEY — extract a bare JSON number (integer or float).
+num() {
+    sed -n 's/.*"'"$2"'": *\(-\{0,1\}[0-9.][0-9.e+-]*\).*/\1/p' "$1" | head -n 1
+}
+
+# The mining grid: bft-64 at s=8 and s=16, pairqueue (the default
+# policy), with two load fractions inside the 50-75% band the plan's
+# operating point (0.9 x 0.8 x saturation = 0.72x) lands in, plus one
+# below and one above for extra regions. Fixed windows keep the sim
+# deterministic.
+cat >"$WORK/mine.json" <<'SPEC'
+{
+  "name": "calib-mine",
+  "topologies": [{"family": "bft", "sizes": [64]}],
+  "msg_flits": [8, 16],
+  "loads": {"fracs": [0.3, 0.6, 0.7, 0.95]},
+  "with_sim": true,
+  "budget": {"warmup": 2000, "measure": 10000, "seed": 1}
+}
+SPEC
+
+"$WORK/sweepd" -addr "127.0.0.1:$PORT1" & D1=$!
+"$WORK/sweepd" -addr "127.0.0.1:$PORT2" & D2=$!
+wait_up "$PORT1"; wait_up "$PORT2"
+
+# 1. Mine the fleet: cells compute on the shards and land in the
+#    coordinator's persistent store.
+"$WORK/sweep" -spec "$WORK/mine.json" -shards "$SHARDS" \
+    -cache-dir "$STORE" -quiet -stream >/dev/null
+
+kill $D1 $D2 2>/dev/null || true
+wait $D1 $D2 2>/dev/null || true
+D1=""; D2=""
+
+# 2. Mine the store into the map, then gate freshness and coverage.
+"$WORK/calib" -store "$STORE" -json >"$WORK/calib.json"
+"$WORK/calib" -store "$STORE" -check
+PAIRS="$(num "$WORK/calib.json" pairs)"
+PPS="$(num "$WORK/calib.json" pairs_per_sec)"
+REGIONS="$(grep -c '"name": "bft-64/' "$WORK/calib.json" || true)"
+if [ -z "$PAIRS" ] || [ "$PAIRS" -lt 2 ]; then
+    echo "calib-smoke: expected >= 2 mined pairs, got '$PAIRS'" >&2
+    exit 1
+fi
+if [ "$REGIONS" -lt 2 ]; then
+    echo "calib-smoke: expected >= 2 regions, got $REGIONS" >&2
+    exit 1
+fi
+if ! grep -q '"name": "bft-64/s=8/pairqueue/50-75%"' "$WORK/calib.json"; then
+    echo "calib-smoke: the plan's operating region was not mined" >&2
+    cat "$WORK/calib.json" >&2
+    exit 1
+fi
+
+# 3. Serve the mined store: the daemon recovers the map and surfaces it.
+"$WORK/sweepd" -addr "127.0.0.1:$PORT3" -cache-dir "$STORE" & D3=$!
+wait_up "$PORT3"
+curl -sf "http://127.0.0.1:$PORT3/v1/calib" >"$WORK/served.json"
+# The response is one compact line; take the first (top-level) pairs
+# field, not the per-region ones.
+SERVED_PAIRS="$(grep -o '"pairs": *[0-9]*' "$WORK/served.json" | head -n 1 | grep -o '[0-9]*$')"
+if [ "$SERVED_PAIRS" != "$PAIRS" ]; then
+    echo "calib-smoke: /v1/calib pairs ($SERVED_PAIRS) != miner pairs ($PAIRS)" >&2
+    exit 1
+fi
+curl -sf "http://127.0.0.1:$PORT3/metrics" >"$WORK/metrics.txt"
+if ! grep -q '^calib_mape{region="bft-64/s=8/pairqueue/50-75%"}' "$WORK/metrics.txt"; then
+    echo "calib-smoke: /metrics has no calib_mape gauge for the mined region" >&2
+    exit 1
+fi
+curl -sf "http://127.0.0.1:$PORT3/healthz" >"$WORK/health.json"
+STALE="$(num "$WORK/health.json" stale_cells)"
+if [ "$STALE" != "0" ]; then
+    echo "calib-smoke: /healthz reports a stale map (stale_cells=$STALE)" >&2
+    exit 1
+fi
+kill $D3 2>/dev/null || true
+wait $D3 2>/dev/null || true
+D3=""
+
+# 4. Trust-gated plan: pairqueue's region is mined (trusted, sim
+#    skipped); randomfixed's is not (uncalibrated, sim escalated).
+"$WORK/plan" -spec builtin:calibrated-capacity -cache-dir "$STORE" \
+    -calib "$STORE/calib-map.json" -trace-out "$WORK/plan-trace.ndjson" \
+    -quiet -json -bench-out "$WORK/bench-plan.json" >"$WORK/plan.json"
+TRUSTED="$(num "$WORK/bench-plan.json" trusted)"
+ESCALATED="$(num "$WORK/bench-plan.json" escalated)"
+UNCAL="$(num "$WORK/bench-plan.json" uncalibrated)"
+SIM_EVALS="$(num "$WORK/bench-plan.json" sim_evals)"
+TRUST_SAVED="$(num "$WORK/bench-plan.json" sim_evals_saved_by_trust)"
+ESCALATED="${ESCALATED:-0}"; UNCAL="${UNCAL:-0}"
+if [ -z "$TRUSTED" ] || [ "$TRUSTED" -lt 1 ]; then
+    echo "calib-smoke: no trusted region in the plan (trusted=$TRUSTED)" >&2
+    cat "$WORK/plan.json" >&2
+    exit 1
+fi
+if [ $((ESCALATED + UNCAL)) -lt 1 ]; then
+    echo "calib-smoke: nothing escalated to the simulator (escalated=$ESCALATED uncalibrated=$UNCAL)" >&2
+    exit 1
+fi
+if ! grep -q '"calib_verdict": *"trusted"' "$WORK/plan.json"; then
+    echo "calib-smoke: no trusted verdict on any frontier candidate" >&2
+    exit 1
+fi
+# The decision spans must carry the verdicts.
+if ! "$WORK/obsreport" "$WORK/plan-trace.ndjson" | grep -q "trusted=$TRUSTED"; then
+    echo "calib-smoke: plan trace decisions do not tally the trusted verdict" >&2
+    "$WORK/obsreport" "$WORK/plan-trace.ndjson" >&2
+    exit 1
+fi
+
+# 5. Observation overhead: the same grid computed fresh in-process,
+#    plain vs with a live calibration observer.
+"$WORK/sweep" -spec "$WORK/mine.json" -quiet \
+    -bench-out "$WORK/bench-off.json" >/dev/null
+"$WORK/sweep" -spec "$WORK/mine.json" -quiet \
+    -calib-out "$WORK/live-map.json" \
+    -bench-out "$WORK/bench-on.json" >/dev/null
+PPS_OFF="$(num "$WORK/bench-off.json" points_per_sec)"
+PPS_ON="$(num "$WORK/bench-on.json" points_per_sec)"
+OVERHEAD="$(awk -v off="$PPS_OFF" -v on="$PPS_ON" \
+    'BEGIN { o = (off - on) / off * 100; if (o < 0) o = 0; printf "%.2f", o }')"
+if awk -v o="$OVERHEAD" 'BEGIN { exit !(o > 5.0) }'; then
+    echo "calib-smoke: live observation overhead ${OVERHEAD}% exceeds 5% (off=$PPS_OFF on=$PPS_ON pts/sec)" >&2
+    exit 1
+fi
+
+cat >BENCH_calib.json <<EOF
+{
+  "pairs": $PAIRS,
+  "regions": $REGIONS,
+  "pairs_per_sec_mined": ${PPS:-0},
+  "trusted": $TRUSTED,
+  "escalated": $ESCALATED,
+  "uncalibrated": $UNCAL,
+  "sim_evals": ${SIM_EVALS:-0},
+  "sim_evals_saved_by_trust": ${TRUST_SAVED:-0},
+  "observe_overhead_pct": $OVERHEAD
+}
+EOF
+
+echo "calib-smoke: $PAIRS pair(s) in $REGIONS region(s); plan: $TRUSTED trusted (sim skipped), $((ESCALATED + UNCAL)) escalated; overhead ${OVERHEAD}%"
